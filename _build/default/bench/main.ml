@@ -1,0 +1,130 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. the experiment suite (E1-E17): regenerates every table and figure of
+      the reproduction (the paper is a theory result, so these are its
+      claims made empirical — see DESIGN.md section 5 / EXPERIMENTS.md);
+   2. Bechamel micro-benchmarks of the substrates (PRNG, coin Monte-Carlo,
+      engine rounds, phase model).
+
+   Usage:
+     dune exec bench/main.exe                 # everything, quick profile
+     dune exec bench/main.exe -- --full       # full-size experiments
+     dune exec bench/main.exe -- --micro-only
+     dune exec bench/main.exe -- --experiments-only *)
+
+let run_experiments ~quick ~seed =
+  (* Stream each report as it completes (the full profile takes minutes;
+     Experiments.all would sit silent until the very end). *)
+  let suite =
+    [ Ba_experiments.Experiments.e1_coin_theorem3;
+      Ba_experiments.Experiments.e2_coin_corollary1;
+      Ba_experiments.Experiments.e3_rounds_vs_t;
+      Ba_experiments.Experiments.e4_crossover;
+      Ba_experiments.Experiments.e5_early_termination;
+      Ba_experiments.Experiments.e6_validity_matrix;
+      Ba_experiments.Experiments.e8_message_complexity;
+      Ba_experiments.Experiments.e9_las_vegas;
+      Ba_experiments.Experiments.e10_baseline_ladder;
+      Ba_experiments.Experiments.e11_ablation_alpha;
+      Ba_experiments.Experiments.e11_ablation_coin_round;
+      Ba_experiments.Experiments.e12_sampling_majority;
+      Ba_experiments.Experiments.e13_bjb_gap;
+      Ba_experiments.Experiments.e14_crash_vs_byzantine;
+      Ba_experiments.Experiments.e15_termination_ablation;
+      Ba_experiments.Experiments.e16_election_vs_adaptive;
+      Ba_experiments.Experiments.e17_async_contrast ]
+  in
+  List.iter
+    (fun experiment ->
+      let r = experiment ?quick:(Some quick) ~seed () in
+      Format.printf "%a@." Ba_experiments.Experiments.pp_report r;
+      Format.print_flush ())
+    suite
+
+(* ---------------- Bechamel micro-benchmarks ---------------- *)
+
+let make_micro_tests () =
+  let open Bechamel in
+  let rng = Ba_prng.Rng.create 7L in
+  let prng_bits = Test.make ~name:"rng/bits64" (Staged.stage (fun () -> Ba_prng.Rng.bits64 rng))
+  in
+  let prng_int =
+    Test.make ~name:"rng/int-1000" (Staged.stage (fun () -> Ba_prng.Rng.int rng 1000))
+  in
+  let coin_sum =
+    Test.make ~name:"coin/honest-sum-1024"
+      (Staged.stage (fun () -> Ba_core.Common_coin.honest_sum rng ~flippers:1024))
+  in
+  let coin_trial =
+    Test.make ~name:"coin/mc-trial-4096"
+      (Staged.stage (fun () ->
+           let x = Ba_core.Common_coin.honest_sum rng ~flippers:4096 in
+           Ba_core.Common_coin.commons ~flippers:4096 ~sum:x ~budget:32))
+  in
+  let engine_of adversary name =
+    let n = 64 and t = 21 in
+    let run =
+      Ba_experiments.Setups.make ~protocol:(Ba_experiments.Setups.Las_vegas { alpha = 2.0 })
+        ~adversary ~n ~t
+    in
+    let inputs = Ba_experiments.Setups.inputs Ba_experiments.Setups.Split ~n ~t in
+    let seed = ref 0L in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           seed := Int64.add !seed 1L;
+           (run.exec ~record:false ~inputs ~seed:!seed ()).Ba_sim.Engine.rounds))
+  in
+  let engine_silent = engine_of Ba_experiments.Setups.Silent "engine/alg3-n64-silent" in
+  let engine_killer =
+    engine_of Ba_experiments.Setups.Committee_killer "engine/alg3-n64-killer"
+  in
+  let model =
+    let rng = Ba_prng.Rng.create 11L in
+    Test.make ~name:"model/alg3-n2^24-t16384"
+      (Staged.stage (fun () ->
+           (Ba_experiments.Fast_model.alg3 rng ~n:(1 lsl 24) ~t:16384 ~budget:16384 ())
+             .Ba_experiments.Fast_model.rounds))
+  in
+  [ prng_bits; prng_int; coin_sum; coin_trial; engine_silent; engine_killer; model ]
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  print_endline "== micro-benchmarks (ns per call, OLS on monotonic clock) ==";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/call\n%!" name est
+          | Some ests ->
+              Printf.printf "  %-28s %s\n%!" name
+                (String.concat ", " (List.map (Printf.sprintf "%.1f") ests))
+          | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        analysis)
+    (make_micro_tests ())
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let quick = not (has "--full") in
+  let seed =
+    let rec find = function
+      | "--seed" :: v :: _ -> Int64.of_string v
+      | _ :: rest -> find rest
+      | [] -> 2026L
+    in
+    find args
+  in
+  if not (has "--experiments-only") then run_micro ();
+  if not (has "--micro-only") then begin
+    Printf.printf "\n== experiment suite (%s profile, seed %Ld) ==\n%!"
+      (if quick then "quick" else "full") seed;
+    run_experiments ~quick ~seed
+  end

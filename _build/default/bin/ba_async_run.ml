@@ -1,0 +1,111 @@
+(* ba_async_run: drive the asynchronous protocols (Section 1.3 contrast).
+
+   Examples:
+     ba_async_run --protocol ben-or -n 16 -t 3 --scheduler balancer
+     ba_async_run --protocol rbc -n 10 -t 3 --scheduler random --broadcaster 2 *)
+
+open Cmdliner
+
+let n_arg = Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let t_arg =
+  Arg.(value & opt (some int) None
+       & info [ "t" ] ~docv:"T"
+           ~doc:"Corruption budget (default: (n-1)/5 for ben-or, (n-1)/3 for rbc).")
+
+let protocol_arg =
+  Arg.(value & opt (enum [ ("ben-or", `Ben_or); ("rbc", `Rbc) ]) `Ben_or
+       & info [ "p"; "protocol" ] ~docv:"PROTOCOL" ~doc:"ben-or | rbc.")
+
+let scheduler_arg =
+  Arg.(value
+       & opt (enum [ ("fifo", `Fifo); ("random", `Random); ("delayer", `Delayer);
+                     ("balancer", `Balancer); ("splitter", `Splitter) ])
+           `Random
+       & info [ "s"; "scheduler" ] ~docv:"SCHED"
+           ~doc:"fifo | random | delayer | balancer (ben-or only) | splitter (ben-or only).")
+
+let broadcaster_arg =
+  Arg.(value & opt int 0 & info [ "broadcaster" ] ~docv:"ID" ~doc:"RBC broadcaster id.")
+
+let seed_arg = Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let trials_arg = Arg.(value & opt int 1 & info [ "trials" ] ~docv:"K" ~doc:"Repetitions.")
+
+let pp_outcome proto_name (o : Ba_async.Async_engine.outcome) =
+  Format.printf
+    "%s vs %s: n=%d t=%d steps=%d deliveries=%d %s agreement=%b validity=%b corruptions=%d@."
+    proto_name o.adversary_name o.n o.t o.steps o.deliveries
+    (if o.completed then "completed" else "TIMED-OUT")
+    (Ba_async.Async_engine.agreement_holds o)
+    (Ba_async.Async_engine.validity_holds o)
+    o.corruptions_used
+
+let run protocol scheduler n t broadcaster seed trials =
+  let t =
+    match t with
+    | Some t -> t
+    | None -> ( match protocol with `Ben_or -> (n - 1) / 5 | `Rbc -> (n - 1) / 3)
+  in
+  match protocol with
+  | `Ben_or -> (
+      match (try Ok (Ba_async.Ben_or_async.make ~n ~t) with Invalid_argument m -> Error m) with
+      | Error m ->
+          Format.eprintf "error: %s@." m;
+          1
+      | Ok proto ->
+          let inputs = Array.init n (fun i -> i mod 2) in
+          let code = ref 0 in
+          for i = 1 to trials do
+            let rng = Ba_prng.Rng.create (Int64.add seed (Int64.of_int (i * 7919))) in
+            let adversary =
+              match scheduler with
+              | `Fifo -> Ba_async.Async_engine.fifo
+              | `Random -> Ba_async.Async_adv.random_scheduler ~rng
+              | `Delayer -> Ba_async.Async_adv.delayer ~victims:(List.init (max 1 (n / 4)) Fun.id)
+              | `Balancer -> Ba_async.Async_adv.ben_or_balancer ~rng
+              | `Splitter -> Ba_async.Async_adv.ben_or_splitter ~rng
+            in
+            let o =
+              Ba_async.Async_engine.run ~protocol:proto ~adversary ~n ~t ~inputs
+                ~seed:(Int64.add seed (Int64.of_int i)) ()
+            in
+            pp_outcome "ben-or-async" o;
+            if not (o.completed && Ba_async.Async_engine.agreement_holds o) then code := 2
+          done;
+          !code)
+  | `Rbc ->
+      if broadcaster < 0 || broadcaster >= n then begin
+        Format.eprintf "error: broadcaster out of range@.";
+        1
+      end
+      else begin
+        let proto = Ba_async.Bracha_rbc.make ~broadcaster in
+        let inputs = Array.make n 0 in
+        inputs.(broadcaster) <- 1;
+        let code = ref 0 in
+        for i = 1 to trials do
+          let rng = Ba_prng.Rng.create (Int64.add seed (Int64.of_int (i * 7919))) in
+          let adversary =
+            match scheduler with
+            | `Random | `Balancer | `Splitter -> Ba_async.Async_adv.random_scheduler ~rng
+            | `Fifo -> Ba_async.Async_engine.fifo
+            | `Delayer -> Ba_async.Async_adv.delayer ~victims:[ broadcaster ]
+          in
+          let o =
+            Ba_async.Async_engine.run ~protocol:proto ~adversary ~n ~t ~inputs
+              ~seed:(Int64.add seed (Int64.of_int i)) ()
+          in
+          pp_outcome "bracha-rbc" o;
+          if not o.completed then code := 2
+        done;
+        !code
+      end
+
+let cmd =
+  let doc = "run the asynchronous protocols under adversarial scheduling" in
+  Cmd.v (Cmd.info "ba_async_run" ~doc)
+    Term.(const run $ protocol_arg $ scheduler_arg $ n_arg $ t_arg $ broadcaster_arg $ seed_arg
+          $ trials_arg)
+
+let () = exit (Cmd.eval' cmd)

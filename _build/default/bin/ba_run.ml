@@ -1,0 +1,117 @@
+(* ba_run: execute one Byzantine-agreement instance and report the outcome.
+
+   Examples:
+     ba_run --protocol alg3 --adversary committee-killer -n 64 -t 21
+     ba_run --protocol chor-coan --adversary equivocator -n 40 -t 13 --inputs split
+     ba_run --protocol phase-king --adversary staggered-crash -n 41 -t 9 --trace *)
+
+open Cmdliner
+
+let conv_of_parser parser names =
+  let parse s = match parser s with Ok v -> Ok v | Error msg -> Error (`Msg msg) in
+  Arg.conv (parse, fun fmt _ -> Format.fprintf fmt "%s" names)
+
+let protocol_arg =
+  let the_conv =
+    conv_of_parser Ba_experiments.Setups.parse_protocol
+      (String.concat "|" Ba_experiments.Setups.all_protocol_names)
+  in
+  Arg.(
+    value
+    & opt the_conv (Ba_experiments.Setups.Alg3 { alpha = 2.0; coin_round = `Piggyback })
+    & info [ "p"; "protocol" ] ~docv:"PROTOCOL" ~doc:"Protocol to run.")
+
+let adversary_arg =
+  let the_conv =
+    conv_of_parser Ba_experiments.Setups.parse_adversary
+      (String.concat "|" Ba_experiments.Setups.all_adversary_names)
+  in
+  Arg.(
+    value
+    & opt the_conv Ba_experiments.Setups.Silent
+    & info [ "a"; "adversary" ] ~docv:"ADVERSARY" ~doc:"Adversary strategy.")
+
+let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let t_arg =
+  Arg.(value & opt (some int) None
+       & info [ "t" ] ~docv:"T" ~doc:"Corruption budget (default: max tolerated, ceil(n/3)-1).")
+
+let seed_arg = Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let inputs_arg =
+  let the_conv =
+    Arg.conv
+      ( (fun s ->
+          match s with
+          | "split" -> Ok Ba_experiments.Setups.Split
+          | "zeros" -> Ok (Ba_experiments.Setups.Unanimous 0)
+          | "ones" -> Ok (Ba_experiments.Setups.Unanimous 1)
+          | "near-threshold" -> Ok Ba_experiments.Setups.Near_threshold
+          | _ -> Error (`Msg "expected split|zeros|ones|near-threshold")),
+        fun fmt _ -> Format.fprintf fmt "inputs" )
+  in
+  Arg.(value & opt the_conv Ba_experiments.Setups.Split
+       & info [ "inputs" ] ~docv:"PATTERN" ~doc:"Input pattern: split|zeros|ones|near-threshold.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-round trace (live/decided/finished).")
+
+let timeline_arg =
+  Arg.(value & flag & info [ "timeline" ] ~doc:"Print the node x round ASCII timeline.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~docv:"PATH" ~doc:"Write the per-round trace to a CSV file.")
+
+let congest_arg =
+  Arg.(value & opt (some int) None
+       & info [ "congest" ] ~docv:"BITS"
+           ~doc:"Meter CONGEST compliance: flag payloads above BITS bits per edge per round.")
+
+let run protocol adversary n t seed pattern trace timeline csv congest =
+  let t = match t with Some t -> t | None -> Ba_core.Params.max_tolerated n in
+  match
+    (fun () ->
+      let run = Ba_experiments.Setups.make ~protocol ~adversary ~n ~t in
+      let inputs = Ba_experiments.Setups.inputs pattern ~n ~t in
+      let o = run.exec ?congest_limit_bits:congest ~record:true ~inputs ~seed () in
+      (run, o))
+      ()
+  with
+  | exception Invalid_argument msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | run_info, o ->
+      Format.printf "%a@." Ba_trace.Export.pp_outcome o;
+      let violations =
+        Ba_trace.Checker.standard ?rounds_per_phase:run_info.rounds_per_phase o
+      in
+      if violations = [] then Format.printf "invariants: all checks passed@."
+      else
+        List.iter
+          (fun v -> Format.printf "invariants: VIOLATION %a@." Ba_trace.Checker.pp_violation v)
+          violations;
+      if trace then
+        List.iter
+          (fun row ->
+            Format.printf "%s@."
+              (String.concat "  " (List.map (fun (k, v) -> k ^ "=" ^ v) row)))
+          (Ba_trace.Export.round_rows o);
+      if timeline then print_string (Ba_trace.Timeline.render o);
+      (match csv with
+      | Some path ->
+          Ba_trace.Export.to_csv ~path (Ba_trace.Export.round_rows o);
+          Format.printf "trace written to %s@." path
+      | None -> ());
+      if violations = [] then 0 else 2
+
+let cmd =
+  let doc = "run one Byzantine agreement instance in the simulator" in
+  Cmd.v
+    (Cmd.info "ba_run" ~doc)
+    Term.(
+      const run $ protocol_arg $ adversary_arg $ n_arg $ t_arg $ seed_arg $ inputs_arg
+      $ trace_arg $ timeline_arg $ csv_arg $ congest_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,91 @@
+(* ba_sweep: regenerate the paper's experiments (E1-E17 from DESIGN.md).
+
+   Examples:
+     ba_sweep --list
+     ba_sweep E3 E4 --seed 7
+     ba_sweep --all --quick *)
+
+open Cmdliner
+
+let experiments =
+  [ ("E1", "Theorem 3: common coin, all nodes flipping",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e1_coin_theorem3 ~quick ~seed ());
+    ("E2", "Corollary 1: designated-committee coin",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e2_coin_corollary1 ~quick ~seed ());
+    ("E3", "Theorem 2: rounds vs t shape",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e3_rounds_vs_t ~quick ~seed ());
+    ("E4", "crossover vs Chor-Coan",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e4_crossover ~quick ~seed ());
+    ("E5", "early termination with q < t",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e5_early_termination ~quick ~seed ());
+    ("E6", "validity/agreement matrix",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e6_validity_matrix ~quick ~seed ());
+    ("E8", "message complexity",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e8_message_complexity ~quick ~seed ());
+    ("E9", "Las Vegas round distribution",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e9_las_vegas ~quick ~seed ());
+    ("E10", "baseline ladder",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e10_baseline_ladder ~quick ~seed ());
+    ("E11a", "alpha ablation",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e11_ablation_alpha ~quick ~seed ());
+    ("E11b", "coin-round ablation",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e11_ablation_coin_round ~quick ~seed ());
+    ("E12", "sampling-majority contrast baseline",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e12_sampling_majority ~quick ~seed ());
+    ("E13", "near-optimality vs BJB lower bound",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e13_bjb_gap ~quick ~seed ());
+    ("E14", "crash vs byzantine fault models",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e14_crash_vs_byzantine ~quick ~seed ());
+    ("E15", "termination-realization ablation",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e15_termination_ablation ~quick ~seed ());
+    ("E16", "elected vs predetermined committees",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e16_election_vs_adaptive ~quick ~seed ());
+    ("E17", "asynchronous contrast (Ben-Or async)",
+     fun ~quick ~seed -> Ba_experiments.Experiments.e17_async_contrast ~quick ~seed ()) ]
+
+let ids_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment IDs (e.g. E3 E4).")
+
+let all_arg = Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment.")
+let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List experiment IDs and exit.")
+let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sizes and fewer trials.")
+let seed_arg = Arg.(value & opt int64 2026L & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let run ids all list quick seed =
+  if list then begin
+    List.iter (fun (id, doc, _) -> Format.printf "%-5s %s@." id doc) experiments;
+    0
+  end
+  else begin
+    let selected =
+      if all || ids = [] then experiments
+      else
+        List.filter_map
+          (fun id ->
+            match List.find_opt (fun (i, _, _) -> String.uppercase_ascii id = i) experiments with
+            | Some e -> Some e
+            | None ->
+                Format.eprintf "warning: unknown experiment %S (see --list)@." id;
+                None)
+          ids
+    in
+    if selected = [] then begin
+      Format.eprintf "error: nothing to run@.";
+      1
+    end
+    else begin
+      List.iter
+        (fun (_, _, f) ->
+          let report = f ~quick ~seed in
+          Format.printf "%a@." Ba_experiments.Experiments.pp_report report)
+        selected;
+      0
+    end
+  end
+
+let cmd =
+  let doc = "regenerate the paper's experiments" in
+  Cmd.v (Cmd.info "ba_sweep" ~doc)
+    Term.(const run $ ids_arg $ all_arg $ list_arg $ quick_arg $ seed_arg)
+
+let () = exit (Cmd.eval' cmd)

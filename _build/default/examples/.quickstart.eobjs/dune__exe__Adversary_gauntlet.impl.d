@@ -1,0 +1,1 @@
+examples/adversary_gauntlet.ml: Ba_experiments Ba_harness Ba_stats Ba_trace List Printf Setups

@@ -1,0 +1,1 @@
+examples/async_contrast.ml: Array Async_adv Async_engine Ba_async Ba_prng Ba_stats Ben_or_async Bracha_rbc Fun Int64 List Printf String

@@ -1,0 +1,1 @@
+examples/attack_timeline.ml: Array Ba_adversary Ba_core Ba_experiments Ba_prng Ba_sim Ba_trace Format Printf

@@ -1,0 +1,1 @@
+examples/las_vegas_demo.ml: Array Ba_adversary Ba_core Ba_experiments Ba_harness Ba_sim Ba_stats Float Format List Printf Setups

@@ -1,0 +1,1 @@
+examples/las_vegas_demo.mli:

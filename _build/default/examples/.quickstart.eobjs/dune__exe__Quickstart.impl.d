@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ba_adversary Ba_core Ba_sim Ba_trace Format List Printf

@@ -1,0 +1,1 @@
+examples/scaling_crossover.ml: Ba_core Ba_experiments Ba_harness Ba_prng Ba_stats List Printf

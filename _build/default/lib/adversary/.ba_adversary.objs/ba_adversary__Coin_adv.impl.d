@@ -1,0 +1,1 @@
+lib/adversary/coin_adv.ml: Array Ba_core Ba_prng Ba_sim Common_coin List Printf

@@ -1,0 +1,1 @@
+lib/adversary/coin_adv.mli: Ba_core Ba_prng Ba_sim

@@ -1,0 +1,1 @@
+lib/adversary/generic.ml: Array Ba_prng Ba_sim List Printf

@@ -1,0 +1,1 @@
+lib/adversary/generic.mli: Ba_prng Ba_sim

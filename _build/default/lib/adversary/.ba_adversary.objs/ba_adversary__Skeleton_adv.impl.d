@@ -1,0 +1,1 @@
+lib/adversary/skeleton_adv.ml: Array Ba_core Ba_prng Ba_sim Hashtbl List Printf Skeleton

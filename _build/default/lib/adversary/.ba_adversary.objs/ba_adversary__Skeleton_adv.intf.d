@@ -1,0 +1,1 @@
+lib/adversary/skeleton_adv.mli: Ba_core Ba_prng Ba_sim

@@ -1,0 +1,26 @@
+(** Rushing adversaries against the standalone common-coin protocols
+    (Algorithms 1 and 2).
+
+    These realize the worst case of Theorem 3's setting concretely: the
+    adversary sees every honest flip of the current round, then corrupts
+    flippers and equivocates to split or steer the coin. *)
+
+(** [splitter ~designated] — the strongest splitting strategy. Observes the
+    honest designated flips, computes their sum [X], and corrupts the
+    minimum number of majority-side flippers needed to bring the receivers'
+    reachable sums astride zero; corrupted flippers then send [+1] to
+    even-numbered nodes and [-1] to odd ones. When no affordable split
+    exists it stays silent (the common value cannot be changed — corrupting
+    a flipper both removes its flip and adds an equivocation slot, leaving
+    the reachable interval's relevant endpoint unmoved). *)
+val splitter :
+  designated:(int -> bool) -> ('s, Ba_core.Common_coin.msg) Ba_sim.Adversary.t
+
+(** [biaser ~designated ~toward ~rng] — statically corrupts its whole budget
+    among designated nodes in round 1 and always pushes [toward] (0 or 1):
+    measures how far Definition 2(B)'s conditional bias can be driven. *)
+val biaser :
+  designated:(int -> bool) ->
+  toward:int ->
+  rng:Ba_prng.Rng.t ->
+  ('s, Ba_core.Common_coin.msg) Ba_sim.Adversary.t

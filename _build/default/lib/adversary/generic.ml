@@ -1,0 +1,49 @@
+let silent = Ba_sim.Adversary.silent
+
+let static_crash ~rng =
+  { Ba_sim.Adversary.adv_name = "static-crash";
+    act =
+      (fun view ->
+        if view.Ba_sim.Adversary.round = 1 then begin
+          let victims =
+            Ba_prng.Rng.sample_without_replacement rng ~k:view.budget_left ~n:view.n
+          in
+          { Ba_sim.Adversary.corrupt = Array.to_list victims;
+            byz_msg = (fun ~src:_ ~dst:_ -> None) }
+        end
+        else Ba_sim.Adversary.no_op_action) }
+
+let staggered_crash ~rng ~per_round =
+  if per_round < 0 then invalid_arg "staggered_crash: per_round < 0";
+  { Ba_sim.Adversary.adv_name = Printf.sprintf "staggered-crash-%d" per_round;
+    act =
+      (fun view ->
+        let live = Array.of_list (Ba_sim.Adversary.live_honest view) in
+        Ba_prng.Rng.shuffle rng live;
+        let k = min per_round (min view.budget_left (Array.length live)) in
+        { Ba_sim.Adversary.corrupt = Array.to_list (Array.sub live 0 k);
+          byz_msg = (fun ~src:_ ~dst:_ -> None) }) }
+
+let capped ~limit adv =
+  if limit < 0 then invalid_arg "Generic.capped: limit < 0";
+  let used = ref 0 in
+  { Ba_sim.Adversary.adv_name = Printf.sprintf "%s-capped-%d" adv.Ba_sim.Adversary.adv_name limit;
+    act =
+      (fun view ->
+        let budget_left = min view.Ba_sim.Adversary.budget_left (limit - !used) in
+        let action = adv.Ba_sim.Adversary.act { view with budget_left } in
+        let rec take k = function
+          | [] -> []
+          | v :: rest -> if k <= 0 then [] else v :: take (k - 1) rest
+        in
+        let corrupt = take budget_left action.Ba_sim.Adversary.corrupt in
+        used := !used + List.length corrupt;
+        { action with corrupt }) }
+
+let crash_at ~round ~victims =
+  { Ba_sim.Adversary.adv_name = Printf.sprintf "crash-at-%d" round;
+    act =
+      (fun view ->
+        if view.Ba_sim.Adversary.round = round then
+          { Ba_sim.Adversary.corrupt = victims; byz_msg = (fun ~src:_ ~dst:_ -> None) }
+        else Ba_sim.Adversary.no_op_action) }

@@ -1,0 +1,28 @@
+(** Protocol-agnostic adversary strategies.
+
+    These never fabricate payloads, so they work against any protocol:
+    corrupted nodes simply fall silent (which in the synchronous model is
+    the crash behaviour — Bar-Joseph & Ben-Or's lower bound already holds
+    for such adaptive crash faults). *)
+
+(** [silent] — corrupts nobody (the honest run). *)
+val silent : ('s, 'm) Ba_sim.Adversary.t
+
+(** [static_crash ~rng] — corrupts [t] uniformly random nodes in round 1;
+    they stay silent forever. The classic static-adversary baseline. *)
+val static_crash : rng:Ba_prng.Rng.t -> ('s, 'm) Ba_sim.Adversary.t
+
+(** [staggered_crash ~per_round] — adaptively crashes up to [per_round]
+    random live honest nodes every round until the budget runs out: the
+    adaptive crash-fault pattern of the Bar-Joseph–Ben-Or bound. *)
+val staggered_crash : rng:Ba_prng.Rng.t -> per_round:int -> ('s, 'm) Ba_sim.Adversary.t
+
+(** [crash_at ~round ~victims] — deterministically crashes the given nodes
+    at the given round (failure-injection tests). *)
+val crash_at : round:int -> victims:int list -> ('s, 'm) Ba_sim.Adversary.t
+
+(** [capped ~limit adv] — [adv], but restricted to at most [limit]
+    corruptions in total (the inner adversary sees the reduced budget, so
+    its planning stays coherent). Realizes the "only [q < t] nodes are
+    actually corrupted" setting of Theorem 2's early-termination claim. *)
+val capped : limit:int -> ('s, 'm) Ba_sim.Adversary.t -> ('s, 'm) Ba_sim.Adversary.t

@@ -1,0 +1,1 @@
+lib/async/async_adv.ml: Array Async_engine Ba_prng Ben_or_async Fun List

@@ -1,0 +1,1 @@
+lib/async/async_engine.ml: Array Ba_prng Fun Hashtbl List Option

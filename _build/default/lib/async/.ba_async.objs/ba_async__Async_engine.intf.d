@@ -1,0 +1,1 @@
+lib/async/async_engine.mli: Ba_prng

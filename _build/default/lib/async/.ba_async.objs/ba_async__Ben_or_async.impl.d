@@ -1,0 +1,1 @@
+lib/async/ben_or_async.ml: Array Async_engine Ba_prng Hashtbl

@@ -1,0 +1,1 @@
+lib/async/ben_or_async.mli: Async_engine

@@ -1,0 +1,1 @@
+lib/async/bracha_rbc.ml: Async_engine Hashtbl Printf

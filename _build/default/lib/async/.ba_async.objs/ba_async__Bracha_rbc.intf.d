@@ -1,0 +1,1 @@
+lib/async/bracha_rbc.mli: Async_engine

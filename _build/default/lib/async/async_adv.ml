@@ -1,0 +1,134 @@
+let random_scheduler ~rng =
+  { Async_engine.adv_name = "random-scheduler";
+    act =
+      (fun view ->
+        let deliver =
+          match view.Async_engine.pending with
+          | [] -> None
+          | ps ->
+              let arr = Array.of_list ps in
+              Some (Ba_prng.Rng.choose rng arr).Async_engine.id
+        in
+        { Async_engine.deliver; corrupt = []; inject = [] }) }
+
+let delayer ~victims =
+  let victim v = List.mem v victims in
+  { Async_engine.adv_name = "delayer";
+    act =
+      (fun view ->
+        let deliver =
+          match
+            List.find_opt
+              (fun (p : _ Async_engine.pending) -> not (victim p.src))
+              view.Async_engine.pending
+          with
+          | Some p -> Some p.Async_engine.id
+          | None -> None
+        in
+        { Async_engine.deliver; corrupt = []; inject = [] }) }
+
+let first_step_corruptions ~rng view =
+  if view.Async_engine.step = 1 then begin
+    let honest =
+      List.filter
+        (fun v -> not view.Async_engine.corrupted.(v))
+        (List.init view.Async_engine.n Fun.id)
+    in
+    let arr = Array.of_list honest in
+    Ba_prng.Rng.shuffle rng arr;
+    Array.to_list (Array.sub arr 0 (min view.budget_left (Array.length arr)))
+  end
+  else []
+
+let byz_flooder ~rng ~forge =
+  { Async_engine.adv_name = "byz-flooder";
+    act =
+      (fun view ->
+        let corrupt = first_step_corruptions ~rng view in
+        let deliver =
+          match view.Async_engine.pending with
+          | [] -> None
+          | ps -> Some (Ba_prng.Rng.choose rng (Array.of_list ps)).Async_engine.id
+        in
+        let corrupted_now =
+          corrupt
+          @ List.filteri (fun v _ -> view.Async_engine.corrupted.(v))
+              (List.init view.Async_engine.n Fun.id)
+        in
+        let inject =
+          match corrupted_now with
+          | [] -> []
+          | srcs ->
+              let src = Ba_prng.Rng.choose rng (Array.of_list srcs) in
+              let dst = Ba_prng.Rng.int rng view.Async_engine.n in
+              [ (src, dst, forge ~rng ~step:view.Async_engine.step ~dst) ]
+        in
+        { Async_engine.deliver; corrupt; inject }) }
+
+let ben_or_balancer ~rng =
+  { Async_engine.adv_name = "ben-or-balancer";
+    act =
+      (fun view ->
+        (* Score each pending message: strongly prefer delivering R-votes
+           for the receiver's current-round *minority* value, and withhold
+           majority votes, so no node assembles a supermajority. Other
+           messages are neutral. Lower score = deliver sooner. *)
+        let score (p : Ben_or_async.msg Async_engine.pending) =
+          match view.Async_engine.states.(p.Async_engine.dst) with
+          | None -> 0
+          | Some st -> (
+              match Ben_or_async.classify p.Async_engine.msg with
+              | `R (r, v)
+                when r = Ben_or_async.round_reached st
+                     && not (Ben_or_async.waiting_for_p st) -> (
+                  let z, o = Ben_or_async.r_tally st ~round:r in
+                  let minority = if z <= o then 0 else 1 in
+                  if v = minority then -1 else 1)
+              | `R _ | `P _ | `D _ -> 0)
+        in
+        let deliver =
+          match view.Async_engine.pending with
+          | [] -> None
+          | ps ->
+              (* Among the lowest-skew destinations pick randomly. *)
+              let best = List.fold_left (fun acc p -> min acc (score p)) max_int ps in
+              let candidates = List.filter (fun p -> score p = best) ps in
+              Some (Ba_prng.Rng.choose rng (Array.of_list candidates)).Async_engine.id
+        in
+        { Async_engine.deliver; corrupt = []; inject = [] }) }
+
+let ben_or_splitter ~rng =
+  { Async_engine.adv_name = "ben-or-splitter";
+    act =
+      (fun view ->
+        let corrupt = first_step_corruptions ~rng view in
+        let deliver =
+          match view.Async_engine.pending with
+          | [] -> None
+          | ps -> Some (Ba_prng.Rng.choose rng (Array.of_list ps)).Async_engine.id
+        in
+        let corrupted_now =
+          corrupt
+          @ List.filteri (fun v _ -> view.Async_engine.corrupted.(v))
+              (List.init view.Async_engine.n Fun.id)
+        in
+        let inject =
+          match corrupted_now with
+          | [] -> []
+          | srcs ->
+              let src = Ba_prng.Rng.choose rng (Array.of_list srcs) in
+              let dst = Ba_prng.Rng.int rng view.Async_engine.n in
+              (* Target the receiver's current round with a split vote. *)
+              let round =
+                match view.Async_engine.states.(dst) with
+                | Some st -> Ben_or_async.round_reached st
+                | None -> 1
+              in
+              let v = dst mod 2 in
+              let m =
+                if Ba_prng.Rng.bool rng then Ben_or_async.mk_r ~round ~v
+                else Ben_or_async.mk_p ~round ~v
+              in
+              [ (src, dst, m) ]
+        in
+        { Async_engine.deliver; corrupt; inject }) }

@@ -1,0 +1,239 @@
+type ctx = { n : int; t : int; me : int; rng : Ba_prng.Rng.t }
+
+type 'msg send = { to_ : int; payload : 'msg }
+
+let broadcast ~n payload = List.init n (fun to_ -> { to_; payload })
+
+type ('state, 'msg) protocol = {
+  name : string;
+  init : ctx -> input:int -> 'state * 'msg send list;
+  on_message : ctx -> 'state -> src:int -> 'msg -> 'state * 'msg send list;
+  output : 'state -> int option;
+  msg_bits : 'msg -> int;
+}
+
+type 'msg pending = { id : int; src : int; dst : int; msg : 'msg; age : int }
+
+type ('state, 'msg) view = {
+  step : int;
+  n : int;
+  t : int;
+  corrupted : bool array;
+  budget_left : int;
+  decided : bool array;
+  pending : 'msg pending list;
+  states : 'state option array;
+}
+
+type 'msg action = {
+  deliver : int option;
+  corrupt : int list;
+  inject : (int * int * 'msg) list;
+}
+
+type ('state, 'msg) adversary = {
+  adv_name : string;
+  act : ('state, 'msg) view -> 'msg action;
+}
+
+let fifo =
+  { adv_name = "fifo"; act = (fun _ -> { deliver = None; corrupt = []; inject = [] }) }
+
+type outcome = {
+  protocol_name : string;
+  adversary_name : string;
+  n : int;
+  t : int;
+  inputs : int array;
+  steps : int;
+  deliveries : int;
+  completed : bool;
+  outputs : int option array;
+  corrupted : bool array;
+  corruptions_used : int;
+}
+
+(* In-flight store: insertion-ordered queue realized as a Hashtbl plus a
+   monotonically increasing id; "oldest" = smallest id. *)
+type 'msg flight = { birth : int; f_src : int; f_dst : int; f_msg : 'msg }
+
+let validate ~n ~t ~inputs =
+  if t < 0 || t >= n then invalid_arg "Async_engine.run: need 0 <= t < n";
+  if Array.length inputs <> n then invalid_arg "Async_engine.run: inputs length <> n";
+  Array.iter
+    (fun b -> if b <> 0 && b <> 1 then invalid_arg "Async_engine.run: inputs must be 0/1")
+    inputs
+
+let run ?max_steps ?max_delay ~(protocol : ('state, 'msg) protocol)
+    ~(adversary : ('state, 'msg) adversary) ~n ~t ~inputs ~seed () =
+  validate ~n ~t ~inputs;
+  let max_steps = Option.value max_steps ~default:(5000 * n) in
+  let max_delay = Option.value max_delay ~default:(8 * n) in
+  let master = Ba_prng.Rng.create seed in
+  let node_rngs = Ba_prng.Rng.split_n master n in
+  let ctx_of v = { n; t; me = v; rng = node_rngs.(v) } in
+  let corrupted = Array.make n false in
+  let corruptions_used = ref 0 in
+  let in_flight : (int, 'msg flight) Hashtbl.t = Hashtbl.create 1024 in
+  let next_id = ref 0 in
+  let step = ref 0 in
+  let deliveries = ref 0 in
+  let enqueue ~src sends =
+    if not corrupted.(src) then
+      List.iter
+        (fun { to_; payload } ->
+          if to_ >= 0 && to_ < n then begin
+            Hashtbl.replace in_flight !next_id
+              { birth = !step; f_src = src; f_dst = to_; f_msg = payload };
+            incr next_id
+          end)
+        sends
+  in
+  let states = Array.make n None in
+  for v = 0 to n - 1 do
+    let st, sends = protocol.init (ctx_of v) ~input:inputs.(v) in
+    states.(v) <- Some st;
+    enqueue ~src:v sends
+  done;
+  let state_of v = match states.(v) with Some s -> s | None -> assert false in
+  let all_decided () =
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if (not corrupted.(v)) && protocol.output (state_of v) = None then ok := false
+    done;
+    !ok
+  in
+  let deliver ~src ~dst msg =
+    if (not corrupted.(dst)) && dst >= 0 && dst < n then begin
+      incr deliveries;
+      let st, sends = protocol.on_message (ctx_of dst) (state_of dst) ~src msg in
+      states.(dst) <- Some st;
+      enqueue ~src:dst sends
+    end
+  in
+  let completed = ref (all_decided ()) in
+  while (not !completed) && !step < max_steps do
+    incr step;
+    (* Build the adversary's view: pending sorted oldest-first. *)
+    let pending =
+      Hashtbl.fold
+        (fun id f acc ->
+          { id; src = f.f_src; dst = f.f_dst; msg = f.f_msg; age = !step - f.birth } :: acc)
+        in_flight []
+      |> List.sort (fun a b -> compare a.id b.id)
+    in
+    let view =
+      { step = !step;
+        n;
+        t;
+        corrupted = Array.copy corrupted;
+        budget_left = t - !corruptions_used;
+        decided =
+          Array.init n (fun v ->
+              (not corrupted.(v)) && protocol.output (state_of v) <> None);
+        pending;
+        states = Array.init n (fun v -> if corrupted.(v) then None else states.(v)) }
+    in
+    let action = adversary.act view in
+    (* Adaptive corruption: the victim's undelivered messages are retracted
+       (the adversary may re-inject whatever it likes). *)
+    List.iter
+      (fun v ->
+        if v >= 0 && v < n && (not corrupted.(v)) && !corruptions_used < t then begin
+          corrupted.(v) <- true;
+          incr corruptions_used;
+          let doomed =
+            Hashtbl.fold (fun id f acc -> if f.f_src = v then id :: acc else acc) in_flight []
+          in
+          List.iter (Hashtbl.remove in_flight) doomed
+        end)
+      action.corrupt;
+    (* Byzantine injections: delivered immediately, capped at n per step. *)
+    let injections = List.filteri (fun i _ -> i < n) action.inject in
+    List.iter
+      (fun (src, dst, msg) -> if src >= 0 && src < n && corrupted.(src) then deliver ~src ~dst msg)
+      injections;
+    (* Scheduling: bounded-delay fairness first, then the adversary's pick,
+       then FIFO. *)
+    let pick_pending () =
+      let stale =
+        Hashtbl.fold
+          (fun id f acc ->
+            if !step - f.birth >= max_delay then
+              match acc with
+              | Some (best_id, _) when best_id <= id -> acc
+              | _ -> Some (id, f)
+            else acc)
+          in_flight None
+      in
+      match stale with
+      | Some (id, f) -> Some (id, f)
+      | None -> (
+          match action.deliver with
+          | Some id -> (
+              match Hashtbl.find_opt in_flight id with
+              | Some f -> Some (id, f)
+              | None -> None)
+          | None -> None)
+    in
+    let chosen =
+      match pick_pending () with
+      | Some x -> Some x
+      | None ->
+          (* FIFO fallback: oldest id. *)
+          Hashtbl.fold
+            (fun id f acc ->
+              match acc with Some (best, _) when best <= id -> acc | _ -> Some (id, f))
+            in_flight None
+    in
+    (match chosen with
+    | Some (id, f) ->
+        Hashtbl.remove in_flight id;
+        deliver ~src:f.f_src ~dst:f.f_dst f.f_msg
+    | None -> ());
+    completed := all_decided ();
+    if (not !completed) && chosen = None && action.inject = [] then
+      (* Deadlock: nothing in flight, nothing injected, not all decided. *)
+      step := max_steps
+  done;
+  { protocol_name = protocol.name;
+    adversary_name = adversary.adv_name;
+    n;
+    t;
+    inputs = Array.copy inputs;
+    steps = !step;
+    deliveries = !deliveries;
+    completed = !completed;
+    outputs =
+      Array.init n (fun v -> if corrupted.(v) then None else protocol.output (state_of v));
+    corrupted = Array.copy corrupted;
+    corruptions_used = !corruptions_used }
+
+let honest_outputs o =
+  let acc = ref [] in
+  for v = o.n - 1 downto 0 do
+    if not o.corrupted.(v) then
+      match o.outputs.(v) with Some b -> acc := (v, b) :: !acc | None -> ()
+  done;
+  !acc
+
+let agreement_holds o =
+  let all_decided =
+    Array.for_all Fun.id
+      (Array.init o.n (fun v -> o.corrupted.(v) || o.outputs.(v) <> None))
+  in
+  match honest_outputs o with
+  | [] -> all_decided
+  | (_, b0) :: rest -> all_decided && List.for_all (fun (_, b) -> b = b0) rest
+
+let validity_holds o =
+  let honest_inputs = ref [] in
+  for v = 0 to o.n - 1 do
+    if not o.corrupted.(v) then honest_inputs := o.inputs.(v) :: !honest_inputs
+  done;
+  match !honest_inputs with
+  | [] -> true
+  | b :: rest ->
+      if List.for_all (fun x -> x = b) rest then
+        List.for_all (fun (_, out) -> out = b) (honest_outputs o)
+      else true

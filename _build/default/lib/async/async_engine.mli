@@ -1,0 +1,110 @@
+(** Asynchronous message-passing engine with an adversarial scheduler.
+
+    The paper's Section 1.3 contrasts its synchronous result with the
+    asynchronous setting, "even harder" under the same full-information
+    adaptive adversary (Ben-Or and Bracha's exponential protocols, King–Saia
+    and Huang–Pettie–Zhu's polynomial ones). This engine realizes that
+    model so the contrast can be measured (experiment E17):
+
+    - nodes are event-driven: they react to delivered messages and emit new
+      ones; there are no rounds;
+    - the adversary *is* the scheduler: at every step it picks which
+      pending message to deliver next, with full information (all honest
+      states and all pending messages), and may adaptively corrupt nodes
+      (budget [t]) and inject messages from corrupted nodes at any step;
+    - eventual delivery is enforced by a bounded-delay rule: a pending
+      honest-to-honest message older than [max_delay] scheduler steps is
+      force-delivered (oldest first) before the adversary's next choice —
+      the standard way to make "eventually" finite in a simulation;
+    - the run ends when every honest node has decided (async protocols
+      typically keep echoing afterwards; we stop measuring), or at
+      [max_steps].
+
+    Determinism: everything is a function of [(seed, parameters)], as in
+    the synchronous engine. *)
+
+type ctx = { n : int; t : int; me : int; rng : Ba_prng.Rng.t }
+
+(** A send: destination and payload. Broadcast = one send per node
+    (self-delivery included, as in the synchronous engine). *)
+type 'msg send = { to_ : int; payload : 'msg }
+
+(** [broadcast ~n payload] — sends to every node including self. *)
+val broadcast : n:int -> 'msg -> 'msg send list
+
+type ('state, 'msg) protocol = {
+  name : string;
+  init : ctx -> input:int -> 'state * 'msg send list;
+  on_message : ctx -> 'state -> src:int -> 'msg -> 'state * 'msg send list;
+  output : 'state -> int option;  (** decided value, once set *)
+  msg_bits : 'msg -> int;
+}
+
+(** A message in flight. [age] counts scheduler steps since it was sent. *)
+type 'msg pending = { id : int; src : int; dst : int; msg : 'msg; age : int }
+
+type ('state, 'msg) view = {
+  step : int;
+  n : int;
+  t : int;
+  corrupted : bool array;
+  budget_left : int;
+  decided : bool array;  (** honest nodes that have decided *)
+  pending : 'msg pending list;  (** oldest first; empty only when all decided *)
+  states : 'state option array;  (** full information, live honest nodes *)
+}
+
+type 'msg action = {
+  deliver : int option;
+      (** id of the pending message to deliver now; [None] = deliver the
+          oldest pending (the engine also overrides stale choices per the
+          bounded-delay rule) *)
+  corrupt : int list;  (** adaptive corruptions, clamped to budget *)
+  inject : (int * int * 'msg) list;
+      (** [(src, dst, msg)] sent by corrupted [src] this step; ignored for
+          honest [src] *)
+}
+
+type ('state, 'msg) adversary = {
+  adv_name : string;
+  act : ('state, 'msg) view -> 'msg action;
+}
+
+(** [fifo] — deliver strictly in send order, corrupt nobody: the friendly
+    scheduler. *)
+val fifo : ('state, 'msg) adversary
+
+type outcome = {
+  protocol_name : string;
+  adversary_name : string;
+  n : int;
+  t : int;
+  inputs : int array;
+  steps : int;  (** scheduler steps executed *)
+  deliveries : int;  (** messages delivered *)
+  completed : bool;
+  outputs : int option array;
+  corrupted : bool array;
+  corruptions_used : int;
+}
+
+(** [run ~protocol ~adversary ~n ~t ~inputs ~seed ()] — executes until all
+    honest nodes decide or [max_steps] (default [5000 * n]).
+    [max_delay] (default [8 * n]) is the bounded-delay fairness horizon.
+    @raise Invalid_argument on the same conditions as the synchronous
+    engine. *)
+val run :
+  ?max_steps:int ->
+  ?max_delay:int ->
+  protocol:('state, 'msg) protocol ->
+  adversary:('state, 'msg) adversary ->
+  n:int ->
+  t:int ->
+  inputs:int array ->
+  seed:int64 ->
+  unit ->
+  outcome
+
+val agreement_holds : outcome -> bool
+
+val validity_holds : outcome -> bool

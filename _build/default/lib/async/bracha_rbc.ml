@@ -1,0 +1,68 @@
+type msg = Init of int | Echo of int | Ready of int
+
+let echo_threshold ~n ~t = (n + t + 2) / 2 (* ceil((n+t+1)/2) *)
+let ready_support ~t = t + 1
+let deliver_threshold ~t = (2 * t) + 1
+
+type state = {
+  broadcaster : int;
+  echo_sent : bool;
+  ready_sent : bool;
+  echoes : (int, int) Hashtbl.t;  (* src -> echoed value (first only) *)
+  readies : (int, int) Hashtbl.t;
+  delivered : int option;
+}
+
+let count tbl v =
+  Hashtbl.fold (fun _ x acc -> if x = v then acc + 1 else acc) tbl 0
+
+let make ~broadcaster : (state, msg) Async_engine.protocol =
+  { Async_engine.name = Printf.sprintf "bracha-rbc-%d" broadcaster;
+    init =
+      (fun (ctx : Async_engine.ctx) ~input ->
+        let st =
+          { broadcaster;
+            echo_sent = false;
+            ready_sent = false;
+            echoes = Hashtbl.create 16;
+            readies = Hashtbl.create 16;
+            delivered = None }
+        in
+        if ctx.me = broadcaster then
+          (st, Async_engine.broadcast ~n:ctx.n (Init input))
+        else (st, []));
+    on_message =
+      (fun (ctx : Async_engine.ctx) st ~src msg ->
+        let n = ctx.n and t = ctx.t in
+        let sends = ref [] in
+        let st = ref st in
+        let maybe_ready v =
+          if not !st.ready_sent then begin
+            st := { !st with ready_sent = true };
+            sends := Async_engine.broadcast ~n (Ready v) @ !sends
+          end
+        in
+        (match msg with
+        | Init v when src = broadcaster && (v = 0 || v = 1) ->
+            if not !st.echo_sent then begin
+              st := { !st with echo_sent = true };
+              sends := Async_engine.broadcast ~n (Echo v) @ !sends
+            end
+        | Init _ -> ()
+        | Echo v when v = 0 || v = 1 ->
+            if not (Hashtbl.mem !st.echoes src) then begin
+              Hashtbl.add !st.echoes src v;
+              if count !st.echoes v >= echo_threshold ~n ~t then maybe_ready v
+            end
+        | Echo _ -> ()
+        | Ready v when v = 0 || v = 1 ->
+            if not (Hashtbl.mem !st.readies src) then begin
+              Hashtbl.add !st.readies src v;
+              if count !st.readies v >= ready_support ~t then maybe_ready v;
+              if count !st.readies v >= deliver_threshold ~t && !st.delivered = None then
+                st := { !st with delivered = Some v }
+            end
+        | Ready _ -> ());
+        (!st, !sends));
+    output = (fun st -> st.delivered);
+    msg_bits = (fun _ -> 3) }

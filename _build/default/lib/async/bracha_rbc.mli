@@ -1,0 +1,40 @@
+(** Bracha's reliable broadcast (1987) — the asynchronous primitive behind
+    the [t < n/3] asynchronous agreement protocols cited in the paper's
+    Section 1.3 (Bracha 1987, and as the workhorse inside King–Saia and
+    Huang–Pettie–Zhu).
+
+    One designated broadcaster disseminates a value; despite a Byzantine
+    broadcaster and [t < n/3] Byzantine helpers:
+
+    - {b consistency}: no two honest nodes deliver different values;
+    - {b totality}: if any honest node delivers, every honest node
+      eventually delivers;
+    - {b validity}: if the broadcaster is honest, everyone delivers its
+      value.
+
+    Message flow (per the classic echo/ready amplification):
+    + the broadcaster sends [Init v];
+    + on the first [Init v] from the broadcaster, send [Echo v];
+    + on [⌈(n+t+1)/2⌉] [Echo v] or [t+1] [Ready v] (first trigger), send
+      [Ready v] once;
+    + on [2t+1] [Ready v], deliver [v].
+
+    Values here are [0/1] (the agreement alphabet); the machinery is
+    value-generic in structure. *)
+
+type msg = Init of int | Echo of int | Ready of int
+
+type state
+
+(** [make ~broadcaster] — every node runs this; the node whose id equals
+    [broadcaster] broadcasts its input, all others' inputs are ignored.
+    The protocol's [output] is the delivered value. *)
+val make : broadcaster:int -> (state, msg) Async_engine.protocol
+
+(** Thresholds, exposed for tests: [echo_threshold ~n ~t = ⌈(n+t+1)/2⌉],
+    [ready_support ~t = t+1], [deliver_threshold ~t = 2t+1]. *)
+val echo_threshold : n:int -> t:int -> int
+
+val ready_support : t:int -> int
+
+val deliver_threshold : t:int -> int

@@ -1,0 +1,1 @@
+lib/baselines/chor_coan.ml: Ba_core Ba_sim Committee Params Skeleton

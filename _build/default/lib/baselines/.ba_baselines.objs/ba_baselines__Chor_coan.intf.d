@@ -1,0 +1,1 @@
+lib/baselines/chor_coan.mli: Ba_core Ba_sim

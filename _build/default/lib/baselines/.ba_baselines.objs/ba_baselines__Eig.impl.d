@@ -1,0 +1,1 @@
+lib/baselines/eig.ml: Array Ba_sim Hashtbl List

@@ -1,0 +1,1 @@
+lib/baselines/eig.mli: Ba_sim Hashtbl

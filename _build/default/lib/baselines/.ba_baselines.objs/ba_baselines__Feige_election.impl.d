@@ -1,0 +1,1 @@
+lib/baselines/feige_election.ml: Array Ba_core Ba_prng

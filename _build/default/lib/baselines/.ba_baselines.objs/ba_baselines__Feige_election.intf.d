@@ -1,0 +1,1 @@
+lib/baselines/feige_election.mli: Ba_prng

@@ -1,0 +1,1 @@
+lib/baselines/local_coin.ml: Ba_core Ba_sim Skeleton

@@ -1,0 +1,1 @@
+lib/baselines/local_coin.mli: Ba_core Ba_sim

@@ -1,0 +1,1 @@
+lib/baselines/phase_king.mli: Ba_sim

@@ -1,0 +1,1 @@
+lib/baselines/rabin.ml: Ba_core Ba_prng Ba_sim Hashtbl Params Skeleton

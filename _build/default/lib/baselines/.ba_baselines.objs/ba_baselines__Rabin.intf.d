@@ -1,0 +1,1 @@
+lib/baselines/rabin.mli: Ba_core Ba_sim

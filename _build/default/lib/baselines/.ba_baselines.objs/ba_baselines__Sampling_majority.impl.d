@@ -1,0 +1,1 @@
+lib/baselines/sampling_majority.ml: Array Ba_core Ba_prng Ba_sim

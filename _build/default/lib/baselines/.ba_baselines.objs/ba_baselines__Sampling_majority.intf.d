@@ -1,0 +1,1 @@
+lib/baselines/sampling_majority.mli: Ba_sim

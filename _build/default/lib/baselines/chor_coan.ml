@@ -1,0 +1,41 @@
+open Ba_core
+
+type t = {
+  protocol : (Skeleton.state, Skeleton.msg) Ba_sim.Protocol.t;
+  groups : Committee.t;
+  config : Skeleton.config;
+  n : int;
+  t : int;
+}
+
+let make ?(beta = 1.0) ?(gamma = 4.0) ?(cycle = false) ~n ~t () =
+  if t < 0 then invalid_arg "Chor_coan.make: t < 0";
+  if n < (3 * t) + 1 then invalid_arg "Chor_coan.make: need n >= 3t + 1";
+  let g = max 1 (int_of_float (ceil (beta *. Params.log2n n))) in
+  let group_count = max 1 (n / g) in
+  let groups = Committee.make ~n ~c:group_count in
+  let phases =
+    max
+      (int_of_float (ceil (gamma *. Params.log2n n)))
+      (int_of_float (ceil (6.0 *. float_of_int t /. float_of_int g)))
+  in
+  let designated ~phase v =
+    Committee.is_member groups (Committee.for_phase groups ~phase) v
+  in
+  let config =
+    { Skeleton.cfg_name = "chor-coan";
+      cfg_phases = phases;
+      cfg_coin = Skeleton.Flippers designated;
+      cfg_cycle = cycle;
+      cfg_coin_round = `Piggyback;
+      cfg_termination = `Extra_phase }
+  in
+  { protocol = Skeleton.make config; groups; config; n; t }
+
+let group_of_phase inst ~phase = Committee.for_phase inst.groups ~phase
+
+let designated inst ~phase v =
+  Committee.is_member inst.groups (group_of_phase inst ~phase) v
+
+let round_bound inst =
+  Skeleton.rounds_per_phase inst.config * (inst.config.Skeleton.cfg_phases + 2)

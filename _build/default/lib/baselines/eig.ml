@@ -1,0 +1,84 @@
+type msg = (int list * int) list
+
+type state = {
+  tree : (int list, int) Hashtbl.t;
+  halted : bool;
+  output : int option;
+  round : int;
+}
+
+let default_value = 0
+
+let rec resolve_label ~n ~t tree label =
+  if List.length label >= t + 1 then
+    match Hashtbl.find_opt tree label with Some v -> v | None -> default_value
+  else begin
+    let zeros = ref 0 and ones = ref 0 in
+    for j = 0 to n - 1 do
+      if not (List.mem j label) then
+        match resolve_label ~n ~t tree (label @ [ j ]) with
+        | 0 -> incr zeros
+        | _ -> incr ones
+    done;
+    if !ones > !zeros then 1 else if !zeros > !ones then 0 else default_value
+  end
+
+let resolve ~n ~t tree = resolve_label ~n ~t tree []
+
+let distinct_ids ~n label =
+  let seen = Hashtbl.create 8 in
+  List.for_all
+    (fun i ->
+      if i < 0 || i >= n || Hashtbl.mem seen i then false
+      else begin
+        Hashtbl.add seen i ();
+        true
+      end)
+    label
+
+let protocol : (state, msg) Ba_sim.Protocol.t =
+  { Ba_sim.Protocol.name = "eig";
+    init =
+      (fun _ctx ~input ->
+        let tree = Hashtbl.create 64 in
+        Hashtbl.add tree [] input;
+        { tree; halted = false; output = None; round = 0 });
+    send =
+      (fun ctx st ~round ->
+        let me = ctx.Ba_sim.Protocol.me in
+        let entries = ref [] in
+        Hashtbl.iter
+          (fun label v ->
+            if List.length label = round - 1 && not (List.mem me label) then
+              entries := (label, v) :: !entries)
+          st.tree;
+        Some !entries);
+    recv =
+      (fun ctx st ~round ~inbox ->
+        let n = ctx.Ba_sim.Protocol.n and t = ctx.Ba_sim.Protocol.t in
+        Array.iteri
+          (fun sender m ->
+            match m with
+            | Some entries ->
+                List.iter
+                  (fun (label, v) ->
+                    if
+                      List.length label = round - 1
+                      && distinct_ids ~n label
+                      && (not (List.mem sender label))
+                      && (v = 0 || v = 1)
+                    then Hashtbl.replace st.tree (label @ [ sender ]) v)
+                  entries
+            | None -> ())
+          inbox;
+        if round >= t + 1 then
+          { st with halted = true; output = Some (resolve ~n ~t st.tree); round }
+        else { st with round });
+    output = (fun st -> st.output);
+    halted = (fun st -> st.halted);
+    msg_bits =
+      (fun entries ->
+        List.fold_left (fun acc (label, _) -> acc + 1 + (8 * (1 + List.length label))) 0 entries);
+    inspect = (fun _ -> None) }
+
+let rounds ~t = t + 1

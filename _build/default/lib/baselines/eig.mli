@@ -1,0 +1,28 @@
+(** Exponential Information Gathering (Pease–Shostak–Lamport / Bar-Noy et
+    al.): deterministic agreement with optimal resilience [n > 3t] in the
+    optimal [t + 1] rounds — at the price of exponentially large messages.
+
+    Every node grows an EIG tree: the label [i1; ...; ir] stores "[ir] said
+    that [ir-1] said that ... [i1]'s value is v". Round [r] relays all
+    level-[r-1] labels not containing the sender; after round [t + 1] the
+    tree is resolved bottom-up by recursive majority (default 0), and the
+    decision is the resolved root.
+
+    Only usable at toy sizes (message size [Θ(n^t)]): the bench runs it at
+    [n ≤ 8] to anchor the "optimal resilience, optimal rounds, hopeless
+    bandwidth" corner of the baseline ladder. Its metered bit counts also
+    demonstrate the CONGEST violation concretely. *)
+
+type msg = (int list * int) list
+
+type state
+
+val protocol : (state, msg) Ba_sim.Protocol.t
+
+(** [rounds ~t] — exactly [t + 1] rounds. *)
+val rounds : t:int -> int
+
+(** [resolve ~n ~t tree] — the recursive-majority resolution, exposed for
+    unit tests. [tree] maps labels (reporter chains, first reporter first)
+    to stored values; missing labels resolve to the default 0. *)
+val resolve : n:int -> t:int -> (int list, int) Hashtbl.t -> int

@@ -1,0 +1,56 @@
+type result = {
+  winning_bin : int;
+  committee_size : int;
+  honest_members : int;
+  byzantine_members : int;
+}
+
+let default_bins n =
+  max 2 (n / max 1 (int_of_float (ceil (Ba_core.Params.log2n n))))
+
+let lightest counts =
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c < counts.(!best) then best := i) counts;
+  !best
+
+let elect rng ~n ~t ~bins ~adaptive =
+  if bins <= 0 || bins > n then invalid_arg "Feige_election.elect: need 0 < bins <= n";
+  if t < 0 || t >= n then invalid_arg "Feige_election.elect: need 0 <= t < n";
+  let counts = Array.make bins 0 in
+  if adaptive then begin
+    (* Everyone announces honestly; the adversary corrupts winners after. *)
+    let choice = Array.init n (fun _ -> Ba_prng.Rng.int rng bins) in
+    Array.iter (fun b -> counts.(b) <- counts.(b) + 1) choice;
+    let winning_bin = lightest counts in
+    let committee_size = counts.(winning_bin) in
+    let byzantine_members = min t committee_size in
+    { winning_bin;
+      committee_size;
+      honest_members = committee_size - byzantine_members;
+      byzantine_members }
+  end
+  else begin
+    (* Static: t fixed Byzantine nodes stuff bin 0 blind; n - t honest nodes
+       choose uniformly. *)
+    counts.(0) <- t;
+    for _ = 1 to n - t do
+      let b = Ba_prng.Rng.int rng bins in
+      counts.(b) <- counts.(b) + 1
+    done;
+    let winning_bin = lightest counts in
+    let committee_size = counts.(winning_bin) in
+    let byzantine_members = if winning_bin = 0 then t else 0 in
+    { winning_bin;
+      committee_size;
+      honest_members = committee_size - byzantine_members;
+      byzantine_members }
+  end
+
+let honest_majority_rate rng ~n ~t ~bins ~adaptive ~trials =
+  if trials <= 0 then invalid_arg "Feige_election.honest_majority_rate: trials <= 0";
+  let ok = ref 0 in
+  for _ = 1 to trials do
+    let r = elect rng ~n ~t ~bins ~adaptive in
+    if r.honest_members > r.byzantine_members then incr ok
+  done;
+  float_of_int !ok /. float_of_int trials

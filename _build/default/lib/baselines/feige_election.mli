@@ -1,0 +1,48 @@
+(** Feige's lightest-bin committee election — the building block of the
+    [O(log n)]-round *static*-adversary protocols (Goldwasser–Pavlov–
+    Vaikuntanathan and Ben-Or–Pavlov–Vaikuntanathan) that the paper
+    contrasts with in its introduction.
+
+    One round: every node broadcasts a uniformly random bin index in
+    [[0, bins)]; the elected committee is the *lightest* bin (ties to the
+    lowest index). Against a {e static} adversary the lightest bin keeps an
+    honest majority whp: the Byzantine nodes must choose their bins without
+    seeing the honest choices, and stuffing any single bin only makes it
+    heavier. Against the paper's {e adaptive rushing} adversary the same
+    election is worthless — the adversary watches the honest bin choices
+    land, then corrupts the members of the winning bin (it is small, so the
+    budget covers it). This asymmetry is exactly why Algorithm 3
+    predetermines its committees by ID and iterates over all of them
+    instead of electing one; experiment E16 measures both sides.
+
+    Modeled directly (one round, no protocol state worth simulating): the
+    adversary is granted its best play in each model. *)
+
+type result = {
+  winning_bin : int;
+  committee_size : int;
+  honest_members : int;
+  byzantine_members : int;  (** after corruption, in the adaptive model *)
+}
+
+(** [elect rng ~n ~t ~bins ~adaptive] — one election.
+
+    - [adaptive = false] (static): [t] pre-chosen Byzantine nodes all
+      announce bin 0 (their best static play is to stuff one bin — any
+      cleverness only spreads them thinner); the lightest bin is computed
+      over all announcements.
+    - [adaptive = true] (rushing adaptive): all [n] nodes announce honestly;
+      the adversary sees the announcements, lets the lightest bin win, and
+      then corrupts up to [t] of its members.
+
+    @raise Invalid_argument unless [0 < bins <= n] and [0 <= t < n]. *)
+val elect : Ba_prng.Rng.t -> n:int -> t:int -> bins:int -> adaptive:bool -> result
+
+(** [honest_majority_rate rng ~n ~t ~bins ~adaptive ~trials] — fraction of
+    elections whose elected committee retains an honest majority. *)
+val honest_majority_rate :
+  Ba_prng.Rng.t -> n:int -> t:int -> bins:int -> adaptive:bool -> trials:int -> float
+
+(** [default_bins n] — [max 2 (n / ⌈log2 n⌉)], giving expected committee
+    size [~log n]. *)
+val default_bins : int -> int

@@ -1,0 +1,21 @@
+open Ba_core
+
+type t = {
+  protocol : (Skeleton.state, Skeleton.msg) Ba_sim.Protocol.t;
+  config : Skeleton.config;
+  n : int;
+  t : int;
+}
+
+let make ~n ~t () =
+  if t < 0 then invalid_arg "Local_coin.make: t < 0";
+  if n < (3 * t) + 1 then invalid_arg "Local_coin.make: need n >= 3t + 1";
+  let config =
+    { Skeleton.cfg_name = "local-coin";
+      cfg_phases = 1;
+      cfg_coin = Skeleton.Private;
+      cfg_cycle = true;
+      cfg_coin_round = `Piggyback;
+      cfg_termination = `Extra_phase }
+  in
+  { protocol = Skeleton.make config; config; n; t }

@@ -1,0 +1,19 @@
+(** Ben-Or-style local-coin agreement: the skeleton with each undecided node
+    flipping its own private coin in case 3.
+
+    No coordination at all: a phase is good only when every case-3 node
+    happens to flip the phase's assigned value, which has probability
+    [2^{-k}] for [k] undecided nodes — the classic exponential expected
+    time of local-coin protocols, shown here as the "why shared coins
+    matter" baseline. Run in Las Vegas mode with a generous engine cap and
+    only at small [n]. *)
+
+type t = {
+  protocol : (Ba_core.Skeleton.state, Ba_core.Skeleton.msg) Ba_sim.Protocol.t;
+  config : Ba_core.Skeleton.config;
+  n : int;
+  t : int;
+}
+
+(** [make ~n ~t ()] — always Las Vegas (cycling). *)
+val make : n:int -> t:int -> unit -> t

@@ -1,0 +1,76 @@
+type msg = { pk_phase : int; pk_king : bool; pk_val : int }
+
+type state = {
+  v : int;
+  maj : int;
+  mult : int;
+  halted : bool;
+  output : int option;
+  phase : int;
+}
+
+let phase_of_round round = (((round - 1) / 2) + 1, if (round - 1) mod 2 = 0 then `Value else `King)
+
+let king_of_phase ~n ~phase = (phase - 1) mod n
+
+let protocol : (state, msg) Ba_sim.Protocol.t =
+  { Ba_sim.Protocol.name = "phase-king";
+    init =
+      (fun _ctx ~input ->
+        { v = input; maj = input; mult = 0; halted = false; output = None; phase = 0 });
+    send =
+      (fun ctx st ~round ->
+        let phase, sub = phase_of_round round in
+        match sub with
+        | `Value -> Some { pk_phase = phase; pk_king = false; pk_val = st.v }
+        | `King ->
+            if ctx.Ba_sim.Protocol.me = king_of_phase ~n:ctx.Ba_sim.Protocol.n ~phase then
+              Some { pk_phase = phase; pk_king = true; pk_val = st.maj }
+            else None);
+    recv =
+      (fun ctx st ~round ~inbox ->
+        let n = ctx.Ba_sim.Protocol.n and t = ctx.Ba_sim.Protocol.t in
+        let phase, sub = phase_of_round round in
+        let st = { st with phase } in
+        match sub with
+        | `Value ->
+            let counts = [| 0; 0 |] in
+            Array.iter
+              (fun m ->
+                match m with
+                | Some { pk_phase; pk_king = false; pk_val }
+                  when pk_phase = phase && (pk_val = 0 || pk_val = 1) ->
+                    counts.(pk_val) <- counts.(pk_val) + 1
+                | Some _ | None -> ())
+              inbox;
+            let maj = if counts.(1) >= counts.(0) then 1 else 0 in
+            { st with maj; mult = counts.(maj) }
+        | `King ->
+            let king = king_of_phase ~n ~phase in
+            let king_val =
+              match inbox.(king) with
+              | Some { pk_phase; pk_king = true; pk_val }
+                when pk_phase = phase && (pk_val = 0 || pk_val = 1) ->
+                  pk_val
+              | Some _ | None -> 0 (* default for a silent or garbled king *)
+            in
+            let v = if 2 * st.mult > n + (2 * t) then st.maj else king_val in
+            if phase >= t + 1 then { st with v; halted = true; output = Some v }
+            else { st with v });
+    output = (fun st -> st.output);
+    halted = (fun st -> st.halted);
+    msg_bits = (fun m -> 3 + (let rec il acc x = if x <= 1 then acc else il (acc + 1) (x / 2) in
+                              il 0 (m.pk_phase + 2)));
+    inspect =
+      (fun st ->
+        Some
+          { Ba_sim.Protocol.nv_phase = st.phase;
+            nv_val = st.v;
+            nv_decided = st.output <> None;
+            nv_finished = st.halted }) }
+
+let make ~n ~t =
+  if n <= 4 * t then invalid_arg "Phase_king.make: this variant needs n > 4t";
+  protocol
+
+let rounds ~t = 2 * (t + 1)

@@ -1,0 +1,27 @@
+(** Phase King (Berman–Garay–Perry 1989), constant-size-message variant.
+
+    The deterministic [O(t)]-round baseline: [t + 1] phases of two rounds.
+    In round 1 every node broadcasts its value and computes the majority
+    value and its multiplicity; in round 2 the phase's king (node [k-1] in
+    phase [k]) broadcasts its majority as a tiebreaker, and every node with
+    a weak majority (multiplicity [≤ n/2 + t]) adopts the king's value.
+    Once some phase has an honest king, all honest nodes agree and
+    persistence keeps them agreed.
+
+    This simple variant requires [n > 4t] (the [n > 3t] phase-king needs
+    larger messages); {!make} enforces that. Together with the [t+1]-round
+    lower bound for deterministic protocols it anchors the deterministic
+    rung of the baseline ladder (experiment E10). *)
+
+type msg = { pk_phase : int; pk_king : bool; pk_val : int }
+
+type state
+
+val protocol : (state, msg) Ba_sim.Protocol.t
+
+(** [make ~n ~t] checks [n > 4t] and returns {!protocol} (shape kept
+    uniform with the other baselines). *)
+val make : n:int -> t:int -> (state, msg) Ba_sim.Protocol.t
+
+(** [rounds ~t] — exactly [2 (t + 1)] rounds. *)
+val rounds : t:int -> int

@@ -1,0 +1,23 @@
+(** Rabin (1983): Byzantine agreement with a trusted-dealer shared coin.
+
+    The reference point both Chor–Coan and the paper build on: with a
+    perfect common coin revealed once per phase, each phase is good with
+    probability at least 1/2, so agreement is reached in [O(1)] expected
+    phases and [O(log n)] phases whp. The dealer is simulated by a shared
+    memoized stream of coin bits derived from [dealer_seed]; the bit for
+    phase [i] is first computed when some node reaches phase [i]'s coin
+    case, which matches the model's "revealed at use time" semantics (the
+    adversary tools never peek at it before then). *)
+
+type t = {
+  protocol : (Ba_core.Skeleton.state, Ba_core.Skeleton.msg) Ba_sim.Protocol.t;
+  config : Ba_core.Skeleton.config;
+  n : int;
+  t : int;
+}
+
+(** [make ?gamma ?cycle ~n ~t ~dealer_seed ()] — phase cap [⌈γ log2 n⌉]
+    (default [γ = 4]). *)
+val make : ?gamma:float -> ?cycle:bool -> n:int -> t:int -> dealer_seed:int64 -> unit -> t
+
+val round_bound : t -> int

@@ -1,0 +1,1 @@
+lib/core/agreement.ml: Ba_sim Committee Params Skeleton

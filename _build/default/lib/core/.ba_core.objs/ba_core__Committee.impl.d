@@ -1,0 +1,1 @@
+lib/core/committee.ml: Array Stdlib

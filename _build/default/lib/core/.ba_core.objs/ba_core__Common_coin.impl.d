@@ -1,0 +1,1 @@
+lib/core/common_coin.ml: Array Ba_prng Ba_sim Int64

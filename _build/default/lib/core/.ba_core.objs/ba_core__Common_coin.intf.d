@@ -1,0 +1,1 @@
+lib/core/common_coin.mli: Ba_prng Ba_sim

@@ -1,0 +1,1 @@
+lib/core/las_vegas.ml: Agreement Ba_sim Committee Params Skeleton

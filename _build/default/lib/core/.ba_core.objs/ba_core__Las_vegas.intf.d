@@ -1,0 +1,1 @@
+lib/core/las_vegas.mli: Ba_sim Committee Skeleton

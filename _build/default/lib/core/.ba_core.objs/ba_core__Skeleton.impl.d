@@ -1,0 +1,1 @@
+lib/core/skeleton.ml: Array Ba_prng Ba_sim

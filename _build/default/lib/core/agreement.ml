@@ -1,0 +1,37 @@
+type t = {
+  protocol : (Skeleton.state, Skeleton.msg) Ba_sim.Protocol.t;
+  committees : Committee.t;
+  config : Skeleton.config;
+  n : int;
+  t : int;
+}
+
+let validate ~n ~t =
+  if t < 0 then invalid_arg "Agreement.make: t < 0";
+  if n < (3 * t) + 1 then invalid_arg "Agreement.make: need n >= 3t + 1"
+
+let make ?(alpha = 2.0) ?(coin_round = `Piggyback) ?(termination = `Extra_phase) ~n ~t () =
+  validate ~n ~t;
+  let c = Params.committees ~alpha ~n ~t () in
+  let committees = Committee.make ~n ~c in
+  let designated ~phase v =
+    Committee.is_member committees (Committee.for_phase committees ~phase) v
+  in
+  let config =
+    { Skeleton.cfg_name = "algorithm3";
+      cfg_phases = c;
+      cfg_coin = Skeleton.Flippers designated;
+      cfg_cycle = false;
+      cfg_coin_round = coin_round;
+      cfg_termination = termination }
+  in
+  { protocol = Skeleton.make config; committees; config; n; t }
+
+let committee_of_phase inst ~phase = Committee.for_phase inst.committees ~phase
+
+let is_flipper inst ~phase v =
+  Committee.is_member inst.committees (committee_of_phase inst ~phase) v
+
+let round_bound inst =
+  (* c phases, plus one grace phase for finishers at the cap. *)
+  Skeleton.rounds_per_phase inst.config * (inst.config.Skeleton.cfg_phases + 2)

@@ -1,0 +1,27 @@
+type t = { n : int; c : int; s : int }
+
+let make ~n ~c =
+  if n <= 0 then invalid_arg "Committee.make: n <= 0";
+  if c <= 0 || c > n then invalid_arg "Committee.make: need 1 <= c <= n";
+  { n; c; s = Stdlib.max 1 (n / c) }
+
+let count t = t.c
+let size t = t.s
+
+let of_node t v =
+  if v < 0 || v >= t.n then invalid_arg "Committee.of_node: id out of range";
+  Stdlib.min (v / t.s) (t.c - 1)
+
+let is_member t i v = v >= 0 && v < t.n && of_node t v = i
+
+let actual_size t i =
+  if i < 0 || i >= t.c then invalid_arg "Committee.actual_size: index out of range";
+  if i < t.c - 1 then t.s else t.n - (t.s * (t.c - 1))
+
+let members t i =
+  let len = actual_size t i in
+  Array.init len (fun k -> (i * t.s) + k)
+
+let for_phase t ~phase =
+  if phase < 1 then invalid_arg "Committee.for_phase: phases are 1-based";
+  (phase - 1) mod t.c

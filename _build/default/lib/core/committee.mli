@@ -1,0 +1,32 @@
+(** ID-based committee partition (Algorithm 3, line 2).
+
+    Nodes with IDs in [\[0, s)] form committee 0, [\[s, 2s)] committee 1, and
+    so on; the last committee absorbs the remainder ("the last committee may
+    not be of size s, which we ignore ... due to minimal impact"). IDs are
+    common knowledge, so the partition needs no communication. *)
+
+type t
+
+(** [make ~n ~c] partitions [n] nodes into [c] committees ([1 <= c <= n]). *)
+val make : n:int -> c:int -> t
+
+val count : t -> int
+
+(** [size t] is the nominal committee size [s = n/c]. *)
+val size : t -> int
+
+(** [of_node t v] is the committee index of node [v] in [\[0, count)]. *)
+val of_node : t -> int -> int
+
+(** [members t i] is the sorted array of node IDs in committee [i]. *)
+val members : t -> int -> int array
+
+(** [is_member t i v] — constant-time membership test. *)
+val is_member : t -> int -> int -> bool
+
+(** [actual_size t i] is [Array.length (members t i)]. *)
+val actual_size : t -> int -> int
+
+(** [for_phase t ~phase] is the committee index used in 1-based [phase]:
+    committee [(phase - 1) mod count] (the Las Vegas variant cycles). *)
+val for_phase : t -> phase:int -> int

@@ -1,0 +1,97 @@
+type msg = Flip of int
+
+type state = {
+  designated : int -> bool;
+  coin : int option;  (** decided coin bit *)
+  halted : bool;
+}
+
+let valid_flip = function Flip f -> if f = 1 || f = -1 then Some f else None
+
+let make_protocol ~name ~designated : (state, msg) Ba_sim.Protocol.t =
+  { Ba_sim.Protocol.name;
+    init = (fun _ctx ~input:_ -> { designated; coin = None; halted = false });
+    send =
+      (fun ctx st ~round:_ ->
+        if st.designated ctx.me then Some (Flip (Ba_prng.Rng.sign ctx.rng)) else None);
+    recv =
+      (fun _ctx st ~round:_ ~inbox ->
+        let sum = ref 0 in
+        Array.iteri
+          (fun v m ->
+            if st.designated v then
+              match m with
+              | Some m -> ( match valid_flip m with Some f -> sum := !sum + f | None -> ())
+              | None -> ())
+          inbox;
+        { st with coin = Some (if !sum >= 0 then 1 else 0); halted = true });
+    output = (fun st -> st.coin);
+    halted = (fun st -> st.halted);
+    msg_bits = (fun (Flip _) -> 2);
+    inspect = (fun _ -> None) }
+
+let algorithm2 ~designated = make_protocol ~name:"common-coin-designated" ~designated
+
+let algorithm1 = make_protocol ~name:"common-coin-all" ~designated:(fun _ -> true)
+
+let popcount64 x =
+  (* SWAR population count. *)
+  let x = Int64.sub x Int64.(logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    Int64.add
+      Int64.(logand x 0x3333333333333333L)
+      Int64.(logand (shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = Int64.(logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL) in
+  Int64.to_int Int64.(shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let honest_sum rng ~flippers =
+  (* Sum of [flippers] independent ±1: draw fair bits 64 at a time and count
+     heads, so large committees cost O(flippers / 64). *)
+  if flippers < 0 then invalid_arg "Common_coin.honest_sum: flippers < 0";
+  let heads = ref 0 in
+  let full = flippers / 64 and rem = flippers mod 64 in
+  for _ = 1 to full do
+    heads := !heads + popcount64 (Ba_prng.Rng.bits64 rng)
+  done;
+  if rem > 0 then begin
+    let mask = Int64.sub (Int64.shift_left 1L rem) 1L in
+    heads := !heads + popcount64 (Int64.logand (Ba_prng.Rng.bits64 rng) mask)
+  end;
+  (2 * !heads) - flippers
+
+let commons ~flippers ~sum ~budget =
+  (* Adaptive rushing corruption of j majority-side flippers removes j
+     majority flips and grants j equivocation slots, so receiver sums span
+     [sum - 2j, sum] (for sum >= 0; mirrored below). The split needs some
+     receiver < 0 and some >= 0 under the "sum >= 0 -> 1" tie rule. *)
+  if budget < 0 then invalid_arg "Common_coin.commons: budget < 0";
+  if abs sum > flippers then invalid_arg "Common_coin.commons: |sum| > flippers";
+  if sum >= 0 then begin
+    let j_needed = (sum / 2) + 1 in
+    let majority = (flippers + sum) / 2 in
+    if j_needed <= min budget majority then None else Some 1
+  end
+  else begin
+    let j_needed = (-sum + 1) / 2 in
+    let majority = (flippers - sum) / 2 in
+    if j_needed <= min budget majority then None else Some 0
+  end
+
+let success_probability rng ~flippers ~budget ~trials =
+  if trials <= 0 then invalid_arg "Common_coin.success_probability: trials <= 0";
+  let common = ref 0 and ones = ref 0 in
+  for _ = 1 to trials do
+    let x = honest_sum rng ~flippers in
+    match commons ~flippers ~sum:x ~budget with
+    | Some 1 ->
+        incr common;
+        incr ones
+    | Some _ -> incr common
+    | None -> ()
+  done;
+  let p_common = float_of_int !common /. float_of_int trials in
+  let p_one = if !common = 0 then nan else float_of_int !ones /. float_of_int !common in
+  (p_common, p_one)
+
+let paley_zygmund_bound = 1. /. 12.

@@ -1,0 +1,62 @@
+(** The paper's common-coin protocols (Algorithms 1 and 2).
+
+    One communication round: designated nodes draw a uniform value in
+    [{-1, +1}] and broadcast it; every node sums the (validated) values
+    received from designated senders — including its own, delivered by the
+    engine's self-loop — and outputs bit 1 when the sum is non-negative,
+    bit 0 otherwise.
+
+    Theorem 3 / Corollary 1: with [k] designated nodes of which at most
+    [√k / 2] are Byzantine, this implements a common coin (Definition 2) —
+    all honest nodes output the same bit with constant probability, and
+    conditioned on that the bit is bounded away from 0 and 1.
+
+    Also provided: a closed-form Monte-Carlo model used for large sweeps —
+    against the *strongest possible* rushing adaptive adversary the coin is
+    common exactly when the pre-corruption sum [X] of all designated flips
+    clears twice the corruption budget: corrupting a majority-side flipper
+    after seeing the flips both removes its contribution and adds an
+    equivocation slot, shifting a receiver's reachable sum by 2 per
+    corruption. (This is why Theorem 3 budgets [√n/2] corruptions against a
+    [~√n]-wide sum.) *)
+
+type msg = Flip of int
+
+type state
+
+(** [algorithm2 ~designated] — the designated-flippers coin (Algorithm 2).
+    [designated v] says whether node [v] flips. The protocol ignores flips
+    from non-designated senders and non-[±1] values. The node's agreement
+    [input] is ignored; the output is the coin bit. *)
+val algorithm2 : designated:(int -> bool) -> (state, msg) Ba_sim.Protocol.t
+
+(** [algorithm1] — every node flips (Algorithm 1 = Algorithm 2 with
+    [V_d = V]). *)
+val algorithm1 : (state, msg) Ba_sim.Protocol.t
+
+(** {1 Closed-form model} *)
+
+(** [honest_sum rng ~flippers] draws the sum of [flippers] independent
+    uniform [±1] flips. *)
+val honest_sum : Ba_prng.Rng.t -> flippers:int -> int
+
+(** [commons ~flippers ~sum ~budget] — [sum] is the pre-corruption total of
+    all [flippers] designated flips; [budget] is the adaptive corruption
+    allowance among them. Returns the worst-case outcome: [Some 1] if every
+    honest node outputs 1 no matter whom the adversary corrupts afterwards,
+    [Some 0] likewise for 0, [None] if the adversary can split the honest
+    nodes. Exact, including the tie rule (sum [>= 0] reads as 1) and the
+    majority-side availability cap. *)
+val commons : flippers:int -> sum:int -> budget:int -> int option
+
+(** [success_probability rng ~flippers ~budget ~trials] — Monte-Carlo
+    estimate of [Pr(Comm)] (Definition 2(A)) against the worst-case rushing
+    adaptive adversary corrupting up to [budget] of the [flippers]
+    designated nodes, plus the conditional frequency of bit 1
+    (Definition 2(B)). Returns [(p_common, p_one_given_common)]. *)
+val success_probability :
+  Ba_prng.Rng.t -> flippers:int -> budget:int -> trials:int -> float * float
+
+(** [paley_zygmund_bound] — the paper's analytic lower bound [1/12] on each
+    one-sided event (sum beyond [±√n/2]), hence [Pr(Comm) ≥ 1/6]. *)
+val paley_zygmund_bound : float

@@ -1,0 +1,20 @@
+type t = {
+  protocol : (Skeleton.state, Skeleton.msg) Ba_sim.Protocol.t;
+  committees : Committee.t;
+  config : Skeleton.config;
+  n : int;
+  t : int;
+}
+
+let make ?(alpha = 2.0) ~n ~t () =
+  let base = Agreement.make ~alpha ~n ~t () in
+  let config =
+    { base.Agreement.config with Skeleton.cfg_name = "algorithm3-las-vegas"; cfg_cycle = true }
+  in
+  { protocol = Skeleton.make config;
+    committees = base.Agreement.committees;
+    config;
+    n;
+    t }
+
+let expected_round_bound inst = 4. *. Params.rounds_ours ~n:inst.n ~t:inst.t

@@ -1,0 +1,23 @@
+(** The Las Vegas variant (Section 3.2, final remark).
+
+    Identical to Algorithm 3 but the phase loop never stops: once the [c]-th
+    committee has flipped, the schedule starts over from committee 1. Early
+    termination (the finish mechanism) is then the only way to stop, so
+    agreement is always reached, in [O(min{t²log n/n, t/log n})] *expected*
+    rounds. The engine's [max_rounds] is a safety net, not part of the
+    protocol. *)
+
+type t = {
+  protocol : (Skeleton.state, Skeleton.msg) Ba_sim.Protocol.t;
+  committees : Committee.t;
+  config : Skeleton.config;
+  n : int;
+  t : int;
+}
+
+(** [make ?alpha ~n ~t ()] — same parameters as {!Agreement.make}. *)
+val make : ?alpha:float -> n:int -> t:int -> unit -> t
+
+(** [expected_round_bound inst] — the Theorem 2 expected-rounds shape, used
+    to size the engine cap in experiments. *)
+val expected_round_bound : t -> float

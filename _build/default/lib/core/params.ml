@@ -1,0 +1,47 @@
+let log2 x = log x /. log 2.
+
+let log2n n = Float.max 1.0 (log2 (float_of_int n))
+
+let max_tolerated n = ((n + 2) / 3) - 1
+
+type regime = Small_t | Large_t
+
+let clamp lo hi x = Stdlib.max lo (Stdlib.min hi x)
+
+let committees ?(alpha = 2.0) ~n ~t () =
+  if n <= 0 then invalid_arg "Params.committees: n <= 0";
+  if t < 0 then invalid_arg "Params.committees: t < 0";
+  let ln = log2n n in
+  let tf = float_of_int t and nf = float_of_int n in
+  let c_small = alpha *. Float.of_int (int_of_float (ceil (tf *. tf /. nf))) *. ln in
+  let c_large = 3.0 *. alpha *. tf /. ln in
+  let c = Float.min c_small c_large in
+  clamp 1 n (int_of_float (ceil c))
+
+let committee_size ~n ~c =
+  if c <= 0 then invalid_arg "Params.committee_size: c <= 0";
+  Stdlib.max 1 (n / c)
+
+let regime ~n ~t =
+  let ln = log2n n in
+  let tf = float_of_int t and nf = float_of_int n in
+  if tf *. tf *. ln /. nf <= tf /. ln then Small_t else Large_t
+
+let rounds_ours ~n ~t =
+  let ln = log2n n in
+  let tf = float_of_int t and nf = float_of_int n in
+  1. +. Float.min (tf *. tf *. ln /. nf) (tf /. ln)
+
+let rounds_chor_coan ~n ~t =
+  let ln = log2n n in
+  1. +. (float_of_int t /. ln)
+
+let lower_bound_bjb ~n ~t =
+  let nf = float_of_int n in
+  float_of_int t /. sqrt (nf *. log2n n)
+
+let rounds_deterministic ~t = float_of_int (t + 1)
+
+let crossover_t n =
+  let ln = log2n n in
+  clamp 1 n (int_of_float (float_of_int n /. (ln *. ln)))

@@ -1,0 +1,49 @@
+(** Protocol parameters and theoretical bounds from the paper.
+
+    All logarithms are base 2. The committee count is the paper's
+    [c = min{α⌈t²/n⌉ log n, 3αt / log n}] (Algorithm 3, line 2), clamped to
+    [\[1, n\]] so that degenerate inputs ([t = 0], tiny [n]) stay
+    well-defined. *)
+
+(** [log2 x] for positive [x]; [log2n n] is [max 1.0 (log2 (float n))] — the
+    guarded form used in all committee/bound formulas. *)
+val log2 : float -> float
+
+val log2n : int -> float
+
+(** [max_tolerated n] is the optimal resilience [⌈n/3⌉ - 1], the largest [t]
+    with [t < n/3]. *)
+val max_tolerated : int -> int
+
+(** [committees ?alpha ~n ~t ()] is the committee count [c]. [alpha]
+    defaults to 2.0; the analysis wants [α - 4√α ≥ γ], large α trades rounds
+    for failure probability (exercised by the ablation experiment). *)
+val committees : ?alpha:float -> n:int -> t:int -> unit -> int
+
+(** [committee_size ~n ~c] is [s = n / c] (at least 1); the last committee
+    absorbs the remainder. *)
+val committee_size : n:int -> c:int -> int
+
+(** [regime ~n ~t] tells which term of the min is active. *)
+type regime = Small_t  (** [t²log n/n] term, i.e. [t ≲ n/log²n] *) | Large_t
+
+val regime : n:int -> t:int -> regime
+
+(** Theoretical round-complexity curves (constant-free shapes, used as
+    reference series in figures; not predictions of absolute values). *)
+
+(** [rounds_ours ~n ~t] is [min(t²·log n / n, t / log n)] (+1 to stay
+    positive). *)
+val rounds_ours : n:int -> t:int -> float
+
+(** [rounds_chor_coan ~n ~t] is [t / log n + 1]. *)
+val rounds_chor_coan : n:int -> t:int -> float
+
+(** [lower_bound_bjb ~n ~t] is Bar-Joseph & Ben-Or's [t / sqrt(n log n)]. *)
+val lower_bound_bjb : n:int -> t:int -> float
+
+(** [rounds_deterministic ~t] is the [t + 1] deterministic lower bound. *)
+val rounds_deterministic : t:int -> float
+
+(** [crossover_t n] is the [t ≈ n/log²n] boundary between the two regimes. *)
+val crossover_t : int -> int

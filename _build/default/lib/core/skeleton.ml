@@ -1,0 +1,189 @@
+type sub = R1 | R2 | RC
+
+type msg = {
+  m_phase : int;
+  m_sub : sub;
+  m_val : int;
+  m_decided : bool;
+  m_flip : int option;
+}
+
+type coin_spec =
+  | Flippers of (phase:int -> int -> bool)
+  | Dealer of (int -> int)
+  | Private
+
+type config = {
+  cfg_name : string;
+  cfg_phases : int;
+  cfg_coin : coin_spec;
+  cfg_cycle : bool;
+  cfg_coin_round : [ `Piggyback | `Extra ];
+  cfg_termination : [ `Extra_phase | `Literal ];
+}
+
+type state = {
+  val_ : int;
+  decided : bool;
+  finish_countdown : int option;
+      (* [Some k]: finished; keep broadcasting the frozen value for [k] more
+         recv steps, then halt. *)
+  awaiting_coin : bool;  (* `Extra` mode: case 3 hit in R2, resolve in RC *)
+  halted : bool;
+  output : int option;
+  phase : int;
+}
+
+let rounds_per_phase cfg = match cfg.cfg_coin_round with `Piggyback -> 2 | `Extra -> 3
+
+let phase_of_round cfg ~round =
+  if round < 1 then invalid_arg "Skeleton.phase_of_round: rounds are 1-based";
+  let rpp = rounds_per_phase cfg in
+  let phase = ((round - 1) / rpp) + 1 in
+  let sub = match (round - 1) mod rpp with 0 -> R1 | 1 -> R2 | _ -> RC in
+  (phase, sub)
+
+let state_val st = st.val_
+let state_decided st = st.decided
+let state_finished st = st.finish_countdown <> None || st.halted
+
+let ilog2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+  go 0 n
+
+let msg_bits m =
+  4 + ilog2 (m.m_phase + 2) + (match m.m_flip with Some _ -> 2 | None -> 0)
+
+(* The sub-round in which designated flippers attach their coin flips. *)
+let coin_sub cfg = match cfg.cfg_coin_round with `Piggyback -> R2 | `Extra -> RC
+
+let is_flipper cfg ~phase v =
+  match cfg.cfg_coin with Flippers pred -> pred ~phase v | Dealer _ | Private -> false
+
+(* Count round-1 votes / round-2 decided-votes for each bit value. Byzantine
+   senders can mislabel phase or sub, send non-binary values, or equivocate;
+   only well-formed messages of the current (phase, sub) count. *)
+let tally ~phase ~sub ~decided_only inbox =
+  let votes = [| 0; 0 |] in
+  Array.iter
+    (fun m ->
+      match m with
+      | Some m
+        when m.m_phase = phase && m.m_sub = sub
+             && (m.m_val = 0 || m.m_val = 1)
+             && ((not decided_only) || m.m_decided) ->
+          votes.(m.m_val) <- votes.(m.m_val) + 1
+      | Some _ | None -> ())
+    inbox;
+  votes
+
+let flip_sum cfg ~phase inbox =
+  let sum = ref 0 in
+  Array.iteri
+    (fun v m ->
+      if is_flipper cfg ~phase v then
+        match m with
+        | Some { m_phase; m_sub; m_flip = Some f; _ }
+          when m_phase = phase && m_sub = coin_sub cfg && (f = 1 || f = -1) ->
+            sum := !sum + f
+        | Some _ | None -> ())
+    inbox;
+  !sum
+
+let coin_value cfg ctx ~phase ~inbox =
+  match cfg.cfg_coin with
+  | Flippers _ -> if flip_sum cfg ~phase inbox >= 0 then 1 else 0
+  | Dealer dealer -> dealer phase land 1
+  | Private -> if Ba_prng.Rng.bool ctx.Ba_sim.Protocol.rng then 1 else 0
+
+let make cfg : (state, msg) Ba_sim.Protocol.t =
+  if cfg.cfg_phases < 1 then invalid_arg "Skeleton.make: need at least one phase";
+  let rpp = rounds_per_phase cfg in
+  let init _ctx ~input =
+    { val_ = input;
+      decided = false;
+      finish_countdown = None;
+      awaiting_coin = false;
+      halted = false;
+      output = None;
+      phase = 0 }
+  in
+  let send ctx st ~round =
+    let phase, sub = phase_of_round cfg ~round in
+    let flip =
+      if sub = coin_sub cfg && is_flipper cfg ~phase ctx.Ba_sim.Protocol.me then
+        Some (Ba_prng.Rng.sign ctx.Ba_sim.Protocol.rng)
+      else None
+    in
+    Some { m_phase = phase; m_sub = sub; m_val = st.val_; m_decided = st.decided; m_flip = flip }
+  in
+  let finish_steps =
+    match cfg.cfg_termination with
+    | `Extra_phase -> (
+        (* Recv steps left after finishing in R2 of phase f such that the
+           node participates through the end of phase f+1: the rest of
+           phase f plus all of phase f+1. *)
+        match cfg.cfg_coin_round with `Piggyback -> rpp | `Extra -> rpp + 1)
+    | `Literal ->
+        (* The paper's line 8-10 read literally: broadcast in round 1 of
+           the next phase, then return. *)
+        1
+  in
+  let end_of_phase sub = match cfg.cfg_coin_round with `Piggyback -> sub = R2 | `Extra -> sub = RC
+  in
+  let recv ctx st ~round ~inbox =
+    let n = ctx.Ba_sim.Protocol.n and t = ctx.Ba_sim.Protocol.t in
+    let phase, sub = phase_of_round cfg ~round in
+    let st = { st with phase } in
+    match st.finish_countdown with
+    | Some k ->
+        if k <= 1 then { st with halted = true; output = Some st.val_; finish_countdown = Some 0 }
+        else { st with finish_countdown = Some (k - 1) }
+    | None -> (
+        let st =
+          match sub with
+          | R1 ->
+              let votes = tally ~phase ~sub:R1 ~decided_only:false inbox in
+              if votes.(0) >= n - t then { st with val_ = 0; decided = true }
+              else if votes.(1) >= n - t then { st with val_ = 1; decided = true }
+              else { st with decided = false }
+          | R2 ->
+              let dvotes = tally ~phase ~sub:R2 ~decided_only:true inbox in
+              let case1 b = dvotes.(b) >= n - t and case2 b = dvotes.(b) >= t + 1 in
+              if case1 0 || case1 1 then begin
+                let b = if case1 0 then 0 else 1 in
+                { st with val_ = b; decided = true; finish_countdown = Some finish_steps }
+              end
+              else if case2 0 || case2 1 then begin
+                let b = if case2 0 then 0 else 1 in
+                { st with val_ = b; decided = true }
+              end
+              else if cfg.cfg_coin_round = `Extra && (match cfg.cfg_coin with Flippers _ -> true | _ -> false)
+              then { st with awaiting_coin = true; decided = false }
+              else { st with val_ = coin_value cfg ctx ~phase ~inbox; decided = false }
+          | RC ->
+              if st.awaiting_coin then
+                { st with val_ = coin_value cfg ctx ~phase ~inbox; awaiting_coin = false }
+              else st
+        in
+        (* Line 32: return val after the last phase (unless Las Vegas). *)
+        if
+          (not cfg.cfg_cycle) && phase >= cfg.cfg_phases && end_of_phase sub
+          && st.finish_countdown = None
+        then { st with halted = true; output = Some st.val_ }
+        else st)
+  in
+  { Ba_sim.Protocol.name = cfg.cfg_name;
+    init;
+    send;
+    recv;
+    output = (fun st -> st.output);
+    halted = (fun st -> st.halted);
+    msg_bits;
+    inspect =
+      (fun st ->
+        Some
+          { Ba_sim.Protocol.nv_phase = st.phase;
+            nv_val = st.val_;
+            nv_decided = st.decided;
+            nv_finished = state_finished st }) }

@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Array Ba_adversary Ba_async Ba_baselines Ba_core Ba_harness Ba_prng Ba_sim Ba_stats Ba_trace Fast_model Format Hashtbl Int64 List Printf Setups String

@@ -1,0 +1,1 @@
+lib/experiments/fast_model.ml: Array Ba_core

@@ -1,0 +1,1 @@
+lib/experiments/fast_model.mli: Ba_core Ba_prng

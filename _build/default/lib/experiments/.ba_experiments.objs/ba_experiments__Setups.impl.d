@@ -1,0 +1,1 @@
+lib/experiments/setups.ml: Array Ba_adversary Ba_baselines Ba_core Ba_prng Ba_sim Int64 Option Printf String

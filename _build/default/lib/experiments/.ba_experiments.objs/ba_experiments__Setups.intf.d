@@ -1,0 +1,1 @@
+lib/experiments/setups.mli: Ba_sim

@@ -1,0 +1,95 @@
+(** The paper's claims as runnable experiments (E1–E17 in DESIGN.md).
+
+    The paper is a theory result with no empirical tables, so each
+    experiment regenerates a stated claim: the common-coin guarantees
+    (Theorem 3 / Corollary 1), the round-complexity shape and regime
+    crossover of Theorem 2, early termination, message complexity, the Las
+    Vegas variant, the baseline ladder against Chor–Coan / Rabin /
+    deterministic protocols, and the design-choice ablations.
+
+    Every function returns a {!report} whose [body] is a rendered table
+    and/or ASCII figure; the [summary] line states the paper-vs-measured
+    verdict that EXPERIMENTS.md records. All experiments are deterministic
+    in [seed]. [quick] shrinks sizes/trials by roughly 4x. *)
+
+type report = {
+  id : string;
+  title : string;
+  summary : string;
+  body : string;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** E1 — Theorem 3: Algorithm 1 is a common coin up to [√n/2] Byzantine
+    nodes. Closed-form Monte-Carlo across sizes plus an engine cross-check
+    against the rushing splitter adversary. *)
+val e1_coin_theorem3 : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E2 — Corollary 1: designated-committee coin, [k] flippers, [√k/2]
+    Byzantine. *)
+val e2_coin_corollary1 : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E3 — Theorem 2 shape: measured rounds of Algorithm 3 (Las Vegas form)
+    vs [t] under the committee-killer, with the log–log fitted exponent in
+    the [t ≥ √n] regime compared to the predicted quadratic. *)
+val e3_rounds_vs_t : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E4 — Algorithm 3 vs Chor–Coan across [t]: who wins where, and the
+    crossover near [t ≈ n/log²n]. Includes the figure. *)
+val e4_crossover : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E5 — early termination: protocol provisioned for [t], adversary capped
+    at [q < t]; rounds must track [q], not [t]. *)
+val e5_early_termination : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E6 — validity under every adversary, both unanimous inputs, all
+    protocols; also aggregates agreement across all trials (E7). *)
+val e6_validity_matrix : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E8 — message/bit complexity of Algorithm 3 vs Chor–Coan across [t]. *)
+val e8_message_complexity : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E9 — Las Vegas variant: round distribution under the committee-killer;
+    always terminates. *)
+val e9_las_vegas : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E10 — the baseline ladder: deterministic (phase-king, EIG) vs Chor–Coan
+    vs Algorithm 3 vs the Bar-Joseph–Ben-Or lower-bound curve. *)
+val e10_baseline_ladder : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E11a — α ablation: committee-count constant vs rounds and vs failure
+    rate of the fixed-phase (whp) variant. *)
+val e11_ablation_alpha : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E11b — coin piggybacking vs a separate coin round. *)
+val e11_ablation_coin_round : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E12 — contrast baseline: the sampling-majority dynamics from the
+    paper's related work; convergence degrades past the [√n] threshold. *)
+val e12_sampling_majority : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E13 — near-optimality: measured rounds vs the Bar-Joseph–Ben-Or lower
+    bound at [t = √n] across three orders of magnitude in [n]. *)
+val e13_bjb_gap : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E14 — fault-model ladder: the crash-only (Bar-Joseph–Ben-Or model)
+    committee killer vs the full Byzantine one. *)
+val e14_crash_vs_byzantine : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E15 — termination ablation: the paper-literal "broadcast once more"
+    stalls under the lone-finisher attack; the extra-phase realization
+    terminates. *)
+val e15_termination_ablation : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E16 — why committees are predetermined by ID: Feige's lightest-bin
+    election keeps honest majorities against a static adversary and
+    collapses against the adaptive rushing one. *)
+val e16_election_vs_adaptive : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E17 — the asynchronous contrast: classic async Ben-Or under an
+    adversarial scheduler vs synchronous Algorithm 3. *)
+val e17_async_contrast : ?quick:bool -> seed:int64 -> unit -> report
+
+(** [all ?quick ~seed ()] — every experiment, in order. *)
+val all : ?quick:bool -> seed:int64 -> unit -> report list

@@ -1,0 +1,37 @@
+(** Phase-level model of the worst-case runs: skeleton protocol with
+    committee coins vs the committee-killer adversary, simulated per phase
+    instead of per message.
+
+    Under split inputs and the killer adversary, the full engine run has a
+    simple exact structure: no round-1/round-2 threshold ever triggers (the
+    honest values stay near-balanced and silent Byzantine nodes add
+    nothing), so every phase reduces to one committee coin flip that the
+    killer either splits — corrupting the minimum number of majority-side
+    flippers, exactly {!Ba_adversary.Skeleton_adv.committee_killer}'s plan —
+    or fails to split, after which the common coin unifies the honest nodes
+    and the protocol terminates two phases later (rounds [= 2·i + 4] when
+    the coin survives in phase [i]).
+
+    This lets the scaling experiments reach [n = 65536], where the paper's
+    [t² log n / n] regime actually lives; the model is cross-validated
+    against the reference engine at small [n] (see test_fast_model and
+    experiment E3's validation columns). *)
+
+type result = {
+  phases : int;  (** phase in which the coin first survived *)
+  rounds : int;  (** engine rounds: [2 * phases + 4] *)
+  corruptions : int;  (** budget actually burned by the killer *)
+}
+
+(** [run rng ~committees ~budget] — generic loop over a cycling committee
+    schedule; [committees] gives the partition ([Ba_core.Committee.t]). *)
+val run : Ba_prng.Rng.t -> committees:Ba_core.Committee.t -> budget:int -> result
+
+(** [alg3 rng ?alpha ~n ~t ~budget ()] — Algorithm 3's committee schedule
+    (paper formula via {!Ba_core.Params.committees}); [budget <= t] is the
+    adversary's actual corruption allowance (Theorem 2's [q]). *)
+val alg3 : Ba_prng.Rng.t -> ?alpha:float -> n:int -> t:int -> budget:int -> unit -> result
+
+(** [chor_coan rng ?beta ~n ~t ~budget ()] — Chor–Coan's
+    groups-of-[⌈β log n⌉] schedule. *)
+val chor_coan : Ba_prng.Rng.t -> ?beta:float -> n:int -> t:int -> budget:int -> unit -> result

@@ -1,0 +1,235 @@
+type protocol_kind =
+  | Alg3 of { alpha : float; coin_round : [ `Piggyback | `Extra ] }
+  | Las_vegas of { alpha : float }
+  | Chor_coan
+  | Chor_coan_lv
+  | Rabin
+  | Local_coin
+  | Phase_king
+  | Eig
+
+type adversary_kind =
+  | Silent
+  | Static_crash
+  | Staggered_crash of int
+  | Committee_killer
+  | Crash_committee_killer
+  | Equivocator
+  | Lone_finisher of int
+  | Random_noise of float
+
+type input_pattern = Unanimous of int | Split | Near_threshold
+
+let protocol_name = function
+  | Alg3 { coin_round = `Piggyback; _ } -> "alg3"
+  | Alg3 { coin_round = `Extra; _ } -> "alg3-extra-round"
+  | Las_vegas _ -> "las-vegas"
+  | Chor_coan -> "chor-coan"
+  | Chor_coan_lv -> "chor-coan-lv"
+  | Rabin -> "rabin"
+  | Local_coin -> "local-coin"
+  | Phase_king -> "phase-king"
+  | Eig -> "eig"
+
+let adversary_name = function
+  | Silent -> "silent"
+  | Static_crash -> "static-crash"
+  | Staggered_crash k -> Printf.sprintf "staggered-crash-%d" k
+  | Committee_killer -> "committee-killer"
+  | Crash_committee_killer -> "crash-committee-killer"
+  | Equivocator -> "equivocator"
+  | Lone_finisher v -> Printf.sprintf "lone-finisher-%d" v
+  | Random_noise _ -> "random-noise"
+
+let inputs pattern ~n ~t =
+  match pattern with
+  | Unanimous b ->
+      if b <> 0 && b <> 1 then invalid_arg "Setups.inputs: unanimous value must be 0/1";
+      Array.make n b
+  | Split -> Array.init n (fun i -> i mod 2)
+  | Near_threshold ->
+      (* Majority-for-1 of size n - 2t + (t+1)/2: above the t+1 floor, below
+         the n-t ceiling, so round-1 decisions are adversary-controlled. *)
+      let ones = min (n - t - 1) (n - (2 * t) + ((t + 1) / 2)) in
+      Array.init n (fun i -> if i < ones then 1 else 0)
+
+let all_protocol_names =
+  [ "alg3"; "alg3-extra-round"; "las-vegas"; "chor-coan"; "chor-coan-lv"; "rabin";
+    "local-coin"; "phase-king"; "eig" ]
+
+let all_adversary_names =
+  [ "silent"; "static-crash"; "staggered-crash"; "committee-killer"; "crash-committee-killer";
+    "equivocator"; "lone-finisher"; "random-noise" ]
+
+let parse_protocol s =
+  match s with
+  | "alg3" -> Ok (Alg3 { alpha = 2.0; coin_round = `Piggyback })
+  | "alg3-extra-round" -> Ok (Alg3 { alpha = 2.0; coin_round = `Extra })
+  | "las-vegas" -> Ok (Las_vegas { alpha = 2.0 })
+  | "chor-coan" -> Ok Chor_coan
+  | "chor-coan-lv" -> Ok Chor_coan_lv
+  | "rabin" -> Ok Rabin
+  | "local-coin" -> Ok Local_coin
+  | "phase-king" -> Ok Phase_king
+  | "eig" -> Ok Eig
+  | _ -> Error (Printf.sprintf "unknown protocol %S; expected one of: %s" s
+                  (String.concat ", " all_protocol_names))
+
+let parse_adversary s =
+  match s with
+  | "silent" -> Ok Silent
+  | "static-crash" -> Ok Static_crash
+  | "staggered-crash" -> Ok (Staggered_crash 1)
+  | "committee-killer" -> Ok Committee_killer
+  | "crash-committee-killer" -> Ok Crash_committee_killer
+  | "equivocator" -> Ok Equivocator
+  | "lone-finisher" -> Ok (Lone_finisher 0)
+  | "random-noise" -> Ok (Random_noise 0.3)
+  | _ -> Error (Printf.sprintf "unknown adversary %S; expected one of: %s" s
+                  (String.concat ", " all_adversary_names))
+
+type run = {
+  run_protocol : string;
+  run_adversary : string;
+  rounds_per_phase : int option;
+  default_max_rounds : int;
+  exec :
+    ?max_rounds:int ->
+    ?congest_limit_bits:int ->
+    record:bool ->
+    inputs:int array ->
+    seed:int64 ->
+    unit ->
+    Ba_sim.Engine.outcome;
+}
+
+let adversary_rng seed = Ba_prng.Rng.create (Ba_prng.Splitmix64.mix (Int64.lognot seed))
+
+(* Generic (message-agnostic) adversaries, or None if the kind needs
+   skeleton messages. *)
+let generic_adversary kind ~seed : ('s, 'm) Ba_sim.Adversary.t option =
+  match kind with
+  | Silent -> Some Ba_adversary.Generic.silent
+  | Static_crash -> Some (Ba_adversary.Generic.static_crash ~rng:(adversary_rng seed))
+  | Staggered_crash k ->
+      Some (Ba_adversary.Generic.staggered_crash ~rng:(adversary_rng seed) ~per_round:k)
+  | Committee_killer | Crash_committee_killer | Equivocator | Lone_finisher _ | Random_noise _ ->
+      None
+
+let skeleton_adversary kind ~config ~designated ~seed :
+    (Ba_core.Skeleton.state, Ba_core.Skeleton.msg) Ba_sim.Adversary.t =
+  match generic_adversary kind ~seed with
+  | Some adv -> adv
+  | None -> (
+      match kind with
+      | Committee_killer -> Ba_adversary.Skeleton_adv.committee_killer ~config ~designated
+      | Crash_committee_killer ->
+          Ba_adversary.Skeleton_adv.crash_committee_killer ~config ~designated
+      | Equivocator -> Ba_adversary.Skeleton_adv.equivocator ~rng:(adversary_rng seed) ~config
+      | Lone_finisher target ->
+          Ba_adversary.Skeleton_adv.lone_finisher ~rng:(adversary_rng seed) ~config ~target
+      | Random_noise p ->
+          Ba_adversary.Skeleton_adv.random_noise ~rng:(adversary_rng seed) ~config
+            ~corrupt_prob:p
+      | Silent | Static_crash | Staggered_crash _ -> assert false)
+
+let skeleton_run ~protocol ~config ~designated ~adversary ~n ~t ~round_bound =
+  let rpp = Ba_core.Skeleton.rounds_per_phase config in
+  { run_protocol = protocol.Ba_sim.Protocol.name;
+    run_adversary = adversary_name adversary;
+    rounds_per_phase = Some rpp;
+    default_max_rounds = round_bound;
+    exec =
+      (fun ?max_rounds ?congest_limit_bits ~record ~inputs ~seed () ->
+        let max_rounds = Option.value max_rounds ~default:round_bound in
+        let adv = skeleton_adversary adversary ~config ~designated ~seed in
+        Ba_sim.Engine.run ~max_rounds ?congest_limit_bits ~record ~protocol ~adversary:adv ~n
+          ~t ~inputs ~seed ()) }
+
+let generic_run ~protocol ~adversary ~n ~t ~round_bound ~rounds_per_phase =
+  match generic_adversary adversary ~seed:0L with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Setups.make: adversary %s needs a skeleton-message protocol"
+           (adversary_name adversary))
+  | Some _ ->
+      { run_protocol = protocol.Ba_sim.Protocol.name;
+        run_adversary = adversary_name adversary;
+        rounds_per_phase;
+        default_max_rounds = round_bound;
+        exec =
+          (fun ?max_rounds ?congest_limit_bits ~record ~inputs ~seed () ->
+            let max_rounds = Option.value max_rounds ~default:round_bound in
+            let adv = Option.get (generic_adversary adversary ~seed) in
+            Ba_sim.Engine.run ~max_rounds ?congest_limit_bits ~record ~protocol ~adversary:adv
+              ~n ~t ~inputs ~seed ()) }
+
+let make ~protocol ~adversary ~n ~t =
+  match protocol with
+  | Alg3 { alpha; coin_round } ->
+      let inst = Ba_core.Agreement.make ~alpha ~coin_round ~n ~t () in
+      skeleton_run ~protocol:inst.protocol ~config:inst.config
+        ~designated:(fun ~phase v -> Ba_core.Agreement.is_flipper inst ~phase v)
+        ~adversary ~n ~t
+        ~round_bound:(Ba_core.Agreement.round_bound inst)
+  | Las_vegas { alpha } ->
+      let inst = Ba_core.Las_vegas.make ~alpha ~n ~t () in
+      let designated ~phase v =
+        Ba_core.Committee.is_member inst.committees
+          (Ba_core.Committee.for_phase inst.committees ~phase)
+          v
+      in
+      (* Las Vegas has no phase cap: give it a generous adversarial bound. *)
+      let round_bound =
+        64 + (8 * int_of_float (ceil (Ba_core.Las_vegas.expected_round_bound inst)))
+      in
+      skeleton_run ~protocol:inst.protocol ~config:inst.config ~designated ~adversary ~n ~t
+        ~round_bound
+  | Chor_coan | Chor_coan_lv ->
+      let cycle = protocol = Chor_coan_lv in
+      let inst = Ba_baselines.Chor_coan.make ~cycle ~n ~t () in
+      let round_bound =
+        let base = Ba_baselines.Chor_coan.round_bound inst in
+        if cycle then 64 + (8 * base) else base
+      in
+      skeleton_run ~protocol:inst.protocol ~config:inst.config
+        ~designated:(fun ~phase v -> Ba_baselines.Chor_coan.designated inst ~phase v)
+        ~adversary ~n ~t ~round_bound
+  | Rabin ->
+      (* Dealer seed must differ per run seed but be shared by all nodes:
+         a fresh instance is built inside exec. *)
+      let probe = Ba_baselines.Rabin.make ~n ~t ~dealer_seed:0L () in
+      let rpp = Ba_core.Skeleton.rounds_per_phase probe.config in
+      let round_bound = Ba_baselines.Rabin.round_bound probe in
+      { run_protocol = probe.protocol.Ba_sim.Protocol.name;
+        run_adversary = adversary_name adversary;
+        rounds_per_phase = Some rpp;
+        default_max_rounds = round_bound;
+        exec =
+          (fun ?max_rounds ?congest_limit_bits ~record ~inputs ~seed () ->
+            let dealer_seed = Ba_prng.Splitmix64.mix (Int64.add seed 0x5EEDL) in
+            let inst = Ba_baselines.Rabin.make ~n ~t ~dealer_seed () in
+            let max_rounds = Option.value max_rounds ~default:round_bound in
+            let adv =
+              skeleton_adversary adversary ~config:inst.config
+                ~designated:(fun ~phase:_ _ -> false)
+                ~seed
+            in
+            Ba_sim.Engine.run ~max_rounds ?congest_limit_bits ~record ~protocol:inst.protocol
+              ~adversary:adv ~n ~t ~inputs ~seed ()) }
+  | Local_coin ->
+      let inst = Ba_baselines.Local_coin.make ~n ~t () in
+      skeleton_run ~protocol:inst.protocol ~config:inst.config
+        ~designated:(fun ~phase:_ _ -> false)
+        ~adversary ~n ~t
+        ~round_bound:(Ba_sim.Protocol.default_round_cap ~n)
+  | Phase_king ->
+      let protocol = Ba_baselines.Phase_king.make ~n ~t in
+      generic_run ~protocol ~adversary ~n ~t
+        ~round_bound:(Ba_baselines.Phase_king.rounds ~t + 2)
+        ~rounds_per_phase:(Some 2)
+  | Eig ->
+      if n > 10 then invalid_arg "Setups.make: eig is exponential; use n <= 10";
+      generic_run ~protocol:Ba_baselines.Eig.protocol ~adversary ~n ~t
+        ~round_bound:(Ba_baselines.Eig.rounds ~t + 1)
+        ~rounds_per_phase:None

@@ -1,0 +1,69 @@
+(** Named protocol × adversary setups.
+
+    One constructor that pairs any protocol with any compatible adversary
+    and returns a uniform runner, so experiments, the CLI tools and the
+    examples never repeat the wiring. Protocol/adversary randomness is
+    derived deterministically from the run seed. *)
+
+type protocol_kind =
+  | Alg3 of { alpha : float; coin_round : [ `Piggyback | `Extra ] }
+      (** the paper's Algorithm 3 *)
+  | Las_vegas of { alpha : float }
+  | Chor_coan  (** fixed phase cap (whp variant) *)
+  | Chor_coan_lv  (** cycling (Las Vegas) variant *)
+  | Rabin
+  | Local_coin
+  | Phase_king
+  | Eig
+
+type adversary_kind =
+  | Silent
+  | Static_crash
+  | Staggered_crash of int  (** crashes per round *)
+  | Committee_killer
+  | Crash_committee_killer
+      (** crash-fault (Bar-Joseph–Ben-Or model) variant of the killer *)
+  | Equivocator
+  | Lone_finisher of int  (** target node *)
+  | Random_noise of float  (** per-round corruption probability *)
+
+type input_pattern = Unanimous of int | Split | Near_threshold
+    (** [Near_threshold]: the honest majority sits between [n-2t] and [n-t]
+        — the regime where the lone-finisher attack bites *)
+
+val protocol_name : protocol_kind -> string
+
+val adversary_name : adversary_kind -> string
+
+val inputs : input_pattern -> n:int -> t:int -> int array
+
+(** [parse_protocol s], [parse_adversary s] — CLI-facing parsers; [Error]
+    carries the list of valid names. *)
+val parse_protocol : string -> (protocol_kind, string) result
+
+val parse_adversary : string -> (adversary_kind, string) result
+
+val all_protocol_names : string list
+
+val all_adversary_names : string list
+
+type run = {
+  run_protocol : string;
+  run_adversary : string;
+  rounds_per_phase : int option;  (** for phase-structured protocols *)
+  default_max_rounds : int;
+  exec :
+    ?max_rounds:int ->
+    ?congest_limit_bits:int ->
+    record:bool ->
+    inputs:int array ->
+    seed:int64 ->
+    unit ->
+    Ba_sim.Engine.outcome;
+}
+
+(** [make ~protocol ~adversary ~n ~t] — builds the pair.
+    @raise Invalid_argument for incompatible pairs (the skeleton-message
+    adversaries against [Phase_king]/[Eig]) or out-of-range [n]/[t] (e.g.
+    [Phase_king] needs [n > 4t]). *)
+val make : protocol:protocol_kind -> adversary:adversary_kind -> n:int -> t:int -> run

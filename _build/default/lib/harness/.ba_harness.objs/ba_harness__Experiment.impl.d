@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Ba_prng Ba_sim Ba_stats Ba_trace Format Int64 List

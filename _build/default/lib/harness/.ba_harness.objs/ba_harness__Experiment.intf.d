@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Ba_sim Ba_stats Ba_trace

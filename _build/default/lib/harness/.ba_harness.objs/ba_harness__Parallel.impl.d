@@ -1,0 +1,1 @@
+lib/harness/parallel.ml: Ba_sim Ba_stats Ba_trace Domain Experiment Format List Option

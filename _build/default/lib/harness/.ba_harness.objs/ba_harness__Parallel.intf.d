@@ -1,0 +1,1 @@
+lib/harness/parallel.mli: Ba_sim Ba_trace Experiment

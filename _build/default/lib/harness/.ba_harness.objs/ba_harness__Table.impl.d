@@ -1,0 +1,1 @@
+lib/harness/table.ml: Array Ba_stats Buffer Float List Printf String

@@ -1,0 +1,76 @@
+type series = { label : string; glyph : char; points : (float * float) list }
+
+let finite x = Float.is_finite x
+
+let render ?(width = 72) ?(height = 20) ?(logx = false) ?(logy = false) ~title ~xlabel ~ylabel
+    series =
+  let keep (x, y) =
+    finite x && finite y && ((not logx) || x > 0.) && ((not logy) || y > 0.)
+  in
+  let tx x = if logx then log10 x else x in
+  let ty y = if logy then log10 y else y in
+  let all_points =
+    List.concat_map (fun s -> List.filter keep s.points) series
+    |> List.map (fun (x, y) -> (tx x, ty y))
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  if all_points = [] then begin
+    Buffer.add_string buf "(no plottable points)\n";
+    Buffer.contents buf
+  end
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let fmin = List.fold_left Float.min infinity and fmax = List.fold_left Float.max neg_infinity in
+    let x0 = fmin xs and x1 = fmax xs and y0 = fmin ys and y1 = fmax ys in
+    let pad v0 v1 = if v1 -. v0 < 1e-9 then (v0 -. 1., v1 +. 1.) else (v0, v1) in
+    let x0, x1 = pad x0 x1 and y0, y1 = pad y0 y1 in
+    let grid = Array.make_matrix height width ' ' in
+    let plot_series s =
+      List.iter
+        (fun p ->
+          if keep p then begin
+            let px, py = (tx (fst p), ty (snd p)) in
+            let col =
+              int_of_float (Float.round ((px -. x0) /. (x1 -. x0) *. float_of_int (width - 1)))
+            in
+            let row =
+              int_of_float (Float.round ((py -. y0) /. (y1 -. y0) *. float_of_int (height - 1)))
+            in
+            let row = height - 1 - row in
+            if row >= 0 && row < height && col >= 0 && col < width then begin
+              let cell = grid.(row).(col) in
+              grid.(row).(col) <- (if cell = ' ' || cell = s.glyph then s.glyph else '*')
+            end
+          end)
+        s.points
+    in
+    List.iter plot_series series;
+    let unscale_y v = if logy then 10. ** v else v in
+    let unscale_x v = if logx then 10. ** v else v in
+    let ylab row =
+      let frac = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+      unscale_y (y0 +. (frac *. (y1 -. y0)))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s\n" ylabel (if logy then " (log)" else ""));
+    for row = 0 to height - 1 do
+      let label =
+        if row = 0 || row = height - 1 || row = height / 2 then
+          Printf.sprintf "%10.2f |" (ylab row)
+        else Printf.sprintf "%10s |" ""
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (fun c -> grid.(row).(c)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %-12.2f%*s%.2f\n" "" (unscale_x x0) (width - 14) "" (unscale_x x1));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %s%s\n" "" xlabel (if logx then " (log)" else ""));
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf "%10s  [%c] %s\n" "" s.glyph s.label))
+      series;
+    Buffer.contents buf
+  end

@@ -1,0 +1,25 @@
+(** ASCII scatter/line plots — the "figures" of the reproduction.
+
+    Renders one or more series on a shared pair of axes, optionally
+    log-scaled, with a legend. Good enough to eyeball scaling exponents and
+    crossovers in a terminal or a CI log. *)
+
+type series = {
+  label : string;
+  glyph : char;
+  points : (float * float) list;
+}
+
+(** [render ?width ?height ?logx ?logy ~title ~xlabel ~ylabel series] —
+    non-finite and (on log axes) non-positive points are dropped; an empty
+    plot renders a note instead of raising. *)
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?logx:bool ->
+  ?logy:bool ->
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  series list ->
+  string

@@ -1,0 +1,70 @@
+type stats = {
+  trials : int;
+  rounds : Ba_stats.Summary.t;
+  phases : Ba_stats.Summary.t;
+  messages : Ba_stats.Summary.t;
+  bits : Ba_stats.Summary.t;
+  corruptions : Ba_stats.Summary.t;
+  agreement_failures : int;
+  validity_failures : int;
+  incomplete : int;
+  violations : Ba_trace.Checker.violation list;
+}
+
+let trial_seed ~seed ~trial =
+  Ba_prng.Splitmix64.mix (Int64.add seed (Int64.of_int (0x9E37 + (trial * 2654435769))))
+
+let max_kept_violations = 32
+
+let monte_carlo ?rounds_per_phase ?check ?(fail_fast = true) ~trials ~seed ~run () =
+  if trials <= 0 then invalid_arg "Experiment.monte_carlo: trials <= 0";
+  let check =
+    match check with
+    | Some f -> f
+    | None -> Ba_trace.Checker.standard ?rounds_per_phase
+  in
+  let rounds = Ba_stats.Summary.create ()
+  and phases = Ba_stats.Summary.create ()
+  and messages = Ba_stats.Summary.create ()
+  and bits = Ba_stats.Summary.create ()
+  and corruptions = Ba_stats.Summary.create () in
+  let agreement_failures = ref 0 and validity_failures = ref 0 and incomplete = ref 0 in
+  let violations = ref [] and violation_count = ref 0 in
+  for trial = 0 to trials - 1 do
+    let o = run ~seed:(trial_seed ~seed ~trial) ~trial in
+    Ba_stats.Summary.add_int rounds o.Ba_sim.Engine.rounds;
+    (match rounds_per_phase with
+    | Some rpp when rpp > 0 ->
+        Ba_stats.Summary.add phases (float_of_int o.rounds /. float_of_int rpp)
+    | Some _ | None -> ());
+    Ba_stats.Summary.add_int messages (Ba_sim.Metrics.messages o.metrics);
+    Ba_stats.Summary.add_int bits (Ba_sim.Metrics.bits o.metrics);
+    Ba_stats.Summary.add_int corruptions o.corruptions_used;
+    if not (Ba_sim.Engine.agreement_holds o) then incr agreement_failures;
+    if not (Ba_sim.Engine.validity_holds o) then incr validity_failures;
+    if not o.completed then incr incomplete;
+    let vs = check o in
+    if vs <> [] then begin
+      incr violation_count;
+      if List.length !violations < max_kept_violations then violations := vs @ !violations;
+      if fail_fast then
+        failwith
+          (Format.asprintf "experiment trial %d (seed %Ld): %a" trial
+             (trial_seed ~seed ~trial)
+             (Format.pp_print_list ~pp_sep:Format.pp_print_space
+                Ba_trace.Checker.pp_violation)
+             vs)
+    end
+  done;
+  { trials;
+    rounds;
+    phases;
+    messages;
+    bits;
+    corruptions;
+    agreement_failures = !agreement_failures;
+    validity_failures = !validity_failures;
+    incomplete = !incomplete;
+    violations = !violations }
+
+let sweep xs f = List.map (fun x -> (x, f x)) xs

@@ -1,0 +1,44 @@
+(** Monte-Carlo experiment runner.
+
+    Wraps repeated engine runs with: per-trial seeds derived from one master
+    seed (reproducibility), invariant checking on every trial (a violation
+    is recorded, and by default aborts the experiment loudly), and summary
+    aggregation of the measurements the paper's claims are about. *)
+
+type stats = {
+  trials : int;
+  rounds : Ba_stats.Summary.t;
+  phases : Ba_stats.Summary.t;  (** rounds / rounds_per_phase when given *)
+  messages : Ba_stats.Summary.t;
+  bits : Ba_stats.Summary.t;
+  corruptions : Ba_stats.Summary.t;
+  agreement_failures : int;
+  validity_failures : int;
+  incomplete : int;
+  violations : Ba_trace.Checker.violation list;  (** most recent first, capped *)
+}
+
+(** [monte_carlo ~trials ~seed ~run ()] executes [run ~seed ~trial] for
+    [trial] in [0, trials), each with an independent derived seed.
+
+    @param rounds_per_phase used for the phase summary and Lemma 4 checking.
+    @param check override the per-outcome checker (default
+    {!Ba_trace.Checker.standard}).
+    @param fail_fast raise [Failure] on the first violation (default true —
+    experiments must not silently aggregate broken runs). *)
+val monte_carlo :
+  ?rounds_per_phase:int ->
+  ?check:(Ba_sim.Engine.outcome -> Ba_trace.Checker.violation list) ->
+  ?fail_fast:bool ->
+  trials:int ->
+  seed:int64 ->
+  run:(seed:int64 -> trial:int -> Ba_sim.Engine.outcome) ->
+  unit ->
+  stats
+
+(** [trial_seed ~seed ~trial] — the derived per-trial seed (exposed so tests
+    can reproduce a single trial of an experiment). *)
+val trial_seed : seed:int64 -> trial:int -> int64
+
+(** [sweep xs f] — maps [f] over parameter points, keeping the pairing. *)
+val sweep : 'a list -> ('a -> 'b) -> ('a * 'b) list

@@ -1,0 +1,111 @@
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+type partial = {
+  p_rounds : Ba_stats.Summary.t;
+  p_phases : Ba_stats.Summary.t;
+  p_messages : Ba_stats.Summary.t;
+  p_bits : Ba_stats.Summary.t;
+  p_corruptions : Ba_stats.Summary.t;
+  mutable p_agreement_failures : int;
+  mutable p_validity_failures : int;
+  mutable p_incomplete : int;
+  mutable p_violations : (int * Ba_trace.Checker.violation list) list;
+      (* (trial, violations), lowest trial last *)
+}
+
+let empty_partial () =
+  { p_rounds = Ba_stats.Summary.create ();
+    p_phases = Ba_stats.Summary.create ();
+    p_messages = Ba_stats.Summary.create ();
+    p_bits = Ba_stats.Summary.create ();
+    p_corruptions = Ba_stats.Summary.create ();
+    p_agreement_failures = 0;
+    p_validity_failures = 0;
+    p_incomplete = 0;
+    p_violations = [] }
+
+let run_chunk ~rounds_per_phase ~check ~seed ~run ~lo ~hi =
+  let acc = empty_partial () in
+  for trial = lo to hi - 1 do
+    let o = run ~seed:(Experiment.trial_seed ~seed ~trial) ~trial in
+    Ba_stats.Summary.add_int acc.p_rounds o.Ba_sim.Engine.rounds;
+    (match rounds_per_phase with
+    | Some rpp when rpp > 0 ->
+        Ba_stats.Summary.add acc.p_phases (float_of_int o.rounds /. float_of_int rpp)
+    | Some _ | None -> ());
+    Ba_stats.Summary.add_int acc.p_messages (Ba_sim.Metrics.messages o.metrics);
+    Ba_stats.Summary.add_int acc.p_bits (Ba_sim.Metrics.bits o.metrics);
+    Ba_stats.Summary.add_int acc.p_corruptions o.corruptions_used;
+    if not (Ba_sim.Engine.agreement_holds o) then
+      acc.p_agreement_failures <- acc.p_agreement_failures + 1;
+    if not (Ba_sim.Engine.validity_holds o) then
+      acc.p_validity_failures <- acc.p_validity_failures + 1;
+    if not o.completed then acc.p_incomplete <- acc.p_incomplete + 1;
+    let vs = check o in
+    if vs <> [] then acc.p_violations <- (trial, vs) :: acc.p_violations
+  done;
+  acc
+
+let monte_carlo ?domains ?rounds_per_phase ?check ?(fail_fast = true) ~trials ~seed ~run () =
+  if trials <= 0 then invalid_arg "Parallel.monte_carlo: trials <= 0";
+  let check =
+    match check with Some f -> f | None -> Ba_trace.Checker.standard ?rounds_per_phase
+  in
+  let domains = max 1 (min trials (Option.value domains ~default:(default_domains ()))) in
+  let chunk = (trials + domains - 1) / domains in
+  let bounds =
+    List.init domains (fun d -> (d * chunk, min trials ((d + 1) * chunk)))
+    |> List.filter (fun (lo, hi) -> lo < hi)
+  in
+  let partials =
+    match bounds with
+    | [] -> []
+    | (lo0, hi0) :: rest ->
+        let handles =
+          List.map
+            (fun (lo, hi) ->
+              Domain.spawn (fun () -> run_chunk ~rounds_per_phase ~check ~seed ~run ~lo ~hi))
+            rest
+        in
+        (* The first chunk runs on the current domain. *)
+        let first = run_chunk ~rounds_per_phase ~check ~seed ~run ~lo:lo0 ~hi:hi0 in
+        first :: List.map Domain.join handles
+  in
+  let merged = empty_partial () in
+  let merge_summary get =
+    List.fold_left (fun acc p -> Ba_stats.Summary.merge acc (get p)) (Ba_stats.Summary.create ())
+      partials
+  in
+  let rounds = merge_summary (fun p -> p.p_rounds) in
+  let phases = merge_summary (fun p -> p.p_phases) in
+  let messages = merge_summary (fun p -> p.p_messages) in
+  let bits = merge_summary (fun p -> p.p_bits) in
+  let corruptions = merge_summary (fun p -> p.p_corruptions) in
+  List.iter
+    (fun p ->
+      merged.p_agreement_failures <- merged.p_agreement_failures + p.p_agreement_failures;
+      merged.p_validity_failures <- merged.p_validity_failures + p.p_validity_failures;
+      merged.p_incomplete <- merged.p_incomplete + p.p_incomplete;
+      merged.p_violations <- p.p_violations @ merged.p_violations)
+    partials;
+  let violations_sorted =
+    List.sort (fun (a, _) (b, _) -> compare a b) merged.p_violations
+  in
+  (match (fail_fast, violations_sorted) with
+  | true, (trial, vs) :: _ ->
+      failwith
+        (Format.asprintf "experiment trial %d (seed %Ld): %a" trial
+           (Experiment.trial_seed ~seed ~trial)
+           (Format.pp_print_list ~pp_sep:Format.pp_print_space Ba_trace.Checker.pp_violation)
+           vs)
+  | _ -> ());
+  { Experiment.trials;
+    rounds;
+    phases;
+    messages;
+    bits;
+    corruptions;
+    agreement_failures = merged.p_agreement_failures;
+    validity_failures = merged.p_validity_failures;
+    incomplete = merged.p_incomplete;
+    violations = List.concat_map snd violations_sorted }

@@ -1,0 +1,28 @@
+(** Multicore Monte-Carlo (OCaml 5 domains).
+
+    Same contract and same results as {!Experiment.monte_carlo} — per-trial
+    seeds are derived identically, so the aggregate statistics are
+    bit-for-bit independent of the domain count — but trials run across
+    [domains] cores.
+
+    Requirement on [run]: it must not share mutable state between calls
+    (every setup in {!Ba_experiments.Setups} satisfies this — each [exec]
+    builds its own adversary, RNGs and protocol state from the seed).
+
+    Fail-fast semantics differ slightly from the serial runner: violations
+    abort after the in-flight chunk completes, and the reported failure is
+    the lowest-numbered violating trial. *)
+
+val monte_carlo :
+  ?domains:int ->
+  ?rounds_per_phase:int ->
+  ?check:(Ba_sim.Engine.outcome -> Ba_trace.Checker.violation list) ->
+  ?fail_fast:bool ->
+  trials:int ->
+  seed:int64 ->
+  run:(seed:int64 -> trial:int -> Ba_sim.Engine.outcome) ->
+  unit ->
+  Experiment.stats
+
+(** [default_domains ()] — [min 8 (Domain.recommended_domain_count ())]. *)
+val default_domains : unit -> int

@@ -1,0 +1,76 @@
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let is_numeric s =
+  let s = String.trim s in
+  match float_of_string_opt s with
+  | Some _ -> true
+  | None ->
+      contains_sub ~sub:"\xc2\xb1" s (* "±" as in "12.3 ± 0.4" *)
+      || (String.length s > 1
+          && s.[String.length s - 1] = 'x'
+          && float_of_string_opt (String.sub s 0 (String.length s - 1)) <> None)
+
+let render ~title ~headers rows =
+  let ncols = List.length headers in
+  let pad row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map pad rows in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row)
+    rows;
+  let buf = Buffer.create 1024 in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells ~align_numeric =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        let w = widths.(i) in
+        let padding = w - String.length cell in
+        let left, right =
+          if align_numeric && is_numeric cell then (padding, 0) else (0, padding)
+        in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (String.make left ' ');
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make right ' ');
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  sep ();
+  line headers ~align_numeric:false;
+  sep ();
+  List.iter (fun row -> line row ~align_numeric:true) rows;
+  sep ();
+  Buffer.contents buf
+
+let fmt_float x =
+  if Float.is_nan x then "-"
+  else if Float.abs x >= 1000. then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 10. then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.3f" x
+
+let fmt_mean_ci s =
+  if Ba_stats.Summary.count s = 0 then "-"
+  else if Ba_stats.Summary.count s < 2 then fmt_float (Ba_stats.Summary.mean s)
+  else
+    Printf.sprintf "%s ± %s" (fmt_float (Ba_stats.Summary.mean s))
+      (fmt_float (1.96 *. Ba_stats.Summary.stderr s))
+
+let fmt_ratio a b = if b = 0. then "-" else Printf.sprintf "%.2fx" (a /. b)

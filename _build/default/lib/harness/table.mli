@@ -1,0 +1,16 @@
+(** Plain-text table rendering for experiment reports. *)
+
+(** [render ~title ~headers rows] — a boxed, column-aligned table. Cells are
+    right-aligned when they parse as numbers, left-aligned otherwise. Rows
+    shorter than [headers] are padded with empty cells. *)
+val render : title:string -> headers:string list -> string list list -> string
+
+(** Numeric formatting helpers used across experiment tables. *)
+
+val fmt_float : float -> string
+
+(** [fmt_mean_ci s] — ["12.3 ± 0.4"] from a summary. *)
+val fmt_mean_ci : Ba_stats.Summary.t -> string
+
+(** [fmt_ratio a b] — ["2.61x"]; ["-"] when the denominator is 0. *)
+val fmt_ratio : float -> float -> string

@@ -1,0 +1,68 @@
+(** High-level deterministic random source.
+
+    Wraps {!Xoshiro256} with the sampling primitives the protocols and the
+    experiment harness need. Every generator is a pure function of its seed,
+    so any simulation run is reproducible from [(master_seed, parameters)].
+
+    In the full-information model, honest nodes' random draws are public; the
+    simulator therefore records draws in traces — nothing here is secret. *)
+
+type t
+
+(** [create seed] is a fresh generator determined by [seed]. *)
+val create : int64 -> t
+
+(** [of_int seed] is [create] on the sign-extended integer. *)
+val of_int : int -> t
+
+(** [copy g] duplicates the state; the copies evolve independently. *)
+val copy : t -> t
+
+(** [split g] derives a statistically independent child generator, advancing
+    [g]. Used to give each node / trial its own stream. *)
+val split : t -> t
+
+(** [split_n g k] is [k] independent children of [g]. *)
+val split_n : t -> int -> t array
+
+(** [bits64 g] is the next raw 64-bit word. *)
+val bits64 : t -> int64
+
+(** [bool g] is a fair coin. *)
+val bool : t -> bool
+
+(** [sign g] is [+1] or [-1] with equal probability — the coin-flip value of
+    the paper's Algorithm 1. *)
+val sign : t -> int
+
+(** [int g bound] is uniform in [\[0, bound)]. Rejection-sampled: exactly
+    uniform. Raises [Invalid_argument] if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in_range g ~lo ~hi] is uniform in [\[lo, hi\]] inclusive. *)
+val int_in_range : t -> lo:int -> hi:int -> int
+
+(** [float g] is uniform in [\[0, 1)] with 53 bits of precision. *)
+val float : t -> float
+
+(** [bernoulli g p] is [true] with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** [binomial g ~n ~p] counts successes in [n] Bernoulli([p]) trials.
+    Exact (by summation) — [n] here is small in all our uses. *)
+val binomial : t -> n:int -> p:float -> int
+
+(** [geometric g p] is the number of failures before the first success of a
+    Bernoulli([p]); requires [0 < p <= 1]. *)
+val geometric : t -> float -> int
+
+(** [shuffle g a] permutes [a] in place, uniformly (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [sample_without_replacement g ~k ~n] is a sorted array of [k] distinct
+    values drawn uniformly from [\[0, n)]. Raises [Invalid_argument] if
+    [k > n] or [k < 0]. *)
+val sample_without_replacement : t -> k:int -> n:int -> int array
+
+(** [choose g a] is a uniform element of the non-empty array [a]. *)
+val choose : t -> 'a array -> 'a

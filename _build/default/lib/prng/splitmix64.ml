@@ -1,0 +1,23 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy g = { state = g.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_state s = Int64.add s golden_gamma
+
+let next g =
+  g.state <- next_state g.state;
+  mix g.state
+
+let split g =
+  (* Derive the child seed from the parent's next output; mixing twice keeps
+     parent and child streams decorrelated even for adjacent seeds. *)
+  let seed = mix (next g) in
+  create seed

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Adversary Array Ba_prng List Metrics Protocol

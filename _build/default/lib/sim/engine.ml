@@ -1,0 +1,183 @@
+type round_record = {
+  rr_round : int;
+  rr_new_corruptions : int list;
+  rr_views : Protocol.node_view option array;
+}
+
+type outcome = {
+  protocol_name : string;
+  adversary_name : string;
+  n : int;
+  t : int;
+  inputs : int array;
+  rounds : int;
+  completed : bool;
+  outputs : int option array;
+  corrupted : bool array;
+  corruptions_used : int;
+  metrics : Metrics.t;
+  records : round_record list;
+}
+
+let validate ~n ~t ~inputs =
+  if t < 0 || t >= n then invalid_arg "Engine.run: need 0 <= t < n";
+  if Array.length inputs <> n then invalid_arg "Engine.run: inputs length <> n";
+  Array.iter (fun b -> if b <> 0 && b <> 1 then invalid_arg "Engine.run: inputs must be 0/1") inputs
+
+let run ?max_rounds ?(record = false) ?congest_limit_bits
+    ~(protocol : ('state, 'msg) Protocol.t) ~(adversary : ('state, 'msg) Adversary.t) ~n ~t
+    ~inputs ~seed () =
+  validate ~n ~t ~inputs;
+  let max_rounds =
+    match max_rounds with Some m -> m | None -> Protocol.default_round_cap ~n
+  in
+  let master = Ba_prng.Rng.create seed in
+  let node_rngs = Ba_prng.Rng.split_n master n in
+  let ctx_of v = { Protocol.n; t; me = v; rng = node_rngs.(v) } in
+  let states = Array.init n (fun v -> protocol.init (ctx_of v) ~input:inputs.(v)) in
+  let corrupted = Array.make n false in
+  let halted = Array.make n false in
+  let corruptions_used = ref 0 in
+  let metrics = Metrics.create () in
+  let meter payload ~byzantine =
+    let bits = protocol.msg_bits payload in
+    Metrics.record_message metrics ~bits ~byzantine;
+    match congest_limit_bits with
+    | Some limit when bits > limit -> Metrics.record_congest_violation metrics
+    | Some _ | None -> ()
+  in
+  let records = ref [] in
+  let live v = (not corrupted.(v)) && not halted.(v) in
+  let all_honest_halted () =
+    let stop = ref true in
+    for v = 0 to n - 1 do
+      if live v then stop := false
+    done;
+    !stop
+  in
+  let round = ref 0 in
+  let completed = ref (all_honest_halted ()) in
+  while (not !completed) && !round < max_rounds do
+    incr round;
+    let r = !round in
+    Metrics.record_round metrics;
+    (* 1. Honest nodes commit their round broadcasts. *)
+    let honest_msgs =
+      Array.init n (fun v -> if live v then protocol.send (ctx_of v) states.(v) ~round:r else None)
+    in
+    (* 2. The rushing adversary observes everything and acts. *)
+    let view =
+      { Adversary.round = r;
+        n;
+        t;
+        corrupted = Array.copy corrupted;
+        budget_left = t - !corruptions_used;
+        halted = Array.copy halted;
+        honest_msgs = Array.copy honest_msgs;
+        states = Array.init n (fun v -> if live v then Some states.(v) else None);
+        views =
+          Array.init n (fun v -> if live v then protocol.inspect states.(v) else None) }
+    in
+    let action = adversary.act view in
+    (* 3. Apply corruptions, clamped to the remaining budget. *)
+    let new_corruptions = ref [] in
+    List.iter
+      (fun v ->
+        if v >= 0 && v < n && (not corrupted.(v)) && !corruptions_used < t then begin
+          corrupted.(v) <- true;
+          incr corruptions_used;
+          new_corruptions := v :: !new_corruptions;
+          (* Rushing adaptivity: the just-produced honest broadcast of a
+             newly corrupted node never reaches anyone. *)
+          honest_msgs.(v) <- None
+        end)
+      action.corrupt;
+    (* 4. Delivery + 5. recv for each live honest node. *)
+    let new_states = Array.copy states in
+    for u = 0 to n - 1 do
+      if live u then begin
+        let inbox =
+          Array.init n (fun v ->
+              if corrupted.(v) then begin
+                let m = action.byz_msg ~src:v ~dst:u in
+                (match m with
+                | Some payload -> meter payload ~byzantine:true
+                | None -> ());
+                m
+              end
+              else begin
+                match honest_msgs.(v) with
+                | Some payload ->
+                    if v <> u then meter payload ~byzantine:false;
+                    Some payload
+                | None -> None
+              end)
+        in
+        new_states.(u) <- protocol.recv (ctx_of u) states.(u) ~round:r ~inbox
+      end
+    done;
+    Array.blit new_states 0 states 0 n;
+    for v = 0 to n - 1 do
+      if (not corrupted.(v)) && (not halted.(v)) && protocol.halted states.(v) then
+        halted.(v) <- true
+    done;
+    if record then begin
+      let rr_views =
+        Array.init n (fun v ->
+            if corrupted.(v) then None else protocol.inspect states.(v))
+      in
+      records :=
+        { rr_round = r; rr_new_corruptions = List.rev !new_corruptions; rr_views }
+        :: !records
+    end;
+    completed := all_honest_halted ()
+  done;
+  let outputs =
+    Array.init n (fun v -> if corrupted.(v) then None else protocol.output states.(v))
+  in
+  { protocol_name = protocol.name;
+    adversary_name = adversary.adv_name;
+    n;
+    t;
+    inputs = Array.copy inputs;
+    rounds = !round;
+    completed = !completed;
+    outputs;
+    corrupted = Array.copy corrupted;
+    corruptions_used = !corruptions_used;
+    metrics;
+    records = List.rev !records }
+
+let honest_outputs o =
+  let acc = ref [] in
+  for v = o.n - 1 downto 0 do
+    if not o.corrupted.(v) then
+      match o.outputs.(v) with Some b -> acc := (v, b) :: !acc | None -> ()
+  done;
+  !acc
+
+let all_honest_decided o =
+  let ok = ref true in
+  for v = 0 to o.n - 1 do
+    if (not o.corrupted.(v)) && o.outputs.(v) = None then ok := false
+  done;
+  !ok
+
+let agreement_holds o =
+  match honest_outputs o with
+  | [] -> all_honest_decided o (* no honest node at all: vacuous *)
+  | (_, first) :: rest -> all_honest_decided o && List.for_all (fun (_, b) -> b = first) rest
+
+let validity_holds o =
+  (* Inputs of finally-honest nodes only: the adaptive adversary absorbs
+     corrupted nodes into its own camp retroactively. *)
+  let honest_inputs = ref [] in
+  for v = 0 to o.n - 1 do
+    if not o.corrupted.(v) then honest_inputs := o.inputs.(v) :: !honest_inputs
+  done;
+  match !honest_inputs with
+  | [] -> true
+  | b :: rest ->
+      if List.for_all (fun x -> x = b) rest then
+        List.for_all (fun (_, out) -> out = b) (honest_outputs o)
+      else true

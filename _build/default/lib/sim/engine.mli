@@ -1,0 +1,82 @@
+(** The synchronous round engine.
+
+    Implements the paper's model: a complete network of [n] nodes, lockstep
+    rounds, reliable authenticated point-to-point channels (the receiver
+    always knows the true sender identity — Byzantine nodes cannot forge
+    sender IDs, only payloads), and a full-information rushing adaptive
+    adversary (see {!Adversary}).
+
+    Round structure:
+    + every live honest node produces its broadcast ([Protocol.send]);
+    + the adversary observes everything (including those broadcasts) and
+      picks new corruptions and per-recipient Byzantine payloads;
+    + newly corrupted nodes have their round broadcast replaced — rushing;
+    + each live honest node receives its inbox and steps ([Protocol.recv]).
+
+    The run ends when every honest node has halted, or at [max_rounds]. *)
+
+(** Per-round record kept when [record:true], consumed by trace checkers. *)
+type round_record = {
+  rr_round : int;
+  rr_new_corruptions : int list;
+  rr_views : Protocol.node_view option array;
+      (** post-[recv] introspection; [None] for corrupted nodes or protocols
+          without introspection *)
+}
+
+type outcome = {
+  protocol_name : string;
+  adversary_name : string;
+  n : int;
+  t : int;
+  inputs : int array;
+  rounds : int;  (** rounds executed *)
+  completed : bool;  (** all honest nodes halted before [max_rounds] *)
+  outputs : int option array;  (** [outputs.(v)] for honest [v]; [None] for corrupted *)
+  corrupted : bool array;  (** final corruption set *)
+  corruptions_used : int;
+  metrics : Metrics.t;
+  records : round_record list;  (** oldest first; empty unless [record] *)
+}
+
+(** [run ~protocol ~adversary ~n ~t ~inputs ~seed ()] executes one instance.
+
+    @param max_rounds cap (default {!Protocol.default_round_cap}).
+    @param record keep per-round {!round_record}s for invariant checking.
+    @param congest_limit_bits when set, every delivered payload larger than
+    this is counted as a CONGEST violation in the metrics (the paper's model
+    allows O(log n) bits per edge per round); delivery still happens, so a
+    violating protocol (e.g. EIG) remains runnable but measurably so.
+    @param inputs binary inputs, one per node (length [n]).
+    @raise Invalid_argument if [inputs] has the wrong length, if any input is
+    not 0/1, or if [t < 0] or [t >= n]. *)
+val run :
+  ?max_rounds:int ->
+  ?record:bool ->
+  ?congest_limit_bits:int ->
+  protocol:('state, 'msg) Protocol.t ->
+  adversary:('state, 'msg) Adversary.t ->
+  n:int ->
+  t:int ->
+  inputs:int array ->
+  seed:int64 ->
+  unit ->
+  outcome
+
+(** [honest_outputs o] — the decided values of honest nodes (those with an
+    output), as a list of [(node, value)]. *)
+val honest_outputs : outcome -> (int * int) list
+
+(** [agreement_holds o] — no two honest nodes output different values, and
+    every honest node that halted produced an output. *)
+val agreement_holds : outcome -> bool
+
+(** [validity_holds o] — if all honest *inputs* (of finally-honest nodes)
+    equal [b], every honest output equals [b]; vacuously true otherwise.
+
+    Note: per the adaptive model, validity is judged against nodes that were
+    honest for the entire execution. *)
+val validity_holds : outcome -> bool
+
+(** [all_honest_decided o] — every finally-honest node produced an output. *)
+val all_honest_decided : outcome -> bool

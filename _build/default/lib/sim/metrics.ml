@@ -1,0 +1,34 @@
+type t = {
+  mutable rounds : int;
+  mutable honest_msgs : int;
+  mutable byz_msgs : int;
+  mutable bits : int;
+  mutable max_msg_bits : int;
+  mutable congest_violations : int;
+}
+
+let create () =
+  { rounds = 0; honest_msgs = 0; byz_msgs = 0; bits = 0; max_msg_bits = 0;
+    congest_violations = 0 }
+
+let record_message m ~bits ~byzantine =
+  if byzantine then m.byz_msgs <- m.byz_msgs + 1 else m.honest_msgs <- m.honest_msgs + 1;
+  m.bits <- m.bits + bits;
+  if bits > m.max_msg_bits then m.max_msg_bits <- bits
+
+let record_round m = m.rounds <- m.rounds + 1
+
+let rounds m = m.rounds
+let messages m = m.honest_msgs + m.byz_msgs
+let honest_messages m = m.honest_msgs
+let byzantine_messages m = m.byz_msgs
+let bits m = m.bits
+let max_bits_per_message m = m.max_msg_bits
+let record_congest_violation m = m.congest_violations <- m.congest_violations + 1
+let congest_violations m = m.congest_violations
+
+let pp fmt m =
+  Format.fprintf fmt "rounds=%d msgs=%d (honest=%d byz=%d) bits=%d max_msg_bits=%d%s" m.rounds
+    (messages m) m.honest_msgs m.byz_msgs m.bits m.max_msg_bits
+    (if m.congest_violations > 0 then Printf.sprintf " CONGEST-violations=%d" m.congest_violations
+     else "")

@@ -1,0 +1,43 @@
+(** CONGEST-style cost accounting for a protocol run.
+
+    A message is counted per directed edge per round (broadcast to [n-1]
+    recipients = [n-1] messages). Bits are the payload size as declared by
+    the protocol's [msg_bits]; the paper's CONGEST model allows [O(log n)]
+    bits per edge per round, which the engine checks when
+    [congest_limit_bits] is set. *)
+
+type t
+
+val create : unit -> t
+
+(** [record_message m ~bits ~byzantine] counts one delivered point-to-point
+    message of [bits] payload bits; [byzantine] marks sender corruption. *)
+val record_message : t -> bits:int -> byzantine:bool -> unit
+
+(** [record_round m] counts one synchronous round. *)
+val record_round : t -> unit
+
+val rounds : t -> int
+
+(** [messages m] is the total delivered messages (honest + Byzantine). *)
+val messages : t -> int
+
+(** [honest_messages m] counts only messages whose sender was honest. *)
+val honest_messages : t -> int
+
+val byzantine_messages : t -> int
+
+(** [bits m] is the total payload bits delivered. *)
+val bits : t -> int
+
+(** [max_bits_per_message m] is the largest single payload seen — compare
+    against the CONGEST budget. *)
+val max_bits_per_message : t -> int
+
+(** [record_congest_violation m] / [congest_violations m] — messages whose
+    payload exceeded the engine's configured CONGEST limit. *)
+val record_congest_violation : t -> unit
+
+val congest_violations : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type ctx = { n : int; t : int; me : int; rng : Ba_prng.Rng.t }
+
+type node_view = {
+  nv_phase : int;
+  nv_val : int;
+  nv_decided : bool;
+  nv_finished : bool;
+}
+
+type ('state, 'msg) t = {
+  name : string;
+  init : ctx -> input:int -> 'state;
+  send : ctx -> 'state -> round:int -> 'msg option;
+  recv : ctx -> 'state -> round:int -> inbox:'msg option array -> 'state;
+  output : 'state -> int option;
+  halted : 'state -> bool;
+  msg_bits : 'msg -> int;
+  inspect : 'state -> node_view option;
+}
+
+let default_round_cap ~n = 64 + (16 * n)

@@ -1,0 +1,1 @@
+lib/stats/ci.ml: Array Ba_prng Float Format Quantiles Summary

@@ -1,0 +1,1 @@
+lib/stats/quantiles.ml: Array List

@@ -1,0 +1,1 @@
+lib/stats/tests.ml: Array Float

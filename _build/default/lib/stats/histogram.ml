@@ -1,0 +1,58 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  if not (hi > lo) then invalid_arg "Histogram.create: hi <= lo";
+  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0;
+    under = 0; over = 0; total = 0 }
+
+let add h x =
+  h.total <- h.total + 1;
+  if x < h.lo then h.under <- h.under + 1
+  else if x >= h.hi then h.over <- h.over + 1
+  else begin
+    let i = int_of_float ((x -. h.lo) /. h.width) in
+    let i = Stdlib.min i (Array.length h.counts - 1) in
+    h.counts.(i) <- h.counts.(i) + 1
+  end
+
+let add_int h x = add h (float_of_int x)
+
+let count h = h.total
+let bin_count h i = h.counts.(i)
+let underflow h = h.under
+let overflow h = h.over
+let bins h = Array.length h.counts
+
+let bin_range h i =
+  let lo = h.lo +. (float_of_int i *. h.width) in
+  (lo, lo +. h.width)
+
+let mode_bin h =
+  if h.total = 0 then None
+  else begin
+    let best = ref 0 in
+    Array.iteri (fun i c -> if c > h.counts.(!best) then best := i) h.counts;
+    if h.counts.(!best) = 0 then None else Some !best
+  end
+
+let pp fmt h =
+  let peak = Array.fold_left Stdlib.max 1 h.counts in
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_range h i in
+      let width = 40 * c / peak in
+      Format.fprintf fmt "[%8.1f, %8.1f) %6d %s@," lo hi c (String.make width '#'))
+    h.counts;
+  if h.under > 0 then Format.fprintf fmt "underflow: %d@," h.under;
+  if h.over > 0 then Format.fprintf fmt "overflow: %d@," h.over;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,33 @@
+let quantile_sorted sorted q =
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = int_of_float (ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let check xs q =
+  if Array.length xs = 0 then invalid_arg "Quantiles: empty sample";
+  if not (q >= 0. && q <= 1.) then invalid_arg "Quantiles: q outside [0,1]"
+
+let quantile xs q =
+  check xs q;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  quantile_sorted sorted q
+
+let median xs = quantile xs 0.5
+
+let quantiles xs qs =
+  List.iter (check xs) qs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  List.map (quantile_sorted sorted) qs
+
+let iqr xs =
+  match quantiles xs [ 0.25; 0.75 ] with
+  | [ q1; q3 ] -> q3 -. q1
+  | _ -> assert false

@@ -1,0 +1,15 @@
+(** Exact quantiles over collected samples. *)
+
+(** [quantile xs q] is the [q]-quantile ([0 <= q <= 1]) of [xs] using linear
+    interpolation between order statistics. Does not mutate [xs]. Raises
+    [Invalid_argument] on an empty array or [q] outside [\[0,1\]]. *)
+val quantile : float array -> float -> float
+
+(** [median xs] is [quantile xs 0.5]. *)
+val median : float array -> float
+
+(** [quantiles xs qs] evaluates several quantiles with a single sort. *)
+val quantiles : float array -> float list -> float list
+
+(** [iqr xs] is the interquartile range. *)
+val iqr : float array -> float

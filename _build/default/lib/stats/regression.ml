@@ -1,0 +1,37 @@
+type fit = { slope : float; intercept : float; r2 : float; n : int }
+
+let linear xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Regression.linear: length mismatch";
+  if n < 2 then invalid_arg "Regression.linear: need at least two points";
+  let fn = float_of_int n in
+  let mean a = Array.fold_left ( +. ) 0. a /. fn in
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0. and sxy = ref 0. and syy = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0. then invalid_arg "Regression.linear: x values are constant";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if !syy = 0. then 1. else !sxy *. !sxy /. (!sxx *. !syy) in
+  { slope; intercept; r2; n }
+
+let log_log xs ys =
+  Array.iter
+    (fun x -> if x <= 0. then invalid_arg "Regression.log_log: non-positive value")
+    xs;
+  Array.iter
+    (fun y -> if y <= 0. then invalid_arg "Regression.log_log: non-positive value")
+    ys;
+  linear (Array.map log xs) (Array.map log ys)
+
+let predict fit x = (fit.slope *. x) +. fit.intercept
+
+let predict_power fit x = exp fit.intercept *. (x ** fit.slope)
+
+let pp fmt f =
+  Format.fprintf fmt "slope=%.3f intercept=%.3f r2=%.4f (n=%d)" f.slope f.intercept f.r2 f.n

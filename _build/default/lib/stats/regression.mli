@@ -1,0 +1,30 @@
+(** Ordinary least-squares fits.
+
+    The scaling experiments fit [log rounds = k * log t + c] and compare the
+    measured exponent [k] against the paper's predicted exponent (2 for the
+    [t^2 log n / n] regime, 1 for the [t / log n] regime). *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination *)
+  n : int;
+}
+
+(** [linear xs ys] fits [y = slope * x + intercept]. Requires equal-length
+    arrays with at least two distinct [x] values. *)
+val linear : float array -> float array -> fit
+
+(** [log_log xs ys] fits a power law [y = e^intercept * x^slope] by OLS in
+    log–log space; all inputs must be positive. *)
+val log_log : float array -> float array -> fit
+
+(** [predict fit x] evaluates the fitted line at [x] (in the fitted space:
+    for {!log_log} pass [log x] and exponentiate, or use
+    {!predict_power}). *)
+val predict : fit -> float -> float
+
+(** [predict_power fit x] evaluates a {!log_log} fit as a power law. *)
+val predict_power : fit -> float -> float
+
+val pp : Format.formatter -> fit -> unit

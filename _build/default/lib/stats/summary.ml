@@ -1,0 +1,59 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable sum : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; lo = infinity; hi = neg_infinity; sum = 0. }
+
+let add s x =
+  s.n <- s.n + 1;
+  let delta = x -. s.mean in
+  s.mean <- s.mean +. (delta /. float_of_int s.n);
+  s.m2 <- s.m2 +. (delta *. (x -. s.mean));
+  if x < s.lo then s.lo <- x;
+  if x > s.hi then s.hi <- x;
+  s.sum <- s.sum +. x
+
+let add_int s x = add s (float_of_int x)
+
+let count s = s.n
+let mean s = if s.n = 0 then nan else s.mean
+let variance s = if s.n < 2 then nan else s.m2 /. float_of_int (s.n - 1)
+let stddev s = sqrt (variance s)
+let stderr s = if s.n < 2 then nan else stddev s /. sqrt (float_of_int s.n)
+let min s = if s.n = 0 then nan else s.lo
+let max s = if s.n = 0 then nan else s.hi
+let total s = s.sum
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let fa = float_of_int a.n and fb = float_of_int b.n and fn = float_of_int (a.n + b.n) in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. fb /. fn) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn) in
+    { n;
+      mean;
+      m2;
+      lo = Stdlib.min a.lo b.lo;
+      hi = Stdlib.max a.hi b.hi;
+      sum = a.sum +. b.sum }
+  end
+
+let of_array xs =
+  let s = create () in
+  Array.iter (add s) xs;
+  s
+
+let pp fmt s =
+  if s.n = 0 then Format.fprintf fmt "(empty)"
+  else
+    Format.fprintf fmt "%.3f ± %.3f (n=%d, %.3f..%.3f)" (mean s)
+      (if s.n < 2 then 0. else stddev s)
+      s.n s.lo s.hi

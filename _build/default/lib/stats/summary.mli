@@ -1,0 +1,49 @@
+(** Online summary statistics (Welford's algorithm).
+
+    Numerically stable single-pass mean/variance, plus min/max and count.
+    Used to aggregate per-trial measurements (rounds, messages, bits) in the
+    experiment harness. *)
+
+type t
+
+(** [create ()] is an empty accumulator. *)
+val create : unit -> t
+
+(** [add s x] folds the observation [x] into [s]. *)
+val add : t -> float -> unit
+
+(** [add_int s x] is [add s (float_of_int x)]. *)
+val add_int : t -> int -> unit
+
+(** [count s] is the number of observations. *)
+val count : t -> int
+
+(** [mean s] is the sample mean; [nan] when empty. *)
+val mean : t -> float
+
+(** [variance s] is the unbiased sample variance; [nan] when [count < 2]. *)
+val variance : t -> float
+
+(** [stddev s] is [sqrt (variance s)]. *)
+val stddev : t -> float
+
+(** [stderr s] is the standard error of the mean. *)
+val stderr : t -> float
+
+(** [min s], [max s]: extrema; [nan] when empty. *)
+val min : t -> float
+
+val max : t -> float
+
+(** [total s] is the running sum of observations. *)
+val total : t -> float
+
+(** [merge a b] is a fresh accumulator equivalent to having seen both
+    streams (Chan's parallel combination). *)
+val merge : t -> t -> t
+
+(** [of_array xs] summarizes an array in one call. *)
+val of_array : float array -> t
+
+(** [pp] prints ["mean ± stddev (n=count, min..max)"]. *)
+val pp : Format.formatter -> t -> unit

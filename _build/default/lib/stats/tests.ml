@@ -1,0 +1,160 @@
+(* Special functions kept minimal and self-contained: log-gamma via
+   Lanczos, regularized incomplete gamma via series/continued fraction
+   (Numerical Recipes structure), which is all chi-square needs. *)
+
+let log_gamma x =
+  let coefficients =
+    [| 76.18009172947146; -86.50532032941677; 24.01409824083091; -1.231739572450155;
+       0.1208650973866179e-2; -0.5395239384953e-5 |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.5 in
+  let tmp = tmp -. ((x +. 0.5) *. log tmp) in
+  let ser = ref 1.000000000190015 in
+  Array.iter
+    (fun c ->
+      y := !y +. 1.;
+      ser := !ser +. (c /. !y))
+    coefficients;
+  -.tmp +. log (2.5066282746310005 *. !ser /. x)
+
+let gamma_p_series ~a x =
+  (* regularized lower incomplete gamma by series, for x < a + 1 *)
+  let gln = log_gamma a in
+  let rec go ap del sum n =
+    if n > 500 then sum
+    else begin
+      let ap = ap +. 1. in
+      let del = del *. x /. ap in
+      let sum = sum +. del in
+      if Float.abs del < Float.abs sum *. 1e-12 then sum else go ap del sum (n + 1)
+    end
+  in
+  if x <= 0. then 0.
+  else begin
+    let sum = go a (1. /. a) (1. /. a) 0 in
+    sum *. exp ((-.x) +. (a *. log x) -. gln)
+  end
+
+let gamma_q_cf ~a x =
+  (* regularized upper incomplete gamma by continued fraction, x >= a + 1 *)
+  let gln = log_gamma a in
+  let tiny = 1e-300 in
+  let b = ref (x +. 1. -. a) in
+  let c = ref (1. /. tiny) in
+  let d = ref (1. /. !b) in
+  let h = ref !d in
+  (try
+     for i = 1 to 500 do
+       let an = -.float_of_int i *. (float_of_int i -. a) in
+       b := !b +. 2.;
+       d := (an *. !d) +. !b;
+       if Float.abs !d < tiny then d := tiny;
+       c := !b +. (an /. !c);
+       if Float.abs !c < tiny then c := tiny;
+       d := 1. /. !d;
+       let del = !d *. !c in
+       h := !h *. del;
+       if Float.abs (del -. 1.) < 1e-12 then raise Exit
+     done
+   with Exit -> ());
+  exp ((-.x) +. (a *. log x) -. gln) *. !h
+
+let gamma_p ~a x =
+  if x < 0. || a <= 0. then invalid_arg "Tests.gamma_p";
+  if x = 0. then 0.
+  else if x < a +. 1. then gamma_p_series ~a x
+  else 1. -. gamma_q_cf ~a x
+
+let chi_square_cdf ~df x =
+  if df <= 0 then invalid_arg "Tests.chi_square_cdf: df <= 0";
+  if x <= 0. then 0. else gamma_p ~a:(float_of_int df /. 2.) (x /. 2.)
+
+let chi_square_gof ~expected counts =
+  let k = Array.length counts in
+  if k < 2 then invalid_arg "Tests.chi_square: need at least 2 buckets";
+  if Array.length expected <> k then invalid_arg "Tests.chi_square: length mismatch";
+  let total = float_of_int (Array.fold_left ( + ) 0 counts) in
+  if total <= 0. then invalid_arg "Tests.chi_square: empty sample";
+  let stat = ref 0. in
+  Array.iteri
+    (fun i c ->
+      let e = expected.(i) *. total in
+      if e <= 0. then invalid_arg "Tests.chi_square: zero expected bucket";
+      let d = float_of_int c -. e in
+      stat := !stat +. (d *. d /. e))
+    counts;
+  let p = 1. -. chi_square_cdf ~df:(k - 1) !stat in
+  (!stat, p)
+
+let chi_square_uniform counts =
+  let k = Array.length counts in
+  if k < 2 then invalid_arg "Tests.chi_square: need at least 2 buckets";
+  chi_square_gof ~expected:(Array.make k (1. /. float_of_int k)) counts
+
+let ks_two_sample xs ys =
+  let n = Array.length xs and m = Array.length ys in
+  if n = 0 || m = 0 then invalid_arg "Tests.ks_two_sample: empty sample";
+  let xs = Array.copy xs and ys = Array.copy ys in
+  Array.sort compare xs;
+  Array.sort compare ys;
+  let d = ref 0. in
+  let i = ref 0 and j = ref 0 in
+  while !i < n && !j < m do
+    let x = xs.(!i) and y = ys.(!j) in
+    if x <= y then incr i;
+    if y <= x then incr j;
+    let fx = float_of_int !i /. float_of_int n in
+    let fy = float_of_int !j /. float_of_int m in
+    if Float.abs (fx -. fy) > !d then d := Float.abs (fx -. fy)
+  done;
+  (* Asymptotic Kolmogorov distribution Q(lambda), with the standard
+     convergence guard: the alternating series only converges for lambda
+     bounded away from 0; a non-converging series means p = 1. *)
+  let ne = float_of_int n *. float_of_int m /. float_of_int (n + m) in
+  let lambda = (sqrt ne +. 0.12 +. (0.11 /. sqrt ne)) *. !d in
+  let p =
+    if lambda < 1e-3 then 1.0
+    else begin
+      let sum = ref 0. and fac = ref 2. and prev = ref infinity in
+      let converged = ref false in
+      (try
+         for k = 1 to 100 do
+           let fk = float_of_int k in
+           let term = !fac *. exp (-2. *. fk *. fk *. lambda *. lambda) in
+           sum := !sum +. term;
+           if Float.abs term <= 0.001 *. !prev || Float.abs term <= 1e-8 *. Float.abs !sum
+           then begin
+             converged := true;
+             raise Exit
+           end;
+           fac := -. !fac;
+           prev := Float.abs term
+         done
+       with Exit -> ());
+      if !converged then Float.max 0. (Float.min 1. !sum) else 1.0
+    end
+  in
+  (!d, p)
+
+let log_choose n k = log_gamma (float_of_int (n + 1)) -. log_gamma (float_of_int (k + 1))
+                     -. log_gamma (float_of_int (n - k + 1))
+
+let binomial_two_sided ~successes ~trials ~p =
+  if trials <= 0 then invalid_arg "Tests.binomial: trials <= 0";
+  if successes < 0 || successes > trials then invalid_arg "Tests.binomial: successes range";
+  if not (p > 0. && p < 1.) then invalid_arg "Tests.binomial: p outside (0,1)";
+  let log_pmf k =
+    log_choose trials k
+    +. (float_of_int k *. log p)
+    +. (float_of_int (trials - k) *. log (1. -. p))
+  in
+  let observed = log_pmf successes in
+  (* two-sided: sum pmf over all k whose pmf <= pmf(observed) (1 + eps slack
+     for float noise). *)
+  let total = ref 0. in
+  for k = 0 to trials do
+    let lp = log_pmf k in
+    if lp <= observed +. 1e-9 then total := !total +. exp lp
+  done;
+  Float.min 1. !total

@@ -1,0 +1,28 @@
+(** Hypothesis tests used to *verify* distributional claims, not just
+    eyeball them: the coin's conditional-bias bound (Definition 2(B)), PRNG
+    uniformity, and distribution equality between the engine and the
+    phase-level model. *)
+
+(** [chi_square_uniform counts] — Pearson's goodness-of-fit statistic and
+    p-value against the uniform distribution over the buckets.
+    Requires at least 2 buckets and a positive total. *)
+val chi_square_uniform : int array -> float * float
+
+(** [chi_square_gof ~expected counts] — same against an arbitrary expected
+    probability vector (must sum to ~1). *)
+val chi_square_gof : expected:float array -> int array -> float * float
+
+(** [ks_two_sample xs ys] — two-sample Kolmogorov–Smirnov statistic and the
+    asymptotic p-value; used to compare engine round distributions against
+    the phase model. *)
+val ks_two_sample : float array -> float array -> float * float
+
+(** [binomial_two_sided ~successes ~trials ~p] — exact two-sided binomial
+    test p-value (sums of tail probabilities no more likely than the
+    observation) that [successes] out of [trials] is consistent with success
+    probability [p]. Exact up to [trials] ≈ 10^4 (log-space computation). *)
+val binomial_two_sided : successes:int -> trials:int -> p:float -> float
+
+(** [chi_square_cdf ~df x] — regularized lower incomplete gamma at
+    [df/2, x/2]; exposed for tests. *)
+val chi_square_cdf : df:int -> float -> float

@@ -1,0 +1,1 @@
+lib/trace/checker.ml: Array Ba_sim Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/trace/checker.mli: Ba_sim Format

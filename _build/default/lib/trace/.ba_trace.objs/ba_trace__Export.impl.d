@@ -1,0 +1,1 @@
+lib/trace/export.ml: Array Ba_sim Format Fun List String

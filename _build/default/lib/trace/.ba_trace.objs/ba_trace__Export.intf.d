@@ -1,0 +1,1 @@
+lib/trace/export.mli: Ba_sim Format

@@ -1,0 +1,1 @@
+lib/trace/timeline.ml: Array Ba_sim Buffer List Printf

@@ -1,0 +1,155 @@
+type violation = { check : string; detail : string }
+
+let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.check v.detail
+
+let fail check fmt = Format.kasprintf (fun detail -> [ { check; detail } ]) fmt
+
+let agreement (o : Ba_sim.Engine.outcome) =
+  match Ba_sim.Engine.honest_outputs o with
+  | [] -> []
+  | (v0, b0) :: rest -> (
+      match List.find_opt (fun (_, b) -> b <> b0) rest with
+      | Some (v, b) ->
+          fail "agreement" "node %d output %d but node %d output %d" v0 b0 v b
+      | None -> [])
+
+let validity (o : Ba_sim.Engine.outcome) =
+  if Ba_sim.Engine.validity_holds o then []
+  else begin
+    let b = ref None in
+    Array.iteri (fun v x -> if (not o.corrupted.(v)) && !b = None then b := Some x) o.inputs;
+    fail "validity" "honest inputs unanimous on %s but some output differs"
+      (match !b with Some x -> string_of_int x | None -> "?")
+  end
+
+let completion (o : Ba_sim.Engine.outcome) =
+  if not o.completed then fail "completion" "hit the round cap after %d rounds" o.rounds
+  else if not (Ba_sim.Engine.all_honest_decided o) then
+    fail "completion" "some honest node halted without an output"
+  else []
+
+let corruption_budget (o : Ba_sim.Engine.outcome) =
+  let count = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 o.corrupted in
+  let violations = ref [] in
+  if count > o.t then
+    violations := fail "corruption-budget" "%d corrupted > budget t=%d" count o.t;
+  if o.corruptions_used <> count then
+    violations :=
+      fail "corruption-budget" "used=%d but %d nodes marked corrupted" o.corruptions_used count
+      @ !violations;
+  (* Each node corrupted at most once across records. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Ba_sim.Engine.round_record) ->
+      List.iter
+        (fun v ->
+          if Hashtbl.mem seen v then
+            violations :=
+              fail "corruption-budget" "node %d corrupted twice (round %d)" v r.rr_round
+              @ !violations
+          else Hashtbl.add seen v ())
+        r.rr_new_corruptions)
+    o.records;
+  !violations
+
+let congest (o : Ba_sim.Engine.outcome) =
+  let v = Ba_sim.Metrics.congest_violations o.metrics in
+  if v > 0 then
+    fail "congest" "%d payloads exceeded the configured CONGEST limit (max seen: %d bits)" v
+      (Ba_sim.Metrics.max_bits_per_message o.metrics)
+  else []
+
+let decided_coherence (o : Ba_sim.Engine.outcome) =
+  let violations = ref [] in
+  List.iter
+    (fun (r : Ba_sim.Engine.round_record) ->
+      let decided_val = ref None in
+      Array.iteri
+        (fun v nv ->
+          match nv with
+          | Some { Ba_sim.Protocol.nv_decided = true; nv_val; _ } -> (
+              match !decided_val with
+              | None -> decided_val := Some (v, nv_val)
+              | Some (v0, b0) ->
+                  if b0 <> nv_val then
+                    violations :=
+                      fail "decided-coherence"
+                        "round %d: decided nodes %d (val %d) and %d (val %d) disagree" r.rr_round
+                        v0 b0 v nv_val
+                      @ !violations)
+          | Some _ | None -> ())
+        r.rr_views)
+    o.records;
+  !violations
+
+let frozen_finishers (o : Ba_sim.Engine.outcome) =
+  let violations = ref [] in
+  let frozen : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Ba_sim.Engine.round_record) ->
+      Array.iteri
+        (fun v nv ->
+          match nv with
+          | Some { Ba_sim.Protocol.nv_finished = true; nv_val; _ } -> (
+              match Hashtbl.find_opt frozen v with
+              | None -> Hashtbl.add frozen v nv_val
+              | Some b ->
+                  if b <> nv_val then
+                    violations :=
+                      fail "frozen-finishers" "round %d: finished node %d changed %d -> %d"
+                        r.rr_round v b nv_val
+                      @ !violations)
+          | Some _ | None -> ())
+        r.rr_views)
+    o.records;
+  Hashtbl.iter
+    (fun v b ->
+      if not o.corrupted.(v) then
+        match o.outputs.(v) with
+        | Some out when out <> b ->
+            violations :=
+              fail "frozen-finishers" "node %d froze %d but output %d" v b out @ !violations
+        | Some _ -> ()
+        | None ->
+            violations :=
+              fail "frozen-finishers" "node %d finished but has no output" v @ !violations)
+    frozen;
+  !violations
+
+let termination_gap ~rounds_per_phase (o : Ba_sim.Engine.outcome) =
+  if not o.completed then []
+  else begin
+    let first_finish = ref None in
+    List.iter
+      (fun (r : Ba_sim.Engine.round_record) ->
+        if !first_finish = None then
+          Array.iter
+            (fun nv ->
+              match nv with
+              | Some { Ba_sim.Protocol.nv_finished = true; _ } ->
+                  if !first_finish = None then first_finish := Some r.rr_round
+              | Some _ | None -> ())
+            r.rr_views)
+      o.records;
+    match !first_finish with
+    | None -> []
+    | Some r0 ->
+        (* Lemma 4: everyone halts within two phases of the first finisher,
+           plus the finisher's own grace phase. *)
+        let window = 3 * rounds_per_phase in
+        if o.rounds - r0 > window then
+          fail "termination-gap" "first finisher at round %d but run lasted %d rounds (> %d gap)"
+            r0 o.rounds window
+        else []
+  end
+
+let standard ?rounds_per_phase (o : Ba_sim.Engine.outcome) =
+  let record_checks =
+    if o.records = [] then []
+    else
+      decided_coherence o @ frozen_finishers o
+      @ (match rounds_per_phase with
+        | Some rpp -> termination_gap ~rounds_per_phase:rpp o
+        | None -> [])
+  in
+  agreement o @ validity o @ completion o @ corruption_budget o @ congest o @ record_checks

@@ -1,0 +1,51 @@
+(** Invariant checkers over engine outcomes.
+
+    Every simulation in the test-suite and the harness runs through these;
+    a non-empty violation list is a correctness bug (either in a protocol
+    or in the engine), never an acceptable outcome.
+
+    The phase-structured checks consume the per-round {!Ba_sim.Engine.round_record}s
+    (run the engine with [~record:true]); they encode the paper's lemmas:
+
+    - {b decided coherence} (Lemma 3): at every round snapshot, all honest
+      nodes with a set decided flag hold one identical value.
+    - {b frozen finishers}: once a node reports finished, its value never
+      changes and equals its final output.
+    - {b termination gap} (Lemma 4): every honest node halts at most two
+      phases after the first finisher appears.
+    - {b corruption budget}: at most [t] corruptions, each node corrupted at
+      most once. *)
+
+type violation = { check : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Outcome-level checks (no records needed). *)
+
+val agreement : Ba_sim.Engine.outcome -> violation list
+
+val validity : Ba_sim.Engine.outcome -> violation list
+
+(** [completion o] — the run finished before the engine's round cap and
+    every honest node decided. *)
+val completion : Ba_sim.Engine.outcome -> violation list
+
+val corruption_budget : Ba_sim.Engine.outcome -> violation list
+
+(** [congest o] — fires when the run was metered with a CONGEST limit and
+    some payload exceeded it. *)
+val congest : Ba_sim.Engine.outcome -> violation list
+
+(** Record-level checks (need [~record:true]). *)
+
+val decided_coherence : Ba_sim.Engine.outcome -> violation list
+
+val frozen_finishers : Ba_sim.Engine.outcome -> violation list
+
+(** [termination_gap ~rounds_per_phase o] — Lemma 4's two-phase window. *)
+val termination_gap : rounds_per_phase:int -> Ba_sim.Engine.outcome -> violation list
+
+(** [standard ?rounds_per_phase o] — all of the above that apply (record
+    checks are skipped when the outcome carries no records; the termination
+    gap is skipped unless [rounds_per_phase] is given). *)
+val standard : ?rounds_per_phase:int -> Ba_sim.Engine.outcome -> violation list

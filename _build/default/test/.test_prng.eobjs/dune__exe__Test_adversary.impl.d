@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Array Ba_adversary Ba_core Ba_experiments Ba_prng Ba_sim Ba_stats Ba_trace Format Fun Int64 List Option Printf QCheck QCheck_alcotest Setups

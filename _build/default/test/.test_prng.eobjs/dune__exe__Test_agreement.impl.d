@@ -1,0 +1,1 @@
+test/test_agreement.ml: Alcotest Array Ba_adversary Ba_core Ba_experiments Ba_prng Ba_sim Ba_trace Format Fun Int64 List Printf QCheck QCheck_alcotest Setups

@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Array Async_adv Async_engine Ba_async Ba_prng Ben_or_async Int64 List Printf QCheck QCheck_alcotest

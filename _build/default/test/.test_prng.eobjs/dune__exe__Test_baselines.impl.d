@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Ba_adversary Ba_baselines Ba_core Ba_experiments Ba_prng Ba_sim Ba_stats Ba_trace Format Hashtbl Int64 List Printf QCheck QCheck_alcotest Setups

@@ -1,0 +1,1 @@
+test/test_bracha_rbc.ml: Alcotest Array Async_adv Async_engine Ba_async Ba_prng Bracha_rbc Int64 List Option QCheck QCheck_alcotest

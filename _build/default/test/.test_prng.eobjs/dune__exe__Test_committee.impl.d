@@ -1,0 +1,1 @@
+test/test_committee.ml: Alcotest Array Ba_core Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_common_coin.ml: Alcotest Array Ba_adversary Ba_core Ba_prng Ba_sim Ba_stats Float Int64 List Printf QCheck QCheck_alcotest

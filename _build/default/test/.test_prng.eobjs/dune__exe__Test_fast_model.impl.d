@@ -1,0 +1,1 @@
+test/test_fast_model.ml: Alcotest Ba_core Ba_experiments Ba_prng Ba_sim Ba_stats Float Int64 List Printf QCheck QCheck_alcotest

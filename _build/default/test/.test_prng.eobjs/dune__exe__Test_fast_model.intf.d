@@ -1,0 +1,1 @@
+test/test_fast_model.mli:

@@ -1,0 +1,1 @@
+test/test_feige.ml: Alcotest Ba_baselines Ba_prng Printf QCheck QCheck_alcotest

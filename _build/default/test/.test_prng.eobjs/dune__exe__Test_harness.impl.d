@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Ba_experiments Ba_harness Ba_stats Ba_trace Float Hashtbl List Setups String

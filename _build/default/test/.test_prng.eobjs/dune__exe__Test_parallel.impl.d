@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Ba_experiments Ba_harness Ba_sim Ba_stats Ba_trace List Printf Setups

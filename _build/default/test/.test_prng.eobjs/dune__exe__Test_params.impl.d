@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Ba_core List Printf QCheck QCheck_alcotest

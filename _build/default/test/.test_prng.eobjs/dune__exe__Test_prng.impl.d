@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Ba_prng Ba_stats Fun Hashtbl Int64 List Printf QCheck QCheck_alcotest

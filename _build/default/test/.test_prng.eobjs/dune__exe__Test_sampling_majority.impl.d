@@ -1,0 +1,1 @@
+test/test_sampling_majority.ml: Alcotest Array Ba_baselines Ba_prng Ba_sim Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_setups.ml: Alcotest Array Ba_experiments Ba_sim Int64 List Printf Setups String

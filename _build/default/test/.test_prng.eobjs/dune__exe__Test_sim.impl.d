@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ba_baselines Ba_core Ba_sim Ba_trace Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_skeleton.ml: Alcotest Array Ba_core Ba_prng Ba_sim List QCheck QCheck_alcotest Skeleton

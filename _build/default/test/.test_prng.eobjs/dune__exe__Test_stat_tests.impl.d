@@ -1,0 +1,1 @@
+test/test_stat_tests.ml: Alcotest Array Ba_core Ba_experiments Ba_prng Ba_sim Ba_stats Float Gen Int64 Printf QCheck QCheck_alcotest

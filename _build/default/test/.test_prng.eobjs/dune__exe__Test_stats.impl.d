@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Ba_prng Ba_stats Float Gen List Printf QCheck QCheck_alcotest

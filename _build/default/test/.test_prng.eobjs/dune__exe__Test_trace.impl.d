@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Ba_adversary Ba_core Ba_sim Ba_trace Filename Fun List Option Printf String Sys

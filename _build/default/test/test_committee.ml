@@ -1,0 +1,115 @@
+(* Committee partition (Algorithm 3 line 2): exact partition semantics. *)
+
+let test_basic_partition () =
+  let t = Ba_core.Committee.make ~n:12 ~c:3 in
+  Alcotest.(check int) "count" 3 (Ba_core.Committee.count t);
+  Alcotest.(check int) "size" 4 (Ba_core.Committee.size t);
+  Alcotest.(check (array int)) "committee 0" [| 0; 1; 2; 3 |] (Ba_core.Committee.members t 0);
+  Alcotest.(check (array int)) "committee 2" [| 8; 9; 10; 11 |] (Ba_core.Committee.members t 2)
+
+let test_remainder_goes_last () =
+  (* n=10, c=3 -> s=3; last committee absorbs 10 - 6 = 4 nodes. *)
+  let t = Ba_core.Committee.make ~n:10 ~c:3 in
+  Alcotest.(check int) "size" 3 (Ba_core.Committee.size t);
+  Alcotest.(check int) "first actual" 3 (Ba_core.Committee.actual_size t 0);
+  Alcotest.(check int) "last actual" 4 (Ba_core.Committee.actual_size t 2);
+  Alcotest.(check (array int)) "last members" [| 6; 7; 8; 9 |] (Ba_core.Committee.members t 2)
+
+let test_of_node_matches_members () =
+  let t = Ba_core.Committee.make ~n:37 ~c:5 in
+  for i = 0 to 4 do
+    Array.iter
+      (fun v ->
+        Alcotest.(check int) (Printf.sprintf "node %d" v) i (Ba_core.Committee.of_node t v);
+        Alcotest.(check bool) "is_member" true (Ba_core.Committee.is_member t i v))
+      (Ba_core.Committee.members t i)
+  done
+
+let test_is_partition () =
+  let t = Ba_core.Committee.make ~n:37 ~c:5 in
+  let seen = Array.make 37 0 in
+  for i = 0 to 4 do
+    Array.iter (fun v -> seen.(v) <- seen.(v) + 1) (Ba_core.Committee.members t i)
+  done;
+  Array.iteri
+    (fun v c -> Alcotest.(check int) (Printf.sprintf "node %d appears once" v) 1 c)
+    seen
+
+let test_c_equals_n () =
+  let t = Ba_core.Committee.make ~n:5 ~c:5 in
+  Alcotest.(check int) "singleton committees" 1 (Ba_core.Committee.size t);
+  for v = 0 to 4 do
+    Alcotest.(check int) "own committee" v (Ba_core.Committee.of_node t v)
+  done
+
+let test_c_equals_one () =
+  let t = Ba_core.Committee.make ~n:9 ~c:1 in
+  Alcotest.(check int) "one committee of n" 9 (Ba_core.Committee.actual_size t 0);
+  Alcotest.(check int) "everyone in 0" 0 (Ba_core.Committee.of_node t 8)
+
+let test_for_phase_cycles () =
+  let t = Ba_core.Committee.make ~n:12 ~c:3 in
+  Alcotest.(check int) "phase 1" 0 (Ba_core.Committee.for_phase t ~phase:1);
+  Alcotest.(check int) "phase 3" 2 (Ba_core.Committee.for_phase t ~phase:3);
+  Alcotest.(check int) "phase 4 wraps" 0 (Ba_core.Committee.for_phase t ~phase:4);
+  Alcotest.(check int) "phase 8 wraps" 1 (Ba_core.Committee.for_phase t ~phase:8)
+
+let test_errors () =
+  Alcotest.check_raises "c > n" (Invalid_argument "Committee.make: need 1 <= c <= n") (fun () ->
+      ignore (Ba_core.Committee.make ~n:3 ~c:4));
+  Alcotest.check_raises "c = 0" (Invalid_argument "Committee.make: need 1 <= c <= n") (fun () ->
+      ignore (Ba_core.Committee.make ~n:3 ~c:0));
+  let t = Ba_core.Committee.make ~n:4 ~c:2 in
+  Alcotest.check_raises "of_node range" (Invalid_argument "Committee.of_node: id out of range")
+    (fun () -> ignore (Ba_core.Committee.of_node t 4));
+  Alcotest.check_raises "phase 0" (Invalid_argument "Committee.for_phase: phases are 1-based")
+    (fun () -> ignore (Ba_core.Committee.for_phase t ~phase:0))
+
+let prop_partition =
+  QCheck.Test.make ~name:"members form a partition of [0,n)" ~count:300
+    QCheck.(pair (int_range 1 200) (int_range 1 200))
+    (fun (n, c) ->
+      QCheck.assume (c <= n);
+      let t = Ba_core.Committee.make ~n ~c in
+      let seen = Array.make n 0 in
+      for i = 0 to Ba_core.Committee.count t - 1 do
+        Array.iter (fun v -> seen.(v) <- seen.(v) + 1) (Ba_core.Committee.members t i)
+      done;
+      Array.for_all (fun k -> k = 1) seen)
+
+let prop_sizes_sum =
+  QCheck.Test.make ~name:"actual sizes sum to n" ~count:300
+    QCheck.(pair (int_range 1 500) (int_range 1 500))
+    (fun (n, c) ->
+      QCheck.assume (c <= n);
+      let t = Ba_core.Committee.make ~n ~c in
+      let total = ref 0 in
+      for i = 0 to Ba_core.Committee.count t - 1 do
+        total := !total + Ba_core.Committee.actual_size t i
+      done;
+      !total = n)
+
+let prop_of_node_consistent =
+  QCheck.Test.make ~name:"of_node agrees with members" ~count:300
+    QCheck.(triple (int_range 2 100) (int_range 1 100) (int_range 0 99))
+    (fun (n, c, v) ->
+      QCheck.assume (c <= n && v < n);
+      let t = Ba_core.Committee.make ~n ~c in
+      let i = Ba_core.Committee.of_node t v in
+      Array.exists (fun u -> u = v) (Ba_core.Committee.members t i))
+
+let () =
+  Alcotest.run "ba_committee"
+    [ ("unit",
+       [ Alcotest.test_case "basic partition" `Quick test_basic_partition;
+         Alcotest.test_case "remainder in last committee" `Quick test_remainder_goes_last;
+         Alcotest.test_case "of_node matches members" `Quick test_of_node_matches_members;
+         Alcotest.test_case "is a partition" `Quick test_is_partition;
+         Alcotest.test_case "c = n" `Quick test_c_equals_n;
+         Alcotest.test_case "c = 1" `Quick test_c_equals_one;
+         Alcotest.test_case "for_phase cycles" `Quick test_for_phase_cycles;
+         Alcotest.test_case "errors" `Quick test_errors ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_partition;
+         QCheck_alcotest.to_alcotest prop_sizes_sum;
+         QCheck_alcotest.to_alcotest prop_of_node_consistent ]) ]

@@ -1,0 +1,65 @@
+(* Integration: every experiment runs end-to-end in quick mode and reports
+   a passing verdict (the summaries embed their own pass/fail wording). *)
+
+let seed = 97L
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let failure_markers = [ "BOUND VIOLATED"; "UNEXPECTED"; "NOT bounded"; "NO " ]
+
+let check_report (r : Ba_experiments.Experiments.report) =
+  Alcotest.(check bool) (r.id ^ " has body") true (String.length r.body > 50);
+  Alcotest.(check bool) (r.id ^ " has summary") true (String.length r.summary > 20);
+  List.iter
+    (fun marker ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: no %S in summary (%s)" r.id marker r.summary)
+        false
+        (contains_sub ~sub:marker r.summary))
+    failure_markers
+
+let case id f = Alcotest.test_case id `Slow (fun () -> check_report (f ~quick:true ~seed ()))
+
+let test_all_distinct_ids () =
+  let ids =
+    List.map
+      (fun (r : Ba_experiments.Experiments.report) -> r.id)
+      (Ba_experiments.Experiments.all ~quick:true ~seed ())
+  in
+  Alcotest.(check int) "17 experiments" 17 (List.length ids);
+  Alcotest.(check int) "distinct ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_determinism () =
+  let r1 = Ba_experiments.Experiments.e9_las_vegas ~quick:true ~seed:5L () in
+  let r2 = Ba_experiments.Experiments.e9_las_vegas ~quick:true ~seed:5L () in
+  Alcotest.(check string) "same seed, same report" r1.body r2.body;
+  let r3 = Ba_experiments.Experiments.e9_las_vegas ~quick:true ~seed:6L () in
+  Alcotest.(check bool) "different seed, different report" true (r1.body <> r3.body)
+
+let () =
+  Alcotest.run "ba_experiments"
+    [ ("reports",
+       [ case "E1" (fun ~quick ~seed () -> Ba_experiments.Experiments.e1_coin_theorem3 ~quick ~seed ());
+         case "E2" (fun ~quick ~seed () -> Ba_experiments.Experiments.e2_coin_corollary1 ~quick ~seed ());
+         case "E3" (fun ~quick ~seed () -> Ba_experiments.Experiments.e3_rounds_vs_t ~quick ~seed ());
+         case "E4" (fun ~quick ~seed () -> Ba_experiments.Experiments.e4_crossover ~quick ~seed ());
+         case "E5" (fun ~quick ~seed () -> Ba_experiments.Experiments.e5_early_termination ~quick ~seed ());
+         case "E6" (fun ~quick ~seed () -> Ba_experiments.Experiments.e6_validity_matrix ~quick ~seed ());
+         case "E8" (fun ~quick ~seed () -> Ba_experiments.Experiments.e8_message_complexity ~quick ~seed ());
+         case "E9" (fun ~quick ~seed () -> Ba_experiments.Experiments.e9_las_vegas ~quick ~seed ());
+         case "E10" (fun ~quick ~seed () -> Ba_experiments.Experiments.e10_baseline_ladder ~quick ~seed ());
+         case "E11a" (fun ~quick ~seed () -> Ba_experiments.Experiments.e11_ablation_alpha ~quick ~seed ());
+         case "E11b" (fun ~quick ~seed () -> Ba_experiments.Experiments.e11_ablation_coin_round ~quick ~seed ());
+         case "E12" (fun ~quick ~seed () -> Ba_experiments.Experiments.e12_sampling_majority ~quick ~seed ());
+         case "E13" (fun ~quick ~seed () -> Ba_experiments.Experiments.e13_bjb_gap ~quick ~seed ());
+         case "E14" (fun ~quick ~seed () -> Ba_experiments.Experiments.e14_crash_vs_byzantine ~quick ~seed ());
+         case "E15" (fun ~quick ~seed () -> Ba_experiments.Experiments.e15_termination_ablation ~quick ~seed ());
+         case "E16" (fun ~quick ~seed () -> Ba_experiments.Experiments.e16_election_vs_adaptive ~quick ~seed ());
+         case "E17" (fun ~quick ~seed () -> Ba_experiments.Experiments.e17_async_contrast ~quick ~seed ()) ]);
+      ("meta",
+       [ Alcotest.test_case "all() runs and ids distinct" `Slow test_all_distinct_ids;
+         Alcotest.test_case "reports deterministic in seed" `Quick test_determinism ]) ]

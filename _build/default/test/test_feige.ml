@@ -1,0 +1,89 @@
+(* Feige lightest-bin election: static safety, adaptive collapse. *)
+
+let test_static_honest_majority () =
+  let rng = Ba_prng.Rng.create 1L in
+  let n = 1024 in
+  let rate =
+    Ba_baselines.Feige_election.honest_majority_rate rng ~n
+      ~t:(int_of_float (sqrt (float_of_int n)))
+      ~bins:(Ba_baselines.Feige_election.default_bins n)
+      ~adaptive:false ~trials:2000
+  in
+  Alcotest.(check bool) (Printf.sprintf "static rate %.3f high" rate) true (rate > 0.9)
+
+let test_adaptive_collapse () =
+  let rng = Ba_prng.Rng.create 2L in
+  let n = 1024 in
+  let rate =
+    Ba_baselines.Feige_election.honest_majority_rate rng ~n
+      ~t:(int_of_float (sqrt (float_of_int n)))
+      ~bins:(Ba_baselines.Feige_election.default_bins n)
+      ~adaptive:true ~trials:500
+  in
+  Alcotest.(check (float 1e-9)) "adaptive rate zero" 0.0 rate
+
+let test_adaptive_survives_tiny_budget () =
+  (* With budget smaller than half the committee, even adaptive corruption
+     cannot flip the majority. *)
+  let rng = Ba_prng.Rng.create 3L in
+  let rate =
+    Ba_baselines.Feige_election.honest_majority_rate rng ~n:1024 ~t:1 ~bins:64 ~adaptive:true
+      ~trials:500
+  in
+  (* committees average 16 members; 1 corruption can't reach majority *)
+  Alcotest.(check bool) (Printf.sprintf "rate %.3f" rate) true (rate > 0.95)
+
+let test_elect_result_consistency () =
+  let rng = Ba_prng.Rng.create 4L in
+  for _ = 1 to 200 do
+    let r = Ba_baselines.Feige_election.elect rng ~n:256 ~t:16 ~bins:32 ~adaptive:true in
+    Alcotest.(check bool) "bin in range" true (r.winning_bin >= 0 && r.winning_bin < 32);
+    Alcotest.(check int) "members partition" r.committee_size
+      (r.honest_members + r.byzantine_members);
+    Alcotest.(check bool) "byz within budget" true (r.byzantine_members <= 16)
+  done
+
+let test_static_stuffing_never_wins_when_heavy () =
+  (* If t exceeds the expected bin load, bin 0 (the stuffed bin) should
+     essentially never be the lightest. *)
+  let rng = Ba_prng.Rng.create 5L in
+  let stuffed_wins = ref 0 in
+  for _ = 1 to 500 do
+    let r = Ba_baselines.Feige_election.elect rng ~n:256 ~t:32 ~bins:16 ~adaptive:false in
+    (* expected honest load 224/16 = 14 < 32 byz in bin 0 *)
+    if r.winning_bin = 0 then incr stuffed_wins
+  done;
+  Alcotest.(check int) "stuffed bin never lightest" 0 !stuffed_wins
+
+let test_default_bins () =
+  Alcotest.(check int) "n=1024 -> 102" 102 (Ba_baselines.Feige_election.default_bins 1024);
+  Alcotest.(check bool) "at least 2" true (Ba_baselines.Feige_election.default_bins 2 >= 2)
+
+let test_validation () =
+  let rng = Ba_prng.Rng.create 6L in
+  Alcotest.check_raises "bins 0" (Invalid_argument "Feige_election.elect: need 0 < bins <= n")
+    (fun () -> ignore (Ba_baselines.Feige_election.elect rng ~n:8 ~t:1 ~bins:0 ~adaptive:false));
+  Alcotest.check_raises "t = n" (Invalid_argument "Feige_election.elect: need 0 <= t < n")
+    (fun () -> ignore (Ba_baselines.Feige_election.elect rng ~n:8 ~t:8 ~bins:4 ~adaptive:false))
+
+let prop_committee_nonempty =
+  QCheck.Test.make ~name:"elected committee can be empty only if a bin is empty" ~count:200
+    QCheck.(triple int64 (int_range 8 256) bool)
+    (fun (seed, n, adaptive) ->
+      let rng = Ba_prng.Rng.create seed in
+      let bins = max 2 (n / 8) in
+      let t = n / 4 in
+      let r = Ba_baselines.Feige_election.elect rng ~n ~t ~bins ~adaptive in
+      r.committee_size >= 0 && r.honest_members >= 0 && r.byzantine_members >= 0)
+
+let () =
+  Alcotest.run "ba_feige"
+    [ ("election",
+       [ Alcotest.test_case "static honest majority" `Quick test_static_honest_majority;
+         Alcotest.test_case "adaptive collapse" `Quick test_adaptive_collapse;
+         Alcotest.test_case "adaptive tiny budget" `Quick test_adaptive_survives_tiny_budget;
+         Alcotest.test_case "result consistency" `Quick test_elect_result_consistency;
+         Alcotest.test_case "static stuffing fails" `Quick test_static_stuffing_never_wins_when_heavy;
+         Alcotest.test_case "default bins" `Quick test_default_bins;
+         Alcotest.test_case "validation" `Quick test_validation ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_committee_nonempty ]) ]

@@ -1,0 +1,157 @@
+(* Harness: Monte-Carlo runner, tables, plots. *)
+
+open Ba_experiments
+
+let test_monte_carlo_aggregates () =
+  let run = Setups.make ~protocol:(Setups.Alg3 { alpha = 2.0; coin_round = `Piggyback })
+      ~adversary:Setups.Silent ~n:13 ~t:4 in
+  let inputs = Setups.inputs Setups.Split ~n:13 ~t:4 in
+  let stats =
+    Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ~trials:7 ~seed:1L
+      ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
+      ()
+  in
+  Alcotest.(check int) "trial count" 7 (Ba_stats.Summary.count stats.rounds);
+  Alcotest.(check int) "no failures" 0 stats.agreement_failures;
+  Alcotest.(check int) "no incompletes" 0 stats.incomplete;
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (fun (v : Ba_trace.Checker.violation) -> v.check) stats.violations);
+  Alcotest.(check bool) "messages tracked" true (Ba_stats.Summary.mean stats.messages > 0.);
+  Alcotest.(check bool) "phases = rounds/2" true
+    (Float.abs (Ba_stats.Summary.mean stats.phases -. (Ba_stats.Summary.mean stats.rounds /. 2.))
+     < 1e-9)
+
+let test_monte_carlo_deterministic () =
+  let run = Setups.make ~protocol:(Setups.Alg3 { alpha = 2.0; coin_round = `Piggyback })
+      ~adversary:Setups.Committee_killer ~n:13 ~t:4 in
+  let inputs = Setups.inputs Setups.Split ~n:13 ~t:4 in
+  let go () =
+    let stats =
+      Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ~trials:5
+        ~seed:9L
+        ~run:(fun ~seed ~trial:_ -> run.exec ~record:false ~inputs ~seed ())
+        ()
+    in
+    Ba_stats.Summary.mean stats.rounds
+  in
+  Alcotest.(check (float 1e-12)) "same seed, same stats" (go ()) (go ())
+
+let test_monte_carlo_fail_fast () =
+  (* Force a violation by checking a bogus invariant. *)
+  let run = Setups.make ~protocol:(Setups.Alg3 { alpha = 2.0; coin_round = `Piggyback })
+      ~adversary:Setups.Silent ~n:13 ~t:4 in
+  let inputs = Setups.inputs Setups.Split ~n:13 ~t:4 in
+  let bogus _ = [ { Ba_trace.Checker.check = "bogus"; detail = "always fires" } ] in
+  (match
+     Ba_harness.Experiment.monte_carlo ~check:bogus ~trials:3 ~seed:1L
+       ~run:(fun ~seed ~trial:_ -> run.exec ~record:false ~inputs ~seed ())
+       ()
+   with
+  | exception Failure msg ->
+      Alcotest.(check bool) "mentions violation" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected fail-fast");
+  (* without fail-fast it aggregates *)
+  let stats =
+    Ba_harness.Experiment.monte_carlo ~check:bogus ~fail_fast:false ~trials:3 ~seed:1L
+      ~run:(fun ~seed ~trial:_ -> run.exec ~record:false ~inputs ~seed ())
+      ()
+  in
+  Alcotest.(check int) "violations kept" 3 (List.length stats.violations)
+
+let test_trial_seed_distinct () =
+  let seen = Hashtbl.create 64 in
+  for trial = 0 to 999 do
+    let s = Ba_harness.Experiment.trial_seed ~seed:42L ~trial in
+    Alcotest.(check bool) "distinct" false (Hashtbl.mem seen s);
+    Hashtbl.add seen s ()
+  done
+
+let test_table_render () =
+  let s =
+    Ba_harness.Table.render ~title:"demo" ~headers:[ "name"; "value" ]
+      [ [ "alpha"; "1.25" ]; [ "a-very-long-name"; "2" ]; [ "short" ] ]
+  in
+  Alcotest.(check bool) "title" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "has separator rows" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = '+') lines);
+  (* all data rows have the same width *)
+  let widths =
+    List.filter_map
+      (fun l -> if String.length l > 0 && l.[0] = '|' then Some (String.length l) else None)
+      lines
+  in
+  (match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+  | [] -> Alcotest.fail "no rows")
+
+let test_table_numeric_alignment () =
+  let s =
+    Ba_harness.Table.render ~title:"t" ~headers:[ "col" ] [ [ "5" ]; [ "text" ] ]
+  in
+  (* numeric right-aligned, text left-aligned: both lines same length. *)
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_fmt_helpers () =
+  Alcotest.(check string) "ratio" "2.50x" (Ba_harness.Table.fmt_ratio 5. 2.);
+  Alcotest.(check string) "ratio div0" "-" (Ba_harness.Table.fmt_ratio 5. 0.);
+  Alcotest.(check string) "nan" "-" (Ba_harness.Table.fmt_float Float.nan);
+  Alcotest.(check string) "small float" "1.500" (Ba_harness.Table.fmt_float 1.5);
+  Alcotest.(check string) "big float" "12345" (Ba_harness.Table.fmt_float 12345.2);
+  Alcotest.(check string) "empty summary" "-"
+    (Ba_harness.Table.fmt_mean_ci (Ba_stats.Summary.create ()))
+
+let test_plot_renders () =
+  let s =
+    Ba_harness.Ascii_plot.render ~title:"demo" ~xlabel:"x" ~ylabel:"y"
+      [ { Ba_harness.Ascii_plot.label = "series"; glyph = 'o';
+          points = [ (1., 1.); (2., 4.); (3., 9.) ] } ]
+  in
+  Alcotest.(check bool) "contains glyph" true (String.contains s 'o');
+  Alcotest.(check bool) "contains legend" true (String.length s > 100)
+
+let test_plot_log_axes_drop_nonpositive () =
+  let s =
+    Ba_harness.Ascii_plot.render ~logx:true ~logy:true ~title:"log" ~xlabel:"x" ~ylabel:"y"
+      [ { Ba_harness.Ascii_plot.label = "s"; glyph = '#';
+          points = [ (0., 5.); (-1., 2.); (10., 100.); (100., 1000.) ] } ]
+  in
+  Alcotest.(check bool) "renders without raising" true (String.contains s '#')
+
+let test_plot_empty () =
+  let s =
+    Ba_harness.Ascii_plot.render ~title:"empty" ~xlabel:"x" ~ylabel:"y"
+      [ { Ba_harness.Ascii_plot.label = "s"; glyph = 'o'; points = [] } ]
+  in
+  Alcotest.(check bool) "notes emptiness" true
+    (String.length s > 0)
+
+let test_plot_single_point () =
+  let s =
+    Ba_harness.Ascii_plot.render ~title:"one" ~xlabel:"x" ~ylabel:"y"
+      [ { Ba_harness.Ascii_plot.label = "s"; glyph = 'o'; points = [ (3., 3.) ] } ]
+  in
+  Alcotest.(check bool) "degenerate range handled" true (String.contains s 'o')
+
+let test_sweep_pairs () =
+  let result = Ba_harness.Experiment.sweep [ 1; 2; 3 ] (fun x -> x * x) in
+  Alcotest.(check (list (pair int int))) "pairs" [ (1, 1); (2, 4); (3, 9) ] result
+
+let () =
+  Alcotest.run "ba_harness"
+    [ ("experiment",
+       [ Alcotest.test_case "aggregates" `Quick test_monte_carlo_aggregates;
+         Alcotest.test_case "deterministic" `Quick test_monte_carlo_deterministic;
+         Alcotest.test_case "fail fast" `Quick test_monte_carlo_fail_fast;
+         Alcotest.test_case "trial seeds distinct" `Quick test_trial_seed_distinct;
+         Alcotest.test_case "sweep" `Quick test_sweep_pairs ]);
+      ("table",
+       [ Alcotest.test_case "render" `Quick test_table_render;
+         Alcotest.test_case "numeric alignment" `Quick test_table_numeric_alignment;
+         Alcotest.test_case "formatters" `Quick test_fmt_helpers ]);
+      ("plot",
+       [ Alcotest.test_case "renders" `Quick test_plot_renders;
+         Alcotest.test_case "log axes" `Quick test_plot_log_axes_drop_nonpositive;
+         Alcotest.test_case "empty" `Quick test_plot_empty;
+         Alcotest.test_case "single point" `Quick test_plot_single_point ]) ]

@@ -1,0 +1,139 @@
+(* Parameter formulas and theoretical bounds. *)
+
+let test_max_tolerated () =
+  (* Largest t with t < n/3, i.e. 3t + 1 <= n. *)
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check int) (Printf.sprintf "n=%d" n) expected (Ba_core.Params.max_tolerated n))
+    [ (4, 1); (6, 1); (7, 2); (9, 2); (10, 3); (40, 13); (64, 21); (100, 33); (3, 0) ]
+
+let test_max_tolerated_consistent () =
+  for n = 3 to 300 do
+    let t = Ba_core.Params.max_tolerated n in
+    Alcotest.(check bool) "3t+1 <= n" true ((3 * t) + 1 <= n);
+    Alcotest.(check bool) "t+1 would break" false ((3 * (t + 1)) + 1 <= n)
+  done
+
+let test_committees_monotone_clamped () =
+  for t = 0 to 85 do
+    let c = Ba_core.Params.committees ~n:256 ~t () in
+    Alcotest.(check bool) "1 <= c <= n" true (c >= 1 && c <= 256)
+  done
+
+let test_committees_t0 () =
+  Alcotest.(check int) "t=0 gives one committee" 1 (Ba_core.Params.committees ~n:64 ~t:0 ())
+
+let test_committees_formula_small_regime () =
+  (* n = 2^20, t = 512: t^2/n = 0.25 -> ceil = 1; c = alpha * 1 * 20 = 40
+     vs large term 3*2*512/20 = 153.6 -> min = 40. *)
+  let c = Ba_core.Params.committees ~alpha:2.0 ~n:(1 lsl 20) ~t:512 () in
+  Alcotest.(check int) "c = alpha log n" 40 c
+
+let test_committees_formula_large_regime () =
+  (* n = 64, t = 21: small term = 2*ceil(441/64)*6 = 84, large = 3*2*21/6 = 21. *)
+  let c = Ba_core.Params.committees ~alpha:2.0 ~n:64 ~t:21 () in
+  Alcotest.(check int) "c = 3 alpha t / log n" 21 c
+
+let test_committee_size () =
+  Alcotest.(check int) "s = n/c" 4 (Ba_core.Params.committee_size ~n:64 ~c:16);
+  Alcotest.(check int) "s at least 1" 1 (Ba_core.Params.committee_size ~n:4 ~c:9)
+
+let test_regime_boundary () =
+  let n = 1 lsl 24 in
+  (* boundary at t = n / log^2 n = 29127 *)
+  Alcotest.(check bool) "small regime" true (Ba_core.Params.regime ~n ~t:4096 = Ba_core.Params.Small_t);
+  Alcotest.(check bool) "large regime" true
+    (Ba_core.Params.regime ~n ~t:100000 = Ba_core.Params.Large_t)
+
+let test_bounds_ordering () =
+  (* For t in the improvement window: BJB <= ours <= chor-coan <= deterministic. *)
+  let n = 1 lsl 24 in
+  List.iter
+    (fun t ->
+      let bjb = Ba_core.Params.lower_bound_bjb ~n ~t in
+      let ours = Ba_core.Params.rounds_ours ~n ~t in
+      let cc = Ba_core.Params.rounds_chor_coan ~n ~t in
+      let det = Ba_core.Params.rounds_deterministic ~t in
+      Alcotest.(check bool) (Printf.sprintf "t=%d bjb <= ours" t) true (bjb <= ours);
+      Alcotest.(check bool) (Printf.sprintf "t=%d ours <= cc" t) true (ours <= cc +. 1.);
+      Alcotest.(check bool) (Printf.sprintf "t=%d cc <= det" t) true (cc <= det))
+    [ 4096; 8192; 16384; 65536; 1000000 ]
+
+let test_ours_equals_cc_at_large_t () =
+  let n = 1 lsl 24 in
+  let t = 5000000 in
+  let ours = Ba_core.Params.rounds_ours ~n ~t in
+  let cc = Ba_core.Params.rounds_chor_coan ~n ~t in
+  Alcotest.(check (float 0.001)) "bounds coincide in large regime" cc ours
+
+let test_paper_example () =
+  (* Paper: at t = n^0.75 ours is O(n^0.5 log n) vs CC's O(n^0.75/log n).
+     The example needs n^0.25 > log^2 n, i.e. truly asymptotic n: at
+     n = 2^60, t = 2^45 the quadratic term wins by ~2^9. *)
+  let n = 1 lsl 60 in
+  let t = 1 lsl 45 in
+  let ours = Ba_core.Params.rounds_ours ~n ~t in
+  let cc = Ba_core.Params.rounds_chor_coan ~n ~t in
+  Alcotest.(check bool) "ours beats CC at t = n^0.75" true (ours < cc /. 4.);
+  (* ...while at moderate n the same t sits past the crossover and the two
+     bounds coincide - worth pinning down since it surprises at first. *)
+  let n = 1 lsl 24 in
+  let t = int_of_float (float_of_int n ** 0.75) in
+  Alcotest.(check (float 0.001)) "t=n^0.75 is past the crossover at n=2^24"
+    (Ba_core.Params.rounds_chor_coan ~n ~t) (Ba_core.Params.rounds_ours ~n ~t)
+
+let test_crossover () =
+  let n = 1 lsl 24 in
+  let x = Ba_core.Params.crossover_t n in
+  Alcotest.(check bool) "crossover near n/log^2 n" true (x > 29000 && x < 29300)
+
+let test_log2n_guard () =
+  Alcotest.(check (float 1e-9)) "log2n 1 = 1" 1.0 (Ba_core.Params.log2n 1);
+  Alcotest.(check (float 1e-9)) "log2n 1024 = 10" 10.0 (Ba_core.Params.log2n 1024)
+
+let test_errors () =
+  Alcotest.check_raises "n <= 0" (Invalid_argument "Params.committees: n <= 0") (fun () ->
+      ignore (Ba_core.Params.committees ~n:0 ~t:0 ()));
+  Alcotest.check_raises "t < 0" (Invalid_argument "Params.committees: t < 0") (fun () ->
+      ignore (Ba_core.Params.committees ~n:4 ~t:(-1) ()));
+  Alcotest.check_raises "committee_size c=0"
+    (Invalid_argument "Params.committee_size: c <= 0") (fun () ->
+      ignore (Ba_core.Params.committee_size ~n:4 ~c:0))
+
+let prop_committees_in_range =
+  QCheck.Test.make ~name:"committees always in [1, n]" ~count:500
+    QCheck.(triple (int_range 1 100000) (int_range 0 33000) (int_range 1 10))
+    (fun (n, t, a) ->
+      QCheck.assume (t < n);
+      let c = Ba_core.Params.committees ~alpha:(float_of_int a) ~n ~t () in
+      c >= 1 && c <= n)
+
+let prop_min_bound =
+  QCheck.Test.make ~name:"rounds_ours = min of both terms" ~count:500
+    QCheck.(pair (int_range 4 1000000) (int_range 1 300000))
+    (fun (n, t) ->
+      QCheck.assume (t < n / 3);
+      let ours = Ba_core.Params.rounds_ours ~n ~t in
+      let cc = Ba_core.Params.rounds_chor_coan ~n ~t in
+      ours <= cc +. 1e-9)
+
+let () =
+  Alcotest.run "ba_params"
+    [ ("unit",
+       [ Alcotest.test_case "max_tolerated" `Quick test_max_tolerated;
+         Alcotest.test_case "max_tolerated consistency" `Quick test_max_tolerated_consistent;
+         Alcotest.test_case "committees clamped" `Quick test_committees_monotone_clamped;
+         Alcotest.test_case "committees at t=0" `Quick test_committees_t0;
+         Alcotest.test_case "small-regime formula" `Quick test_committees_formula_small_regime;
+         Alcotest.test_case "large-regime formula" `Quick test_committees_formula_large_regime;
+         Alcotest.test_case "committee size" `Quick test_committee_size;
+         Alcotest.test_case "regime boundary" `Quick test_regime_boundary;
+         Alcotest.test_case "bounds ordering" `Quick test_bounds_ordering;
+         Alcotest.test_case "bounds equal at large t" `Quick test_ours_equals_cc_at_large_t;
+         Alcotest.test_case "paper's n^0.75 example" `Quick test_paper_example;
+         Alcotest.test_case "crossover" `Quick test_crossover;
+         Alcotest.test_case "log2n guard" `Quick test_log2n_guard;
+         Alcotest.test_case "errors" `Quick test_errors ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_committees_in_range;
+         QCheck_alcotest.to_alcotest prop_min_bound ]) ]

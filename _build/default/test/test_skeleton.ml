@@ -1,0 +1,428 @@
+(* Skeleton phase machine: direct recv/send unit tests with crafted
+   inboxes, plus structural properties. *)
+
+open Ba_core
+
+let cfg ?(phases = 4) ?(cycle = false) ?(coin_round = `Piggyback) ?(coin = Skeleton.Private) ()
+    =
+  { Skeleton.cfg_name = "test-skel";
+    cfg_phases = phases;
+    cfg_coin = coin;
+    cfg_cycle = cycle;
+    cfg_coin_round = coin_round;
+    cfg_termination = `Extra_phase }
+
+let ctx ~n ~t ~me ~seed = { Ba_sim.Protocol.n; t; me; rng = Ba_prng.Rng.create seed }
+
+let msg ?(flip = None) ~phase ~sub ~v ~decided () =
+  Some { Skeleton.m_phase = phase; m_sub = sub; m_val = v; m_decided = decided; m_flip = flip }
+
+(* Build an inbox of n slots from a list of messages (rest empty). *)
+let inbox ~n msgs =
+  let a = Array.make n None in
+  List.iteri (fun i m -> a.(i) <- m) msgs;
+  a
+
+let test_phase_of_round_piggyback () =
+  let c = cfg () in
+  Alcotest.(check (pair int bool)) "round 1" (1, true)
+    (let p, s = Skeleton.phase_of_round c ~round:1 in
+     (p, s = Skeleton.R1));
+  Alcotest.(check (pair int bool)) "round 2" (1, true)
+    (let p, s = Skeleton.phase_of_round c ~round:2 in
+     (p, s = Skeleton.R2));
+  Alcotest.(check (pair int bool)) "round 7" (4, true)
+    (let p, s = Skeleton.phase_of_round c ~round:7 in
+     (p, s = Skeleton.R1))
+
+let test_phase_of_round_extra () =
+  let c = cfg ~coin_round:`Extra () in
+  Alcotest.(check int) "rpp 3" 3 (Skeleton.rounds_per_phase c);
+  let p, s = Skeleton.phase_of_round c ~round:3 in
+  Alcotest.(check (pair int bool)) "round 3 is RC of phase 1" (1, true) (p, s = Skeleton.RC);
+  let p, s = Skeleton.phase_of_round c ~round:4 in
+  Alcotest.(check (pair int bool)) "round 4 is R1 of phase 2" (2, true) (p, s = Skeleton.R1)
+
+let test_round1_threshold () =
+  let c = cfg () in
+  let proto = Skeleton.make c in
+  let n = 7 and t = 2 in
+  let context = ctx ~n ~t ~me:0 ~seed:3L in
+  let st0 = proto.init context ~input:0 in
+  (* n - t = 5 identical values -> decided. *)
+  let ib =
+    inbox ~n (List.init 5 (fun _ -> msg ~phase:1 ~sub:Skeleton.R1 ~v:1 ~decided:false ()))
+  in
+  let st = proto.recv context st0 ~round:1 ~inbox:ib in
+  Alcotest.(check int) "adopted b" 1 (Skeleton.state_val st);
+  Alcotest.(check bool) "decided" true (Skeleton.state_decided st);
+  (* only 4 identical -> undecided. *)
+  let ib =
+    inbox ~n (List.init 4 (fun _ -> msg ~phase:1 ~sub:Skeleton.R1 ~v:1 ~decided:false ()))
+  in
+  let st = proto.recv context st0 ~round:1 ~inbox:ib in
+  Alcotest.(check bool) "undecided below n-t" false (Skeleton.state_decided st)
+
+let test_round1_ignores_wrong_phase_and_garbage () =
+  let c = cfg () in
+  let proto = Skeleton.make c in
+  let n = 7 and t = 2 in
+  let context = ctx ~n ~t ~me:0 ~seed:3L in
+  let st0 = proto.init context ~input:0 in
+  let ib =
+    inbox ~n
+      [ msg ~phase:2 ~sub:Skeleton.R1 ~v:1 ~decided:false () (* wrong phase *);
+        msg ~phase:1 ~sub:Skeleton.R2 ~v:1 ~decided:false () (* wrong sub *);
+        msg ~phase:1 ~sub:Skeleton.R1 ~v:7 ~decided:false () (* non-binary *);
+        msg ~phase:1 ~sub:Skeleton.R1 ~v:1 ~decided:false ();
+        msg ~phase:1 ~sub:Skeleton.R1 ~v:1 ~decided:false () ]
+  in
+  let st = proto.recv context st0 ~round:1 ~inbox:ib in
+  Alcotest.(check bool) "only 2 valid votes, no decision" false (Skeleton.state_decided st)
+
+let test_round2_cases () =
+  let c = cfg () in
+  let proto = Skeleton.make c in
+  let n = 10 and t = 3 in
+  let context = ctx ~n ~t ~me:0 ~seed:5L in
+  let st0 = proto.init context ~input:0 in
+  (* Case 1: n - t = 7 decided votes -> finish. *)
+  let ib =
+    inbox ~n (List.init 7 (fun _ -> msg ~phase:1 ~sub:Skeleton.R2 ~v:1 ~decided:true ()))
+  in
+  let st = proto.recv context st0 ~round:2 ~inbox:ib in
+  Alcotest.(check bool) "finished" true (Skeleton.state_finished st);
+  Alcotest.(check int) "val" 1 (Skeleton.state_val st);
+  (* Case 2: t + 1 = 4 decided votes -> decided, not finished. *)
+  let ib =
+    inbox ~n (List.init 4 (fun _ -> msg ~phase:1 ~sub:Skeleton.R2 ~v:0 ~decided:true ()))
+  in
+  let st = proto.recv context st0 ~round:2 ~inbox:ib in
+  Alcotest.(check bool) "decided" true (Skeleton.state_decided st);
+  Alcotest.(check bool) "not finished" false (Skeleton.state_finished st);
+  Alcotest.(check int) "val 0" 0 (Skeleton.state_val st);
+  (* Case 3: no threshold -> private coin, undecided. *)
+  let ib =
+    inbox ~n (List.init 3 (fun _ -> msg ~phase:1 ~sub:Skeleton.R2 ~v:0 ~decided:true ()))
+  in
+  let st = proto.recv context st0 ~round:2 ~inbox:ib in
+  Alcotest.(check bool) "undecided after coin" false (Skeleton.state_decided st);
+  Alcotest.(check bool) "coin value binary" true
+    (Skeleton.state_val st = 0 || Skeleton.state_val st = 1)
+
+let test_round2_undecided_votes_dont_count () =
+  let c = cfg () in
+  let proto = Skeleton.make c in
+  let n = 10 and t = 3 in
+  let context = ctx ~n ~t ~me:0 ~seed:5L in
+  let st0 = proto.init context ~input:0 in
+  (* 7 votes but decided=false: thresholds must NOT trigger. *)
+  let ib =
+    inbox ~n (List.init 7 (fun _ -> msg ~phase:1 ~sub:Skeleton.R2 ~v:1 ~decided:false ()))
+  in
+  let st = proto.recv context st0 ~round:2 ~inbox:ib in
+  Alcotest.(check bool) "no finish from undecided votes" false (Skeleton.state_finished st)
+
+let test_flipper_coin_sum () =
+  (* Flippers = nodes 0..3; craft R2 messages with flips; case 3 must take
+     the sign of the designated flips only. *)
+  let designated ~phase:_ v = v < 4 in
+  let c = cfg ~coin:(Skeleton.Flippers designated) () in
+  let proto = Skeleton.make c in
+  let n = 8 and t = 2 in
+  let context = ctx ~n ~t ~me:7 ~seed:9L in
+  let st0 = proto.init context ~input:0 in
+  let mk_flip f = msg ~flip:(Some f) ~phase:1 ~sub:Skeleton.R2 ~v:0 ~decided:false () in
+  (* flips: +1 +1 -1 +1 from designated; a rogue flip from node 5 must be
+     ignored. *)
+  let ib = Array.make n None in
+  ib.(0) <- mk_flip 1;
+  ib.(1) <- mk_flip 1;
+  ib.(2) <- mk_flip (-1);
+  ib.(3) <- mk_flip 1;
+  ib.(5) <- mk_flip (-1);
+  (* non-designated: ignored *)
+  let st = proto.recv context st0 ~round:2 ~inbox:ib in
+  Alcotest.(check int) "coin = sign(+2)" 1 (Skeleton.state_val st);
+  (* Now majority negative. *)
+  ib.(0) <- mk_flip (-1);
+  ib.(1) <- mk_flip (-1);
+  let st = proto.recv context st0 ~round:2 ~inbox:ib in
+  Alcotest.(check int) "coin = sign(-2)" 0 (Skeleton.state_val st);
+  (* Invalid flip magnitudes ignored. *)
+  ib.(0) <- mk_flip 3;
+  ib.(1) <- mk_flip 0;
+  (* remaining valid: -1 (node 2), +1 (node 3) -> sum 0 -> 1. *)
+  let st = proto.recv context st0 ~round:2 ~inbox:ib in
+  Alcotest.(check int) "invalid flips dropped, tie -> 1" 1 (Skeleton.state_val st)
+
+let test_dealer_coin () =
+  let c = cfg ~coin:(Skeleton.Dealer (fun phase -> phase mod 2)) () in
+  let proto = Skeleton.make c in
+  let n = 7 and t = 2 in
+  let context = ctx ~n ~t ~me:0 ~seed:11L in
+  let st0 = proto.init context ~input:0 in
+  let empty = inbox ~n [] in
+  let st = proto.recv context st0 ~round:2 ~inbox:empty in
+  Alcotest.(check int) "dealer phase 1 -> 1" 1 (Skeleton.state_val st);
+  let st = proto.recv context st0 ~round:4 ~inbox:empty in
+  Alcotest.(check int) "dealer phase 2 -> 0" 0 (Skeleton.state_val st)
+
+let test_finish_countdown_then_halt () =
+  let c = cfg ~phases:10 () in
+  let proto = Skeleton.make c in
+  let n = 10 and t = 3 in
+  let context = ctx ~n ~t ~me:0 ~seed:13L in
+  let st0 = proto.init context ~input:0 in
+  let finish_ib =
+    inbox ~n (List.init 7 (fun _ -> msg ~phase:1 ~sub:Skeleton.R2 ~v:1 ~decided:true ()))
+  in
+  let st = proto.recv context st0 ~round:2 ~inbox:finish_ib in
+  Alcotest.(check bool) "finished not halted" false (proto.halted st);
+  (* Still broadcasting its frozen value with decided=true. *)
+  (match proto.send context st ~round:3 with
+  | Some m ->
+      Alcotest.(check int) "frozen val" 1 m.Skeleton.m_val;
+      Alcotest.(check bool) "decided flag" true m.Skeleton.m_decided
+  | None -> Alcotest.fail "finished node must keep broadcasting");
+  let empty = inbox ~n [] in
+  let st = proto.recv context st ~round:3 ~inbox:empty in
+  Alcotest.(check bool) "alive through R1 of next phase" false (proto.halted st);
+  let st = proto.recv context st ~round:4 ~inbox:empty in
+  Alcotest.(check bool) "halts after R2 of next phase" true (proto.halted st);
+  Alcotest.(check (option int)) "output frozen value" (Some 1) (proto.output st)
+
+let test_finish_value_immutable () =
+  (* After finishing on 1, a flood of decided-0 messages must not change
+     the frozen value. *)
+  let c = cfg ~phases:10 () in
+  let proto = Skeleton.make c in
+  let n = 10 and t = 3 in
+  let context = ctx ~n ~t ~me:0 ~seed:17L in
+  let st0 = proto.init context ~input:0 in
+  let finish_ib =
+    inbox ~n (List.init 7 (fun _ -> msg ~phase:1 ~sub:Skeleton.R2 ~v:1 ~decided:true ()))
+  in
+  let st = proto.recv context st0 ~round:2 ~inbox:finish_ib in
+  let poison =
+    inbox ~n (List.init 10 (fun _ -> msg ~phase:2 ~sub:Skeleton.R1 ~v:0 ~decided:true ()))
+  in
+  let st = proto.recv context st ~round:3 ~inbox:poison in
+  Alcotest.(check int) "value frozen" 1 (Skeleton.state_val st)
+
+let test_phase_cap_return () =
+  let c = cfg ~phases:2 () in
+  let proto = Skeleton.make c in
+  let n = 7 and t = 2 in
+  let context = ctx ~n ~t ~me:0 ~seed:19L in
+  let st0 = proto.init context ~input:1 in
+  let empty = inbox ~n [] in
+  let st = proto.recv context st0 ~round:1 ~inbox:empty in
+  let st = proto.recv context st ~round:2 ~inbox:empty in
+  Alcotest.(check bool) "alive after phase 1" false (proto.halted st);
+  let st = proto.recv context st ~round:3 ~inbox:empty in
+  let st = proto.recv context st ~round:4 ~inbox:empty in
+  Alcotest.(check bool) "halted at cap" true (proto.halted st);
+  Alcotest.(check bool) "has output" true (proto.output st <> None)
+
+let test_cycle_never_caps () =
+  let c = cfg ~phases:2 ~cycle:true () in
+  let proto = Skeleton.make c in
+  let n = 7 and t = 2 in
+  let context = ctx ~n ~t ~me:0 ~seed:23L in
+  let st0 = proto.init context ~input:1 in
+  let empty = inbox ~n [] in
+  let st = ref st0 in
+  for r = 1 to 20 do
+    st := proto.recv context !st ~round:r ~inbox:empty
+  done;
+  Alcotest.(check bool) "still running" false (proto.halted !st)
+
+let test_extra_round_coin () =
+  let designated ~phase:_ v = v < 3 in
+  let c = cfg ~coin:(Skeleton.Flippers designated) ~coin_round:`Extra () in
+  let proto = Skeleton.make c in
+  Alcotest.(check bool) "coin sub is RC" true (Skeleton.coin_sub c = Skeleton.RC);
+  let n = 7 and t = 2 in
+  let context = ctx ~n ~t ~me:6 ~seed:29L in
+  let st0 = proto.init context ~input:0 in
+  (* R2 with no thresholds: awaiting coin. *)
+  let st = proto.recv context st0 ~round:2 ~inbox:(inbox ~n []) in
+  (* RC carries the flips. *)
+  let ib = Array.make n None in
+  ib.(0) <- msg ~flip:(Some (-1)) ~phase:1 ~sub:Skeleton.RC ~v:0 ~decided:false ();
+  ib.(1) <- msg ~flip:(Some (-1)) ~phase:1 ~sub:Skeleton.RC ~v:0 ~decided:false ();
+  let st = proto.recv context st ~round:3 ~inbox:ib in
+  Alcotest.(check int) "coin resolved in RC" 0 (Skeleton.state_val st);
+  (* Flipper nodes attach flips in RC sends. *)
+  let fctx = ctx ~n ~t ~me:1 ~seed:31L in
+  (match proto.send fctx (proto.init fctx ~input:0) ~round:3 with
+  | Some m -> Alcotest.(check bool) "flip attached in RC" true (m.Skeleton.m_flip <> None)
+  | None -> Alcotest.fail "no RC broadcast");
+  match proto.send fctx (proto.init fctx ~input:0) ~round:2 with
+  | Some m -> Alcotest.(check bool) "no flip in R2 (extra mode)" true (m.Skeleton.m_flip = None)
+  | None -> Alcotest.fail "no R2 broadcast"
+
+let test_msg_bits_congest () =
+  (* Payloads stay logarithmic in the phase number. *)
+  let c = cfg () in
+  let proto = Skeleton.make c in
+  let small =
+    { Skeleton.m_phase = 1; m_sub = Skeleton.R1; m_val = 0; m_decided = false; m_flip = None }
+  in
+  let big =
+    { Skeleton.m_phase = 1 lsl 20; m_sub = Skeleton.R2; m_val = 1; m_decided = true;
+      m_flip = Some 1 }
+  in
+  Alcotest.(check bool) "small payload" true (proto.msg_bits small <= 8);
+  Alcotest.(check bool) "big phase stays O(log)" true (proto.msg_bits big <= 32)
+
+let prop_send_matches_round_structure =
+  QCheck.Test.make ~name:"broadcast labels (phase, sub) of the round" ~count:200
+    QCheck.(pair (int_range 1 40) int64)
+    (fun (round, seed) ->
+      let c = cfg ~phases:100 () in
+      let proto = Skeleton.make c in
+      let context = ctx ~n:7 ~t:2 ~me:0 ~seed in
+      let st = proto.init context ~input:0 in
+      match proto.send context st ~round with
+      | Some m ->
+          let phase, sub = Skeleton.phase_of_round c ~round in
+          m.Skeleton.m_phase = phase && m.Skeleton.m_sub = sub
+      | None -> false)
+
+let prop_recv_total =
+  (* recv never raises on arbitrary well-typed inboxes. *)
+  let arb_msg =
+    QCheck.Gen.(
+      map
+        (fun (phase, subi, v, decided, flip) ->
+          let sub = match subi mod 3 with 0 -> Skeleton.R1 | 1 -> Skeleton.R2 | _ -> Skeleton.RC in
+          { Skeleton.m_phase = phase; m_sub = sub; m_val = v; m_decided = decided;
+            m_flip = (if flip > 2 then None else Some flip) })
+        (tup5 (int_range (-2) 10) (int_range 0 2) (int_range (-3) 3) bool (int_range (-3) 4)))
+  in
+  let arb_inbox =
+    QCheck.make
+      QCheck.Gen.(
+        list_size (int_range 0 10) (opt arb_msg) >|= fun l -> Array.of_list l)
+  in
+  QCheck.Test.make ~name:"recv total on arbitrary inboxes" ~count:300
+    (QCheck.pair arb_inbox (QCheck.int_range 1 20))
+    (fun (partial_inbox, round) ->
+      let n = 10 and t = 3 in
+      let c = cfg ~phases:8 ~coin:(Skeleton.Flippers (fun ~phase:_ v -> v < 3)) () in
+      let proto = Skeleton.make c in
+      let context = ctx ~n ~t ~me:0 ~seed:1L in
+      let ib = Array.make n None in
+      Array.iteri (fun i m -> if i < n then ib.(i) <- m) partial_inbox;
+      let st = proto.recv context (proto.init context ~input:0) ~round ~inbox:ib in
+      let v = Skeleton.state_val st in
+      v = 0 || v = 1)
+
+(* Model-based differential test: an independent, naive transcription of
+   the paper's round-1/round-2 rules, compared against Skeleton.recv on
+   random inboxes. *)
+module Reference = struct
+  let r1 ~n ~t ~phase inbox st_val =
+    let count b =
+      Array.fold_left
+        (fun acc m ->
+          match m with
+          | Some { Skeleton.m_phase; m_sub = Skeleton.R1; m_val; _ }
+            when m_phase = phase && m_val = b ->
+              acc + 1
+          | _ -> acc)
+        0 inbox
+    in
+    if count 0 >= n - t then (0, true)
+    else if count 1 >= n - t then (1, true)
+    else (st_val, false)
+
+  let r2 ~n ~t ~phase inbox st_val =
+    let count b =
+      Array.fold_left
+        (fun acc m ->
+          match m with
+          | Some { Skeleton.m_phase; m_sub = Skeleton.R2; m_val; m_decided = true; _ }
+            when m_phase = phase && m_val = b ->
+              acc + 1
+          | _ -> acc)
+        0 inbox
+    in
+    (* returns (val, decided, finished, coin_needed) *)
+    if count 0 >= n - t then (0, true, true, false)
+    else if count 1 >= n - t then (1, true, true, false)
+    else if count 0 >= t + 1 then (0, true, false, false)
+    else if count 1 >= t + 1 then (1, true, false, false)
+    else (st_val, false, false, true)
+end
+
+let arb_inbox_msgs n =
+  QCheck.Gen.(
+    array_size (return n)
+      (opt
+         (map
+            (fun (phase, subi, v, decided) ->
+              let sub =
+                match subi mod 3 with 0 -> Skeleton.R1 | 1 -> Skeleton.R2 | _ -> Skeleton.RC
+              in
+              { Skeleton.m_phase = phase; m_sub = sub; m_val = v; m_decided = decided;
+                m_flip = Some 1 })
+            (tup4 (int_range 1 3) (int_range 0 2) (int_range (-1) 2) bool))))
+
+let prop_r1_matches_reference =
+  QCheck.Test.make ~name:"round-1 recv matches naive reference" ~count:500
+    (QCheck.make (arb_inbox_msgs 10))
+    (fun ib ->
+      let n = 10 and t = 3 in
+      let c = cfg ~phases:8 () in
+      let proto = Skeleton.make c in
+      let context = ctx ~n ~t ~me:0 ~seed:1L in
+      let st0 = proto.init context ~input:0 in
+      let st = proto.recv context st0 ~round:1 ~inbox:ib in
+      let rv, rdecided = Reference.r1 ~n ~t ~phase:1 ib 0 in
+      Skeleton.state_val st = rv && Skeleton.state_decided st = rdecided)
+
+let prop_r2_matches_reference =
+  QCheck.Test.make ~name:"round-2 recv matches naive reference" ~count:500
+    (QCheck.make (arb_inbox_msgs 10))
+    (fun ib ->
+      let n = 10 and t = 3 in
+      let c = cfg ~phases:8 ~coin:(Skeleton.Dealer (fun _ -> 1)) () in
+      let proto = Skeleton.make c in
+      let context = ctx ~n ~t ~me:0 ~seed:1L in
+      let st0 = proto.init context ~input:0 in
+      let st = proto.recv context st0 ~round:2 ~inbox:ib in
+      let rv, rdecided, rfinished, coin_needed = Reference.r2 ~n ~t ~phase:1 ib 0 in
+      let expected_val = if coin_needed then 1 (* dealer always 1 *) else rv in
+      Skeleton.state_val st = expected_val
+      && Skeleton.state_decided st = rdecided
+      && Skeleton.state_finished st = rfinished)
+
+let () =
+  Alcotest.run "ba_skeleton"
+    [ ("structure",
+       [ Alcotest.test_case "phase_of_round piggyback" `Quick test_phase_of_round_piggyback;
+         Alcotest.test_case "phase_of_round extra" `Quick test_phase_of_round_extra;
+         Alcotest.test_case "msg bits CONGEST" `Quick test_msg_bits_congest ]);
+      ("thresholds",
+       [ Alcotest.test_case "round-1 n-t" `Quick test_round1_threshold;
+         Alcotest.test_case "round-1 filtering" `Quick test_round1_ignores_wrong_phase_and_garbage;
+         Alcotest.test_case "round-2 cases 1/2/3" `Quick test_round2_cases;
+         Alcotest.test_case "undecided votes don't count" `Quick
+           test_round2_undecided_votes_dont_count ]);
+      ("coins",
+       [ Alcotest.test_case "flipper sum" `Quick test_flipper_coin_sum;
+         Alcotest.test_case "dealer" `Quick test_dealer_coin;
+         Alcotest.test_case "extra coin round" `Quick test_extra_round_coin ]);
+      ("termination",
+       [ Alcotest.test_case "finish countdown" `Quick test_finish_countdown_then_halt;
+         Alcotest.test_case "finish value immutable" `Quick test_finish_value_immutable;
+         Alcotest.test_case "phase cap return" `Quick test_phase_cap_return;
+         Alcotest.test_case "cycle never caps" `Quick test_cycle_never_caps ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_send_matches_round_structure;
+         QCheck_alcotest.to_alcotest prop_recv_total;
+         QCheck_alcotest.to_alcotest prop_r1_matches_reference;
+         QCheck_alcotest.to_alcotest prop_r2_matches_reference ]) ]

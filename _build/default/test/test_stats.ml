@@ -1,0 +1,187 @@
+(* Statistics substrate: known values, merge law, CI sanity, regression. *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let check_float ?(eps = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %g got %g" name expected actual)
+    true (feq ~eps expected actual)
+
+let test_summary_known () =
+  let s = Ba_stats.Summary.of_array [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "mean" 5.0 (Ba_stats.Summary.mean s);
+  (* unbiased variance of that classic sample: 32/7 *)
+  check_float "variance" (32. /. 7.) (Ba_stats.Summary.variance s);
+  check_float "min" 2. (Ba_stats.Summary.min s);
+  check_float "max" 9. (Ba_stats.Summary.max s);
+  check_float "total" 40. (Ba_stats.Summary.total s);
+  Alcotest.(check int) "count" 8 (Ba_stats.Summary.count s)
+
+let test_summary_empty () =
+  let s = Ba_stats.Summary.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Ba_stats.Summary.mean s));
+  Alcotest.(check bool) "variance nan" true (Float.is_nan (Ba_stats.Summary.variance s))
+
+let test_summary_single () =
+  let s = Ba_stats.Summary.of_array [| 3.5 |] in
+  check_float "mean" 3.5 (Ba_stats.Summary.mean s);
+  Alcotest.(check bool) "variance nan for n=1" true (Float.is_nan (Ba_stats.Summary.variance s))
+
+let test_summary_merge () =
+  let xs = Array.init 57 (fun i -> float_of_int (i * i) /. 10.) in
+  let a = Ba_stats.Summary.create () and b = Ba_stats.Summary.create () in
+  Array.iteri (fun i x -> Ba_stats.Summary.add (if i < 20 then a else b) x) xs;
+  let merged = Ba_stats.Summary.merge a b in
+  let direct = Ba_stats.Summary.of_array xs in
+  check_float ~eps:1e-6 "merged mean" (Ba_stats.Summary.mean direct) (Ba_stats.Summary.mean merged);
+  check_float ~eps:1e-6 "merged variance" (Ba_stats.Summary.variance direct)
+    (Ba_stats.Summary.variance merged);
+  Alcotest.(check int) "merged count" 57 (Ba_stats.Summary.count merged)
+
+let test_summary_merge_empty () =
+  let a = Ba_stats.Summary.of_array [| 1.; 2. |] and e = Ba_stats.Summary.create () in
+  check_float "merge with empty (right)" 1.5 (Ba_stats.Summary.mean (Ba_stats.Summary.merge a e));
+  check_float "merge with empty (left)" 1.5 (Ba_stats.Summary.mean (Ba_stats.Summary.merge e a))
+
+let test_quantiles () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "median" 3. (Ba_stats.Quantiles.median xs);
+  check_float "q0" 1. (Ba_stats.Quantiles.quantile xs 0.);
+  check_float "q1" 5. (Ba_stats.Quantiles.quantile xs 1.);
+  check_float "q25 interpolated" 2. (Ba_stats.Quantiles.quantile xs 0.25);
+  check_float "iqr" 2. (Ba_stats.Quantiles.iqr xs);
+  (* unsorted input must work and not be mutated *)
+  let ys = [| 5.; 1.; 3.; 2.; 4. |] in
+  check_float "median unsorted" 3. (Ba_stats.Quantiles.median ys);
+  Alcotest.(check (array (float 0.))) "input unchanged" [| 5.; 1.; 3.; 2.; 4. |] ys
+
+let test_quantile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Quantiles: empty sample") (fun () ->
+      ignore (Ba_stats.Quantiles.median [||]));
+  Alcotest.check_raises "q out of range" (Invalid_argument "Quantiles: q outside [0,1]")
+    (fun () -> ignore (Ba_stats.Quantiles.quantile [| 1. |] 1.5))
+
+let test_wilson () =
+  let i = Ba_stats.Ci.wilson95 ~successes:50 ~trials:100 in
+  Alcotest.(check bool) "contains p-hat" true (Ba_stats.Ci.contains i 0.5);
+  Alcotest.(check bool) "reasonable width" true (i.hi -. i.lo > 0.1 && i.hi -. i.lo < 0.25);
+  let zero = Ba_stats.Ci.wilson95 ~successes:0 ~trials:50 in
+  check_float "lo clamped" 0. zero.lo;
+  Alcotest.(check bool) "hi > 0 even at 0 successes" true (zero.hi > 0.);
+  let full = Ba_stats.Ci.wilson95 ~successes:50 ~trials:50 in
+  check_float "hi clamped" 1. full.hi
+
+let test_wilson_errors () =
+  Alcotest.check_raises "trials 0" (Invalid_argument "Ci.wilson: trials <= 0") (fun () ->
+      ignore (Ba_stats.Ci.wilson95 ~successes:0 ~trials:0));
+  Alcotest.check_raises "successes > trials"
+    (Invalid_argument "Ci.wilson: successes out of range") (fun () ->
+      ignore (Ba_stats.Ci.wilson95 ~successes:5 ~trials:4))
+
+let test_bootstrap_contains_mean () =
+  let rng = Ba_prng.Rng.create 1L in
+  let xs = Array.init 200 (fun i -> float_of_int (i mod 10)) in
+  let i =
+    Ba_stats.Ci.bootstrap ~rng
+      ~statistic:(fun a -> Ba_stats.Summary.mean (Ba_stats.Summary.of_array a))
+      xs
+  in
+  Alcotest.(check bool) "CI contains 4.5" true (Ba_stats.Ci.contains i 4.5)
+
+let test_regression_exact () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = Array.map (fun x -> (3. *. x) +. 1.) xs in
+  let f = Ba_stats.Regression.linear xs ys in
+  check_float "slope" 3. f.slope;
+  check_float "intercept" 1. f.intercept;
+  check_float "r2" 1. f.r2;
+  check_float "predict" 16. (Ba_stats.Regression.predict f 5.)
+
+let test_regression_power_law () =
+  let xs = [| 2.; 4.; 8.; 16.; 32. |] in
+  let ys = Array.map (fun x -> 5. *. (x ** 2.) ) xs in
+  let f = Ba_stats.Regression.log_log xs ys in
+  check_float ~eps:1e-6 "exponent" 2. f.slope;
+  check_float ~eps:1e-6 "prefactor via predict" (5. *. 100.) (Ba_stats.Regression.predict_power f 10.)
+
+let test_regression_errors () =
+  Alcotest.check_raises "constant x" (Invalid_argument "Regression.linear: x values are constant")
+    (fun () -> ignore (Ba_stats.Regression.linear [| 1.; 1. |] [| 2.; 3. |]));
+  Alcotest.check_raises "nonpositive log-log"
+    (Invalid_argument "Regression.log_log: non-positive value") (fun () ->
+      ignore (Ba_stats.Regression.log_log [| 0.; 1. |] [| 1.; 2. |]))
+
+let test_histogram () =
+  let h = Ba_stats.Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  List.iter (Ba_stats.Histogram.add h) [ 0.; 1.9; 2.; 5.; 9.99; -1.; 10.; 42. ];
+  Alcotest.(check int) "count includes out-of-range" 8 (Ba_stats.Histogram.count h);
+  Alcotest.(check int) "bin 0" 2 (Ba_stats.Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 1 (Ba_stats.Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 2" 1 (Ba_stats.Histogram.bin_count h 2);
+  Alcotest.(check int) "bin 4" 1 (Ba_stats.Histogram.bin_count h 4);
+  Alcotest.(check int) "underflow" 1 (Ba_stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Ba_stats.Histogram.overflow h);
+  Alcotest.(check (option int)) "mode" (Some 0) (Ba_stats.Histogram.mode_bin h)
+
+let test_histogram_errors () =
+  Alcotest.check_raises "bins 0" (Invalid_argument "Histogram.create: bins <= 0") (fun () ->
+      ignore (Ba_stats.Histogram.create ~lo:0. ~hi:1. ~bins:0));
+  Alcotest.check_raises "hi <= lo" (Invalid_argument "Histogram.create: hi <= lo") (fun () ->
+      ignore (Ba_stats.Histogram.create ~lo:1. ~hi:1. ~bins:3))
+
+let prop_merge_equals_direct =
+  QCheck.Test.make ~name:"merge = single pass" ~count:200
+    QCheck.(pair (list (float_bound_exclusive 1000.)) (list (float_bound_exclusive 1000.)))
+    (fun (l1, l2) ->
+      QCheck.assume (List.length l1 + List.length l2 >= 2);
+      let a = Ba_stats.Summary.of_array (Array.of_list l1) in
+      let b = Ba_stats.Summary.of_array (Array.of_list l2) in
+      let m = Ba_stats.Summary.merge a b in
+      let d = Ba_stats.Summary.of_array (Array.of_list (l1 @ l2)) in
+      feq ~eps:1e-6 (Ba_stats.Summary.mean m) (Ba_stats.Summary.mean d))
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantiles monotone in q" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_exclusive 100.))
+    (fun l ->
+      let xs = Array.of_list l in
+      let q1 = Ba_stats.Quantiles.quantile xs 0.25 and q2 = Ba_stats.Quantiles.quantile xs 0.75 in
+      q1 <= q2)
+
+let prop_wilson_contains_phat =
+  QCheck.Test.make ~name:"wilson contains p-hat" ~count:500
+    QCheck.(pair (int_range 0 1000) (int_range 1 1000))
+    (fun (s, t) ->
+      QCheck.assume (s <= t);
+      let i = Ba_stats.Ci.wilson95 ~successes:s ~trials:t in
+      (* At s = 0 and s = t the interval boundary sits exactly on p-hat;
+         allow float rounding. *)
+      let phat = float_of_int s /. float_of_int t in
+      i.lo -. 1e-12 <= phat && phat <= i.hi +. 1e-12)
+
+let () =
+  Alcotest.run "ba_stats"
+    [ ("summary",
+       [ Alcotest.test_case "known values" `Quick test_summary_known;
+         Alcotest.test_case "empty" `Quick test_summary_empty;
+         Alcotest.test_case "single" `Quick test_summary_single;
+         Alcotest.test_case "merge" `Quick test_summary_merge;
+         Alcotest.test_case "merge with empty" `Quick test_summary_merge_empty ]);
+      ("quantiles",
+       [ Alcotest.test_case "known values" `Quick test_quantiles;
+         Alcotest.test_case "errors" `Quick test_quantile_errors ]);
+      ("ci",
+       [ Alcotest.test_case "wilson" `Quick test_wilson;
+         Alcotest.test_case "wilson errors" `Quick test_wilson_errors;
+         Alcotest.test_case "bootstrap" `Quick test_bootstrap_contains_mean ]);
+      ("regression",
+       [ Alcotest.test_case "exact line" `Quick test_regression_exact;
+         Alcotest.test_case "power law" `Quick test_regression_power_law;
+         Alcotest.test_case "errors" `Quick test_regression_errors ]);
+      ("histogram",
+       [ Alcotest.test_case "binning" `Quick test_histogram;
+         Alcotest.test_case "errors" `Quick test_histogram_errors ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_merge_equals_direct;
+         QCheck_alcotest.to_alcotest prop_quantile_monotone;
+         QCheck_alcotest.to_alcotest prop_wilson_contains_phat ]) ]
