@@ -99,15 +99,19 @@ let run_micro () =
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let analysis = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
+      let rows = ref [] in
+      Hashtbl.iter (* lint: allow D004 -- collected then sorted by name below *)
+        (fun name ols_result -> rows := (name, ols_result) :: !rows)
+        analysis;
+      List.iter
+        (fun (name, ols_result) ->
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/call\n%!" name est
           | Some ests ->
               Printf.printf "  %-28s %s\n%!" name
                 (String.concat ", " (List.map (Printf.sprintf "%.1f") ests))
           | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
-        analysis)
+        (List.sort (fun (a, _) (b, _) -> compare a b) !rows))
     (make_micro_tests ())
 
 let () =

@@ -116,7 +116,7 @@ let run ?max_steps ?max_delay ~(protocol : ('state, 'msg) protocol)
     incr step;
     (* Build the adversary's view: pending sorted oldest-first. *)
     let pending =
-      Hashtbl.fold
+      Hashtbl.fold (* lint: allow D004 -- result is sorted by id below *)
         (fun id f acc ->
           { id; src = f.f_src; dst = f.f_dst; msg = f.f_msg; age = !step - f.birth } :: acc)
         in_flight []
@@ -143,6 +143,7 @@ let run ?max_steps ?max_delay ~(protocol : ('state, 'msg) protocol)
           corrupted.(v) <- true;
           incr corruptions_used;
           let doomed =
+            (* lint: allow D004 -- order-insensitive: every collected id is removed *)
             Hashtbl.fold (fun id f acc -> if f.f_src = v then id :: acc else acc) in_flight []
           in
           List.iter (Hashtbl.remove in_flight) doomed
@@ -157,7 +158,7 @@ let run ?max_steps ?max_delay ~(protocol : ('state, 'msg) protocol)
        then FIFO. *)
     let pick_pending () =
       let stale =
-        Hashtbl.fold
+        Hashtbl.fold (* lint: allow D004 -- commutative min-by-id reduction *)
           (fun id f acc ->
             if !step - f.birth >= max_delay then
               match acc with
@@ -181,7 +182,7 @@ let run ?max_steps ?max_delay ~(protocol : ('state, 'msg) protocol)
       | Some x -> Some x
       | None ->
           (* FIFO fallback: oldest id. *)
-          Hashtbl.fold
+          Hashtbl.fold (* lint: allow D004 -- commutative min-by-id reduction *)
             (fun id f acc ->
               match acc with Some (best, _) when best <= id -> acc | _ -> Some (id, f))
             in_flight None

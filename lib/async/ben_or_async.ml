@@ -25,7 +25,7 @@ module Votes = struct
   let tally t ~round ~mtype ~skip =
     let total = ref 0 in
     let counts = [| 0; 0; 0 |] in
-    Hashtbl.iter
+    Hashtbl.iter (* lint: allow D004 -- commutative count, order-insensitive *)
       (fun (r, mt, src) v ->
         if r = round && mt = mtype && not (Hashtbl.mem skip src) then begin
           incr total;
@@ -66,7 +66,7 @@ let classify m =
 let effective st ~round ~mtype =
   let total, counts = Votes.tally st.votes ~round ~mtype ~skip:st.deciders in
   let t2 = ref total and c2 = Array.copy counts in
-  Hashtbl.iter
+  Hashtbl.iter (* lint: allow D004 -- commutative count, order-insensitive *)
     (fun _src v ->
       incr t2;
       if v = 0 || v = 1 then c2.(v) <- c2.(v) + 1)
@@ -82,6 +82,7 @@ let rec advance (ctx : Async_engine.ctx) st =
   let n = ctx.n and t = ctx.t in
   (* Decision by D-amplification: t+1 decided senders with one value. *)
   let d_counts = [| 0; 0 |] in
+  (* lint: allow D004 -- commutative count, order-insensitive *)
   Hashtbl.iter (fun _ v -> if v = 0 || v = 1 then d_counts.(v) <- d_counts.(v) + 1) st.deciders;
   let d_decide = if d_counts.(0) >= t + 1 then Some 0 else if d_counts.(1) >= t + 1 then Some 1 else None
   in

@@ -14,6 +14,7 @@ type state = {
 }
 
 let count tbl v =
+  (* lint: allow D004 -- commutative count, order-insensitive *)
   Hashtbl.fold (fun _ x acc -> if x = v then acc + 1 else acc) tbl 0
 
 let make ~broadcaster : (state, msg) Async_engine.protocol =

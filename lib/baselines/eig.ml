@@ -47,12 +47,14 @@ let protocol : (state, msg) Ba_sim.Protocol.t =
       (fun ctx st ~round ->
         let me = ctx.Ba_sim.Protocol.me in
         let entries = ref [] in
-        Hashtbl.iter
+        Hashtbl.iter (* lint: allow D004 -- canonicalized by the sort below *)
           (fun label v ->
             if List.length label = round - 1 && not (List.mem me label) then
               entries := (label, v) :: !entries)
           st.tree;
-        Some !entries);
+        (* Sort so the payload is canonical: hash order must never leak
+           into messages (bit-identical replay across runs). *)
+        Some (List.sort compare !entries));
     recv =
       (fun ctx st ~round ~inbox ->
         let n = ctx.Ba_sim.Protocol.n and t = ctx.Ba_sim.Protocol.t in

@@ -24,6 +24,7 @@ let next g =
   result
 
 let jump_table =
+  (* lint: allow D003 -- xoshiro256** jump polynomial: written nowhere, read-only constant *)
   [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
 
 let jump g =

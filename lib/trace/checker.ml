@@ -30,13 +30,15 @@ let completion (o : Ba_sim.Engine.outcome) =
 
 let corruption_budget (o : Ba_sim.Engine.outcome) =
   let count = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 o.corrupted in
+  (* Accumulate in report order (budget, count coherence, then per-round
+     double corruptions chronologically) so the violation list is stable
+     across runs and directly comparable in regression tests. *)
   let violations = ref [] in
+  let push vs = violations := List.rev_append vs !violations in
   if count > o.t then
-    violations := fail "corruption-budget" "%d corrupted > budget t=%d" count o.t;
+    push (fail "corruption-budget" "%d corrupted > budget t=%d" count o.t);
   if o.corruptions_used <> count then
-    violations :=
-      fail "corruption-budget" "used=%d but %d nodes marked corrupted" o.corruptions_used count
-      @ !violations;
+    push (fail "corruption-budget" "used=%d but %d nodes marked corrupted" o.corruptions_used count);
   (* Each node corrupted at most once across records. *)
   let seen = Hashtbl.create 16 in
   List.iter
@@ -44,13 +46,11 @@ let corruption_budget (o : Ba_sim.Engine.outcome) =
       List.iter
         (fun v ->
           if Hashtbl.mem seen v then
-            violations :=
-              fail "corruption-budget" "node %d corrupted twice (round %d)" v r.rr_round
-              @ !violations
+            push (fail "corruption-budget" "node %d corrupted twice (round %d)" v r.rr_round)
           else Hashtbl.add seen v ())
         r.rr_new_corruptions)
     o.records;
-  !violations
+  List.rev !violations
 
 let congest (o : Ba_sim.Engine.outcome) =
   let v = Ba_sim.Metrics.congest_violations o.metrics in
@@ -61,6 +61,7 @@ let congest (o : Ba_sim.Engine.outcome) =
 
 let decided_coherence (o : Ba_sim.Engine.outcome) =
   let violations = ref [] in
+  let push vs = violations := List.rev_append vs !violations in
   List.iter
     (fun (r : Ba_sim.Engine.round_record) ->
       let decided_val = ref None in
@@ -72,18 +73,18 @@ let decided_coherence (o : Ba_sim.Engine.outcome) =
               | None -> decided_val := Some (v, nv_val)
               | Some (v0, b0) ->
                   if b0 <> nv_val then
-                    violations :=
-                      fail "decided-coherence"
-                        "round %d: decided nodes %d (val %d) and %d (val %d) disagree" r.rr_round
-                        v0 b0 v nv_val
-                      @ !violations)
+                    push
+                      (fail "decided-coherence"
+                         "round %d: decided nodes %d (val %d) and %d (val %d) disagree" r.rr_round
+                         v0 b0 v nv_val))
           | Some _ | None -> ())
         r.rr_views)
     o.records;
-  !violations
+  List.rev !violations
 
 let frozen_finishers (o : Ba_sim.Engine.outcome) =
   let violations = ref [] in
+  let push vs = violations := List.rev_append vs !violations in
   let frozen : (int, int) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (r : Ba_sim.Engine.round_record) ->
@@ -95,26 +96,25 @@ let frozen_finishers (o : Ba_sim.Engine.outcome) =
               | None -> Hashtbl.add frozen v nv_val
               | Some b ->
                   if b <> nv_val then
-                    violations :=
-                      fail "frozen-finishers" "round %d: finished node %d changed %d -> %d"
-                        r.rr_round v b nv_val
-                      @ !violations)
+                    push
+                      (fail "frozen-finishers" "round %d: finished node %d changed %d -> %d"
+                         r.rr_round v b nv_val))
           | Some _ | None -> ())
         r.rr_views)
     o.records;
-  Hashtbl.iter
-    (fun v b ->
-      if not o.corrupted.(v) then
+  (* Iterate node ids in order, not the frozen table in hash order, so the
+     violation list is identical across runs on the same trace. *)
+  for v = 0 to Array.length o.corrupted - 1 do
+    match Hashtbl.find_opt frozen v with
+    | Some b when not o.corrupted.(v) -> (
         match o.outputs.(v) with
         | Some out when out <> b ->
-            violations :=
-              fail "frozen-finishers" "node %d froze %d but output %d" v b out @ !violations
+            push (fail "frozen-finishers" "node %d froze %d but output %d" v b out)
         | Some _ -> ()
-        | None ->
-            violations :=
-              fail "frozen-finishers" "node %d finished but has no output" v @ !violations)
-    frozen;
-  !violations
+        | None -> push (fail "frozen-finishers" "node %d finished but has no output" v))
+    | Some _ | None -> ()
+  done;
+  List.rev !violations
 
 let termination_gap ~rounds_per_phase (o : Ba_sim.Engine.outcome) =
   if not o.completed then []

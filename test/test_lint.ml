@@ -1,0 +1,151 @@
+(* ba_lint: every rule D001-D006 is demonstrated by a fixture that trips
+   exactly that rule, suppression pragmas silence them, and the real lib/
+   tree self-scans clean (the same invariant `dune build @lint` enforces). *)
+
+let fixtures = "../tools/lint/fixtures"
+
+let codes vs = List.map (fun v -> Ba_lint_rules.code_name v.Ba_lint_rules.v_code) vs
+
+let scan path =
+  match Ba_lint_rules.scan_file path with
+  | Ok vs -> vs
+  | Error msg -> Alcotest.failf "scan of %s failed: %s" path msg
+
+let check_fixture name expected () =
+  let vs = scan (Filename.concat fixtures name) in
+  Alcotest.(check (list string)) name expected (codes vs)
+
+let test_suppression () =
+  Alcotest.(check (list string)) "all pragmas honoured" []
+    (codes (scan (fixtures ^ "/lib/suppressed.ml")))
+
+let test_prng_exemption () =
+  Alcotest.(check (list string)) "lib/prng may use Random" []
+    (codes (scan (fixtures ^ "/lib/prng/random_ok.ml")))
+
+let test_non_lib_scoping () =
+  Alcotest.(check (list string)) "D002/D003/D006 are lib-only" []
+    (codes (scan (fixtures ^ "/clean_bin.ml")))
+
+let scan_src ?mli_exists ~path src =
+  match Ba_lint_rules.scan_source ~path ?mli_exists src with
+  | Ok vs -> vs
+  | Error msg -> Alcotest.failf "inline scan failed: %s" msg
+
+let test_physical_equality () =
+  let vs = scan_src ~path:"lib/x.ml" "let same a b = a == b\n" in
+  Alcotest.(check (list string)) "== flagged" [ "D005" ] (codes vs);
+  let vs = scan_src ~path:"lib/x.ml" "let diff a b = a != b\n" in
+  Alcotest.(check (list string)) "!= flagged" [ "D005" ] (codes vs)
+
+let test_multi_code_pragma () =
+  let src =
+    "(* lint: allow D004 D005 *)\nlet f t = Hashtbl.iter (fun a b -> ignore (a == b)) t\n"
+  in
+  Alcotest.(check (list string)) "one pragma, two codes" [] (codes (scan_src ~path:"lib/x.ml" src))
+
+let test_pragma_wrong_code () =
+  let src = "let roll () = Random.int 6 (* lint: allow D004 *)\n" in
+  Alcotest.(check (list string)) "unrelated code does not suppress" [ "D001" ]
+    (codes (scan_src ~path:"lib/x.ml" src))
+
+let test_open_random () =
+  let vs = scan_src ~path:"bin/x.ml" "open Random\nlet r () = int 3\n" in
+  Alcotest.(check (list string)) "open Random flagged" [ "D001" ] (codes vs)
+
+let test_mutable_record_literal () =
+  let src = "type t = { mutable hits : int }\nlet shared = { hits = 0 }\n" in
+  Alcotest.(check (list string)) "mutable record literal at toplevel" [ "D003" ]
+    (codes (scan_src ~path:"lib/x.ml" src));
+  (* The same literal inside a function allocates per call: clean. *)
+  let src = "type t = { mutable hits : int }\nlet make () = { hits = 0 }\n" in
+  Alcotest.(check (list string)) "per-call allocation is fine" []
+    (codes (scan_src ~path:"lib/x.ml" src))
+
+let test_nested_module_toplevel () =
+  let src = "module Inner = struct\n  let cache = Hashtbl.create 16\nend\n" in
+  Alcotest.(check (list string)) "nested module state is still shared" [ "D003" ]
+    (codes (scan_src ~path:"lib/x.ml" src))
+
+let test_parse_error () =
+  match Ba_lint_rules.scan_source ~path:"lib/broken.ml" "let let let" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+let test_d006_needs_scan_flag () =
+  let vs = scan_src ~path:"lib/x.ml" ~mli_exists:false "let a = 1\n" in
+  Alcotest.(check (list string)) "missing mli flagged" [ "D006" ] (codes vs);
+  let vs = scan_src ~path:"bin/x.ml" ~mli_exists:false "let a = 1\n" in
+  Alcotest.(check (list string)) "mli not required outside lib" [] (codes vs)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+let test_reporters () =
+  let vs = scan (fixtures ^ "/lib/d001_random.ml") in
+  Alcotest.(check bool) "fixture violates" true (vs <> []);
+  let text = Format.asprintf "%a" Ba_lint_rules.report_text vs in
+  Alcotest.(check bool) "text mentions code" true (contains text "[D001]");
+  Alcotest.(check bool) "text has file:line:col" true (contains text "d001_random.ml:2:");
+  let json = Format.asprintf "%a" Ba_lint_rules.report_json vs in
+  Alcotest.(check bool) "json has code field" true (contains json "\"code\": \"D001\"");
+  Alcotest.(check bool) "json is an array" true (String.length json > 0 && json.[0] = '[')
+
+let test_self_scan_lib_clean () =
+  let files = Ba_lint_rules.collect_ml_files [ "../lib" ] in
+  Alcotest.(check bool) "found the library sources" true (List.length files > 40);
+  List.iter
+    (fun f ->
+      match Ba_lint_rules.scan_file f with
+      | Ok [] -> ()
+      | Ok vs ->
+          Alcotest.failf "lib/ not lint-clean: %s"
+            (Format.asprintf "%a" Ba_lint_rules.report_text vs)
+      | Error msg -> Alcotest.failf "scan of %s failed: %s" f msg)
+    files
+
+let test_deterministic_report_order () =
+  (* Two scans of the same tree must produce byte-identical reports. *)
+  let scan_all () =
+    Ba_lint_rules.collect_ml_files [ fixtures ]
+    |> List.concat_map (fun f -> match Ba_lint_rules.scan_file f with Ok vs -> vs | Error _ -> [])
+    |> List.sort Ba_lint_rules.compare_violation
+    |> Format.asprintf "%a" Ba_lint_rules.report_text
+  in
+  let a = scan_all () and b = scan_all () in
+  Alcotest.(check string) "stable across runs" a b;
+  Alcotest.(check bool) "nonempty (fixtures do violate)" true (String.length a > 0)
+
+let () =
+  Alcotest.run "ba_lint"
+    [ ("fixtures",
+       [ Alcotest.test_case "D001 random" `Quick (check_fixture "lib/d001_random.ml" [ "D001" ]);
+         Alcotest.test_case "D002 wall-clock" `Quick
+           (check_fixture "lib/d002_wallclock.ml" [ "D002" ]);
+         Alcotest.test_case "D003 toplevel mutable" `Quick
+           (check_fixture "lib/d003_toplevel_mutable.ml" [ "D003" ]);
+         Alcotest.test_case "D004 hash iteration" `Quick
+           (check_fixture "lib/d004_hash_iter.ml" [ "D004" ]);
+         Alcotest.test_case "D005 Obj.magic" `Quick
+           (check_fixture "lib/d005_obj_magic.ml" [ "D005" ]);
+         Alcotest.test_case "D006 missing mli" `Quick
+           (check_fixture "lib/d006_missing_mli.ml" [ "D006" ]) ]);
+      ("scoping & pragmas",
+       [ Alcotest.test_case "suppression pragmas" `Quick test_suppression;
+         Alcotest.test_case "lib/prng exemption" `Quick test_prng_exemption;
+         Alcotest.test_case "non-lib scoping" `Quick test_non_lib_scoping;
+         Alcotest.test_case "multi-code pragma" `Quick test_multi_code_pragma;
+         Alcotest.test_case "wrong code does not suppress" `Quick test_pragma_wrong_code ]);
+      ("rules on inline sources",
+       [ Alcotest.test_case "physical equality" `Quick test_physical_equality;
+         Alcotest.test_case "open Random" `Quick test_open_random;
+         Alcotest.test_case "mutable record literal" `Quick test_mutable_record_literal;
+         Alcotest.test_case "nested module toplevel" `Quick test_nested_module_toplevel;
+         Alcotest.test_case "parse error surfaces" `Quick test_parse_error;
+         Alcotest.test_case "D006 scoping" `Quick test_d006_needs_scan_flag ]);
+      ("reports",
+       [ Alcotest.test_case "text & json reporters" `Quick test_reporters;
+         Alcotest.test_case "deterministic order" `Quick test_deterministic_report_order ]);
+      ("self-scan", [ Alcotest.test_case "lib/ is clean" `Quick test_self_scan_lib_clean ]) ]

@@ -91,6 +91,58 @@ let test_frozen_finishers_checker () =
   Alcotest.(check bool) "output mismatch fires" true
     (List.mem "frozen-finishers" (names (Ba_trace.Checker.frozen_finishers bad2)))
 
+let test_frozen_finishers_deterministic () =
+  (* Regression: the report used to come out in Hashtbl hash order; it must
+     be identical across repeated runs on the same trace, value-change
+     violations first (chronological), then output mismatches by node id. *)
+  let records =
+    [ { Ba_sim.Engine.rr_round = 1; rr_new_corruptions = [];
+        rr_views =
+          [| nv ~v:1 ~decided:true ~finished:true ();
+             nv ~v:0 ~decided:true ~finished:true ();
+             nv ~v:0 ~decided:true ~finished:true ();
+             nv ~v:0 ~decided:true ~finished:true () |] };
+      { rr_round = 2; rr_new_corruptions = [];
+        rr_views =
+          [| nv ~v:0 ~decided:true ~finished:true (); None; None; None |] } ]
+  in
+  (* Node 0 changes its frozen value (round 2); nodes 1-3 froze 0 but the
+     outcome says everyone output 1. *)
+  let bad = outcome ~records ~outputs:(Some (Array.make 4 (Some 1))) () in
+  let details vs = List.map (fun (v : Ba_trace.Checker.violation) -> v.detail) vs in
+  let first = details (Ba_trace.Checker.frozen_finishers bad) in
+  Alcotest.(check (list string)) "expected order"
+    [ "round 2: finished node 0 changed 1 -> 0";
+      "node 1 froze 0 but output 1";
+      "node 2 froze 0 but output 1";
+      "node 3 froze 0 but output 1" ]
+    first;
+  for _ = 1 to 10 do
+    Alcotest.(check (list string)) "identical across runs" first
+      (details (Ba_trace.Checker.frozen_finishers bad))
+  done
+
+let test_corruption_budget_order () =
+  (* Same determinism contract for the budget checker: budget overflow
+     first, then count incoherence, then chronological double corruptions. *)
+  let records =
+    [ { Ba_sim.Engine.rr_round = 1; rr_new_corruptions = [ 0; 1 ]; rr_views = Array.make 4 None };
+      { rr_round = 2; rr_new_corruptions = [ 0; 1 ]; rr_views = Array.make 4 None } ]
+  in
+  let bad =
+    outcome ~records ~t:1 ~corrupted:(Some [| true; true; false; false |]) ~corruptions_used:(Some 3) ()
+  in
+  let details vs = List.map (fun (v : Ba_trace.Checker.violation) -> v.detail) vs in
+  let first = details (Ba_trace.Checker.corruption_budget bad) in
+  Alcotest.(check (list string)) "expected order"
+    [ "2 corrupted > budget t=1";
+      "used=3 but 2 nodes marked corrupted";
+      "node 0 corrupted twice (round 2)";
+      "node 1 corrupted twice (round 2)" ]
+    first;
+  Alcotest.(check (list string)) "identical across runs" first
+    (details (Ba_trace.Checker.corruption_budget bad))
+
 let test_termination_gap_checker () =
   let finished_views = [| nv ~v:1 ~decided:true ~finished:true (); None; None; None |] in
   let mk_records upto =
@@ -210,6 +262,9 @@ let () =
          Alcotest.test_case "corruption budget" `Quick test_budget_checker;
          Alcotest.test_case "decided coherence" `Quick test_decided_coherence_checker;
          Alcotest.test_case "frozen finishers" `Quick test_frozen_finishers_checker;
+         Alcotest.test_case "frozen finishers deterministic" `Quick
+           test_frozen_finishers_deterministic;
+         Alcotest.test_case "corruption budget order" `Quick test_corruption_budget_order;
          Alcotest.test_case "termination gap" `Quick test_termination_gap_checker;
          Alcotest.test_case "standard composition" `Quick test_standard_composition ]);
       ("export",

@@ -1,0 +1,35 @@
+(* CLI driver for the determinism & domain-safety linter. *)
+
+let usage () =
+  print_string
+    "usage: ba_lint [--json] [PATH ...]\n\n\
+     Statically checks .ml files (or directory trees) for violations of the\n\
+     repo's determinism & domain-safety invariants. With no PATH, scans\n\
+     lib/ bin/ bench/ examples/ relative to the current directory.\n\n\
+     Suppress a finding with a pragma on the same line or the line above:\n\
+    \  (* lint: allow D004 -- commutative count, order-insensitive *)\n\n\
+     Rules:\n";
+  List.iter
+    (fun c ->
+      Printf.printf "  %s  %s\n" (Ba_lint_rules.code_name c) (Ba_lint_rules.describe c))
+    [ Ba_lint_rules.D001; D002; D003; D004; D005; D006 ];
+  print_string
+    "\nExit status: 0 clean, 1 violations found, 2 parse/IO errors.\n\
+     Reports go to stdout (one 'file:line:col: [CODE] message' per finding,\n\
+     or a JSON array with --json); the summary goes to stderr.\n"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--help" args || List.mem "-help" args then begin
+    usage ();
+    exit 0
+  end;
+  let json = List.mem "--json" args in
+  let flags, paths = List.partition (fun a -> String.length a > 0 && a.[0] = '-') args in
+  (match List.filter (fun f -> f <> "--json") flags with
+  | [] -> ()
+  | f :: _ ->
+      Printf.eprintf "ba_lint: unknown option %s (try --help)\n" f;
+      exit 2);
+  let paths = if paths = [] then [ "lib"; "bin"; "bench"; "examples" ] else paths in
+  exit (Ba_lint_rules.run ~json ~out:Format.std_formatter ~err:Format.err_formatter paths)

@@ -1,0 +1,4 @@
+(* Fixture: outside lib/ the lib-scoped rules (D002, D003, D006) do not
+   apply — wall-clock timing and module-level state are fine in drivers. *)
+let started = ref 0.0
+let mark () = started := Sys.time ()

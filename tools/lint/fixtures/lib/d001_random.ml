@@ -1,0 +1,2 @@
+(* Fixture: stdlib randomness outside lib/prng must trip D001 (only). *)
+let roll () = Random.int 6

@@ -1,0 +1,2 @@
+(* Fixture: wall-clock read inside lib/ must trip D002 (only). *)
+let now () = Sys.time ()

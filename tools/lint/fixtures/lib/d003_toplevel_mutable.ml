@@ -1,0 +1,6 @@
+(* Fixture: module-level mutable state in lib/ must trip D003 (only). *)
+let counter = ref 0
+
+let bump () =
+  incr counter;
+  !counter

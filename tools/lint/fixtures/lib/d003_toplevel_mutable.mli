@@ -1,0 +1,2 @@
+val counter : int ref
+val bump : unit -> int

@@ -1,0 +1,2 @@
+(* Fixture: Hashtbl.iter (hash-order traversal) must trip D004 (only). *)
+let dump tbl = Hashtbl.iter (fun k v -> print_string (string_of_int (k + v))) tbl

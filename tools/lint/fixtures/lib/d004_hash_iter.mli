@@ -1,0 +1,1 @@
+val dump : (int, int) Hashtbl.t -> unit

@@ -1,0 +1,2 @@
+(* Fixture: Obj.magic must trip D005 (only). *)
+let cast (x : int) : float = Obj.magic x

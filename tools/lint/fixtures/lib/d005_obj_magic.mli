@@ -1,0 +1,1 @@
+val cast : int -> float

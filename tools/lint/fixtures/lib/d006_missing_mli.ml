@@ -1,0 +1,2 @@
+(* Fixture: a lib/ module without an .mli must trip D006 (only). *)
+let answer = 42

@@ -1,0 +1,3 @@
+(* Fixture: lib/prng is the one place allowed to touch stdlib Random
+   (e.g. to cross-check stream quality against the stdlib generator). *)
+let reference_draw () = Random.bits ()

@@ -1,0 +1,1 @@
+val reference_draw : unit -> int

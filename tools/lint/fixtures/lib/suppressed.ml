@@ -1,0 +1,11 @@
+(* lint: allow D006 -- fixture: pragma on line 1 covers the missing .mli *)
+(* Fixture: one violation of every rule, each silenced by a pragma on the
+   same line or the line above; a clean scan proves suppression works. *)
+let roll () = Random.int 6 (* lint: allow D001 *)
+let now () = Sys.time () (* lint: allow D002 *)
+
+(* lint: allow D003 -- pragma on the line above the binding *)
+let counter = ref 0
+
+let dump tbl = Hashtbl.iter (fun _ _ -> incr counter) tbl (* lint: allow D004 *)
+let cast (x : int) : float = Obj.magic x (* lint: allow D005 *)
