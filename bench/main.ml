@@ -1,9 +1,10 @@
 (* Benchmark harness.
 
    Two parts:
-   1. the experiment suite (E1-E17): regenerates every table and figure of
-      the reproduction (the paper is a theory result, so these are its
-      claims made empirical — see DESIGN.md section 5 / EXPERIMENTS.md);
+   1. the registered experiment suite (E1-E17, Experiments.registry): the
+      paper is a theory result, so its claims are regenerated empirically —
+      tables and figures on stdout, optionally a schema-versioned JSON
+      suite document (see DESIGN.md section 5 / EXPERIMENTS.md);
    2. Bechamel micro-benchmarks of the substrates (PRNG, coin Monte-Carlo,
       engine rounds, phase model).
 
@@ -11,36 +12,36 @@
      dune exec bench/main.exe                 # everything, quick profile
      dune exec bench/main.exe -- --full       # full-size experiments
      dune exec bench/main.exe -- --micro-only
-     dune exec bench/main.exe -- --experiments-only *)
+     dune exec bench/main.exe -- --experiments-only
+     dune exec bench/main.exe -- --json BENCH_experiments.json *)
 
-let run_experiments ~quick ~seed =
+let run_experiments ~quick ~seed ~json_path =
   (* Stream each report as it completes (the full profile takes minutes;
-     Experiments.all would sit silent until the very end). *)
-  let suite =
-    [ Ba_experiments.Experiments.e1_coin_theorem3;
-      Ba_experiments.Experiments.e2_coin_corollary1;
-      Ba_experiments.Experiments.e3_rounds_vs_t;
-      Ba_experiments.Experiments.e4_crossover;
-      Ba_experiments.Experiments.e5_early_termination;
-      Ba_experiments.Experiments.e6_validity_matrix;
-      Ba_experiments.Experiments.e8_message_complexity;
-      Ba_experiments.Experiments.e9_las_vegas;
-      Ba_experiments.Experiments.e10_baseline_ladder;
-      Ba_experiments.Experiments.e11_ablation_alpha;
-      Ba_experiments.Experiments.e11_ablation_coin_round;
-      Ba_experiments.Experiments.e12_sampling_majority;
-      Ba_experiments.Experiments.e13_bjb_gap;
-      Ba_experiments.Experiments.e14_crash_vs_byzantine;
-      Ba_experiments.Experiments.e15_termination_ablation;
-      Ba_experiments.Experiments.e16_election_vs_adaptive;
-      Ba_experiments.Experiments.e17_async_contrast ]
+     a single batched run would sit silent until the very end). *)
+  let registry = Ba_experiments.Experiments.registry in
+  let entries =
+    List.map
+      (fun (d : Ba_harness.Registry.descriptor) ->
+        let t0 = Unix.gettimeofday () in
+        let r = d.run ~quick ~seed in
+        let wall = Unix.gettimeofday () -. t0 in
+        Format.printf "%a@." Ba_experiments.Experiments.pp_report r;
+        Format.print_flush ();
+        (d, r, Some wall))
+      (Ba_harness.Registry.all registry)
   in
-  List.iter
-    (fun experiment ->
-      let r = experiment ?quick:(Some quick) ~seed () in
-      Format.printf "%a@." Ba_experiments.Experiments.pp_report r;
-      Format.print_flush ())
-    suite
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Ba_harness.Registry.suite_json ~seed
+          ~profile:(if quick then "quick" else "full")
+          ~entries
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Ba_harness.Json.to_string ~pretty:true doc);
+          Out_channel.output_char oc '\n');
+      Printf.printf "wrote %s\n%!" path
 
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
@@ -118,17 +119,19 @@ let () =
   let args = Array.to_list Sys.argv in
   let has flag = List.mem flag args in
   let quick = not (has "--full") in
-  let seed =
+  let find_value flag fallback parse =
     let rec find = function
-      | "--seed" :: v :: _ -> Int64.of_string v
+      | f :: v :: _ when f = flag -> parse v
       | _ :: rest -> find rest
-      | [] -> 2026L
+      | [] -> fallback
     in
     find args
   in
+  let seed = find_value "--seed" 2026L Int64.of_string in
+  let json_path = find_value "--json" None (fun v -> Some v) in
   if not (has "--experiments-only") then run_micro ();
   if not (has "--micro-only") then begin
     Printf.printf "\n== experiment suite (%s profile, seed %Ld) ==\n%!"
       (if quick then "quick" else "full") seed;
-    run_experiments ~quick ~seed
+    run_experiments ~quick ~seed ~json_path
   end

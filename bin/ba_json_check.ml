@@ -1,0 +1,76 @@
+(* ba_json_check: validate a suite document written by `ba_sweep --json` or
+   `bench --json` against the v1 schema. Used by the @smoke alias.
+
+   Usage: ba_json_check FILE [--require-pass]
+
+   Exit 0 iff the file parses, carries the expected schema_version, and
+   every experiment entry has a well-formed id/verdict/metrics payload
+   (with --require-pass: additionally no verdict is "fail"). *)
+
+let fail fmt = Format.ksprintf (fun s -> prerr_endline ("ba_json_check: " ^ s); exit 1) fmt
+
+let check_metrics id = function
+  | None -> fail "experiment %s: missing \"metrics\" object" id
+  | Some (Ba_harness.Json.Obj fields) ->
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Ba_harness.Json.Float _ | Ba_harness.Json.Int _ | Ba_harness.Json.Null -> ()
+          | _ -> fail "experiment %s: metric %S is not a number or null" id k)
+        fields
+  | Some _ -> fail "experiment %s: \"metrics\" is not an object" id
+
+let check_experiment ~require_pass seen j =
+  let str field =
+    match Option.bind (Ba_harness.Json.member field j) Ba_harness.Json.to_str with
+    | Some s -> s
+    | None -> fail "experiment entry missing string field %S" field
+  in
+  let id = str "id" in
+  if List.mem id seen then fail "duplicate experiment id %S" id;
+  let verdict = str "verdict" in
+  (match Ba_harness.Report.verdict_of_string verdict with
+  | Some v ->
+      if require_pass && v = Ba_harness.Report.Fail then
+        fail "experiment %s has verdict \"fail\"" id
+  | None -> fail "experiment %s: unknown verdict %S" id verdict);
+  check_metrics id (Ba_harness.Json.member "metrics" j);
+  id :: seen
+
+let () =
+  let path = ref None and require_pass = ref false in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--require-pass" -> require_pass := true
+        | _ when !path = None -> path := Some arg
+        | _ -> fail "unexpected argument %S" arg)
+    Sys.argv;
+  let path =
+    match !path with
+    | Some p -> p
+    | None -> fail "usage: ba_json_check FILE [--require-pass]"
+  in
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let doc =
+    try Ba_harness.Json.of_string text
+    with Ba_harness.Json.Parse_error msg -> fail "%s: parse error: %s" path msg
+  in
+  (match Option.bind (Ba_harness.Json.member "schema_version" doc) Ba_harness.Json.to_int with
+  | Some v when v = Ba_harness.Report.schema_version -> ()
+  | Some v -> fail "schema_version %d, expected %d" v Ba_harness.Report.schema_version
+  | None -> fail "missing integer \"schema_version\"");
+  List.iter
+    (fun field ->
+      if Option.bind (Ba_harness.Json.member field doc) Ba_harness.Json.to_str = None then
+        fail "missing string field %S" field)
+    [ "suite"; "seed"; "profile" ];
+  (match Option.bind (Ba_harness.Json.member "experiments" doc) Ba_harness.Json.to_list with
+  | None -> fail "missing \"experiments\" array"
+  | Some [] -> fail "\"experiments\" is empty"
+  | Some entries ->
+      let seen =
+        List.fold_left (check_experiment ~require_pass:!require_pass) [] entries
+      in
+      Printf.printf "ba_json_check: %s ok (%d experiments)\n" path (List.length seen))

@@ -1,47 +1,17 @@
-(* ba_sweep: regenerate the paper's experiments (E1-E17 from DESIGN.md).
+(* ba_sweep: run registered experiments (E1-E17 from DESIGN.md §5).
+
+   The experiment set comes from Ba_experiments.Experiments.registry — this
+   driver holds no list of its own.
 
    Examples:
      ba_sweep --list
      ba_sweep E3 E4 --seed 7
-     ba_sweep --all --quick *)
+     ba_sweep --tag scaling --json out.json
+     ba_sweep --all --quick --json out.json --csv out.csv *)
 
 open Cmdliner
 
-let experiments =
-  [ ("E1", "Theorem 3: common coin, all nodes flipping",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e1_coin_theorem3 ~quick ~seed ());
-    ("E2", "Corollary 1: designated-committee coin",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e2_coin_corollary1 ~quick ~seed ());
-    ("E3", "Theorem 2: rounds vs t shape",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e3_rounds_vs_t ~quick ~seed ());
-    ("E4", "crossover vs Chor-Coan",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e4_crossover ~quick ~seed ());
-    ("E5", "early termination with q < t",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e5_early_termination ~quick ~seed ());
-    ("E6", "validity/agreement matrix",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e6_validity_matrix ~quick ~seed ());
-    ("E8", "message complexity",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e8_message_complexity ~quick ~seed ());
-    ("E9", "Las Vegas round distribution",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e9_las_vegas ~quick ~seed ());
-    ("E10", "baseline ladder",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e10_baseline_ladder ~quick ~seed ());
-    ("E11a", "alpha ablation",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e11_ablation_alpha ~quick ~seed ());
-    ("E11b", "coin-round ablation",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e11_ablation_coin_round ~quick ~seed ());
-    ("E12", "sampling-majority contrast baseline",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e12_sampling_majority ~quick ~seed ());
-    ("E13", "near-optimality vs BJB lower bound",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e13_bjb_gap ~quick ~seed ());
-    ("E14", "crash vs byzantine fault models",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e14_crash_vs_byzantine ~quick ~seed ());
-    ("E15", "termination-realization ablation",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e15_termination_ablation ~quick ~seed ());
-    ("E16", "elected vs predetermined committees",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e16_election_vs_adaptive ~quick ~seed ());
-    ("E17", "asynchronous contrast (Ben-Or async)",
-     fun ~quick ~seed -> Ba_experiments.Experiments.e17_async_contrast ~quick ~seed ()) ]
+let registry = Ba_experiments.Experiments.registry
 
 let ids_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment IDs (e.g. E3 E4).")
@@ -51,41 +21,131 @@ let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List experiment IDs and
 let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sizes and fewer trials.")
 let seed_arg = Arg.(value & opt int64 2026L & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
-let run ids all list quick seed =
+let tag_arg =
+  let doc =
+    Printf.sprintf "Run every experiment carrying $(docv) (repeatable). One of: %s."
+      (String.concat ", "
+         (List.map Ba_harness.Registry.tag_to_string Ba_harness.Registry.all_tags))
+  in
+  Arg.(value & opt_all string [] & info [ "tag" ] ~docv:"TAG" ~doc)
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"PATH"
+           ~doc:"Write the schema-versioned suite document for the selected experiments.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "csv" ] ~docv:"PATH" ~doc:"Write long-form metrics CSV (id,claim,verdict,metric,value).")
+
+let list_registry () =
+  List.iter
+    (fun (d : Ba_harness.Registry.descriptor) ->
+      Format.printf "%-5s %-28s %s@." d.id
+        (String.concat ","
+           (List.map Ba_harness.Registry.tag_to_string d.tags))
+        d.title)
+    (Ba_harness.Registry.all registry)
+
+(* Returns [Error ()] if any requested id or tag is unknown: partial runs
+   must not exit 0. *)
+let select ~ids ~tags ~all =
+  let bad = ref false in
+  let by_tag =
+    List.concat_map
+      (fun name ->
+        match Ba_harness.Registry.tag_of_string name with
+        | Some tag -> Ba_harness.Registry.with_tag registry tag
+        | None ->
+            Format.eprintf "error: unknown tag %S (see --help)@." name;
+            bad := true;
+            [])
+      tags
+  in
+  let by_id =
+    List.filter_map
+      (fun id ->
+        match Ba_harness.Registry.find registry id with
+        | Some d -> Some d
+        | None ->
+            Format.eprintf "error: unknown experiment %S (see --list)@." id;
+            bad := true;
+            None)
+      ids
+  in
+  if !bad then Error ()
+  else if all then Ok (Ba_harness.Registry.all registry)
+  else
+    (* Dedup while preserving registry order. *)
+    let chosen = by_id @ by_tag in
+    Ok
+      (List.filter
+         (fun (d : Ba_harness.Registry.descriptor) ->
+           List.exists (fun (c : Ba_harness.Registry.descriptor) -> c.id = d.id) chosen)
+         (Ba_harness.Registry.all registry))
+
+let run ids all list quick seed tags json_path csv_path =
   if list then begin
-    List.iter (fun (id, doc, _) -> Format.printf "%-5s %s@." id doc) experiments;
+    list_registry ();
     0
   end
-  else begin
-    let selected =
-      if all || ids = [] then experiments
-      else
-        List.filter_map
-          (fun id ->
-            match List.find_opt (fun (i, _, _) -> String.uppercase_ascii id = i) experiments with
-            | Some e -> Some e
-            | None ->
-                Format.eprintf "warning: unknown experiment %S (see --list)@." id;
-                None)
-          ids
-    in
-    if selected = [] then begin
-      Format.eprintf "error: nothing to run@.";
-      1
-    end
-    else begin
-      List.iter
-        (fun (_, _, f) ->
-          let report = f ~quick ~seed in
-          Format.printf "%a@." Ba_experiments.Experiments.pp_report report)
-        selected;
-      0
-    end
+  else if (not all) && ids = [] && tags = [] then begin
+    Format.eprintf
+      "ba_sweep: nothing selected.@.Usage: ba_sweep [E3 E4 ...] [--all] [--tag TAG] \
+       [--quick] [--seed SEED] [--json PATH] [--csv PATH]@.Run 'ba_sweep --list' for the \
+       experiment index or 'ba_sweep --help' for details.@.";
+    2
   end
+  else
+    match select ~ids ~tags ~all with
+    | Error () -> 2
+    | Ok [] ->
+        Format.eprintf "error: nothing to run@.";
+        2
+    | Ok selected ->
+        let entries =
+          List.map
+            (fun (d : Ba_harness.Registry.descriptor) ->
+              let t0 = Unix.gettimeofday () in
+              let report = d.run ~quick ~seed in
+              let wall = Unix.gettimeofday () -. t0 in
+              Format.printf "%a@." Ba_experiments.Experiments.pp_report report;
+              (d, report, Some wall))
+            selected
+        in
+        let reports = List.map (fun (_, r, _) -> r) entries in
+        (match json_path with
+        | None -> ()
+        | Some path ->
+            let doc =
+              Ba_harness.Registry.suite_json ~seed
+                ~profile:(if quick then "quick" else "full")
+                ~entries
+            in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (Ba_harness.Json.to_string ~pretty:true doc);
+                Out_channel.output_char oc '\n');
+            Format.printf "wrote %s@." path);
+        (match csv_path with
+        | None -> ()
+        | Some path ->
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (Ba_harness.Report.csv_of_reports reports));
+            Format.printf "wrote %s@." path);
+        if
+          List.exists
+            (fun (r : Ba_harness.Report.t) -> r.verdict = Ba_harness.Report.Fail)
+            reports
+        then begin
+          Format.eprintf "error: at least one experiment verdict is FAIL@.";
+          1
+        end
+        else 0
 
 let cmd =
-  let doc = "regenerate the paper's experiments" in
+  let doc = "run the paper's registered experiments (E1-E17)" in
   Cmd.v (Cmd.info "ba_sweep" ~doc)
-    Term.(const run $ ids_arg $ all_arg $ list_arg $ quick_arg $ seed_arg)
+    Term.(const run $ ids_arg $ all_arg $ list_arg $ quick_arg $ seed_arg $ tag_arg
+          $ json_arg $ csv_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,8 @@
+(** E17 — the asynchronous contrast from the paper's Section 1.3:
+    classic async Ben-Or under an adversarial scheduler + splitter vs
+    synchronous Algorithm 3 at the same [(n, t)]. *)
+
+val e17 : ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
+
+(** Registry descriptor for E17. *)
+val experiments : Ba_harness.Registry.descriptor list

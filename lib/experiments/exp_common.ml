@@ -1,0 +1,5 @@
+let isqrt n = int_of_float (sqrt (float_of_int n))
+
+let seed_for ~seed tag = Ba_prng.Splitmix64.mix (Int64.add seed (Int64.of_int (Hashtbl.hash tag)))
+
+let mkey = Ba_harness.Report.metric_key

@@ -1,0 +1,12 @@
+(** Helpers shared by the per-claim experiment modules ([Exp_coin],
+    [Exp_scaling], …). *)
+
+val isqrt : int -> int
+
+(** [seed_for ~seed tag] — a per-sub-experiment seed derived from the master
+    seed and an arbitrary (hashable, deterministic) tag, so sub-experiments
+    draw from independent streams. *)
+val seed_for : seed:int64 -> 'a -> int64
+
+(** Alias of {!Ba_harness.Report.metric_key}. *)
+val mkey : string -> string

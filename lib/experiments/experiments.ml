@@ -1,1032 +1,48 @@
-type report = { id : string; title : string; summary : string; body : string }
+(* Compatibility facade over the per-claim experiment modules.
 
-let pp_report fmt r =
-  Format.fprintf fmt "@[<v>---- %s: %s ----@,%s@,%s@,@]" r.id r.title r.body r.summary
+   The experiments themselves live in Exp_coin / Exp_scaling /
+   Exp_complexity / Exp_baselines / Exp_ablations / Exp_async; this module
+   re-exports the legacy function names and assembles the single registry
+   that bin/ba_sweep and bench/main drive. *)
 
-let isqrt n = int_of_float (sqrt (float_of_int n))
+type report = Ba_harness.Report.t
 
-let seed_for ~seed tag = Ba_prng.Splitmix64.mix (Int64.add seed (Int64.of_int (Hashtbl.hash tag)))
+let pp_report = Ba_harness.Report.pp
 
-(* ------------------------------------------------------------------ *)
-(* E1 / E2 — common coin guarantees                                    *)
-(* ------------------------------------------------------------------ *)
+let e1_coin_theorem3 ?quick ~seed () = Exp_coin.e1 ?quick ~seed ()
+let e2_coin_corollary1 ?quick ~seed () = Exp_coin.e2 ?quick ~seed ()
+let e3_rounds_vs_t ?quick ~seed () = Exp_scaling.e3 ?quick ~seed ()
+let e4_crossover ?quick ~seed () = Exp_complexity.e4 ?quick ~seed ()
+let e5_early_termination ?quick ~seed () = Exp_scaling.e5 ?quick ~seed ()
+let e6_validity_matrix ?quick ~seed () = Exp_baselines.e6 ?quick ~seed ()
+let e7_agreement_aggregate ?quick ~seed () = Exp_baselines.e7 ?quick ~seed ()
+let e8_message_complexity ?quick ~seed () = Exp_complexity.e8 ?quick ~seed ()
+let e9_las_vegas ?quick ~seed () = Exp_scaling.e9 ?quick ~seed ()
+let e10_baseline_ladder ?quick ~seed () = Exp_baselines.e10 ?quick ~seed ()
+let e11_ablation_alpha ?quick ~seed () = Exp_ablations.e11_alpha ?quick ~seed ()
+let e11_ablation_coin_round ?quick ~seed () = Exp_ablations.e11_coin_round ?quick ~seed ()
+let e12_sampling_majority ?quick ~seed () = Exp_baselines.e12 ?quick ~seed ()
+let e13_bjb_gap ?quick ~seed () = Exp_scaling.e13 ?quick ~seed ()
+let e14_crash_vs_byzantine ?quick ~seed () = Exp_ablations.e14 ?quick ~seed ()
+let e15_termination_ablation ?quick ~seed () = Exp_ablations.e15 ?quick ~seed ()
+let e16_election_vs_adaptive ?quick ~seed () = Exp_baselines.e16 ?quick ~seed ()
+let e17_async_contrast ?quick ~seed () = Exp_async.e17 ?quick ~seed ()
 
-let coin_engine_check ~n ~budget ~trials ~seed =
-  (* Algorithm 1 in the real engine against the rushing splitter. *)
-  let protocol = Ba_core.Common_coin.algorithm1 in
-  let adversary = Ba_adversary.Coin_adv.splitter ~designated:(fun _ -> true) in
-  let common = ref 0 and ones = ref 0 in
-  for trial = 0 to trials - 1 do
-    let s = Ba_harness.Experiment.trial_seed ~seed ~trial in
-    let o =
-      Ba_sim.Engine.run ~max_rounds:2 ~protocol ~adversary ~n ~t:budget
-        ~inputs:(Array.make n 0) ~seed:s ()
-    in
-    if Ba_sim.Engine.agreement_holds o then begin
-      incr common;
-      match Ba_sim.Engine.honest_outputs o with
-      | (_, 1) :: _ -> incr ones
-      | _ -> ()
-    end
-  done;
-  (!common, !ones)
-
-let coin_rows ~mode ~sizes ~mc_trials ~engine_trials ~seed =
-  (* mode selects Algorithm 1 (flippers = n - budget among all n nodes) or
-     Algorithm 2 (k designated of a larger network). *)
-  List.concat_map
-    (fun k ->
-      let budget = isqrt k / 2 in
-      let flippers = k in
-      let rng = Ba_prng.Rng.create (seed_for ~seed ("coin-mc", k)) in
-      let p, p1 =
-        Ba_core.Common_coin.success_probability rng ~flippers ~budget ~trials:mc_trials
-      in
-      let ci = Ba_stats.Ci.wilson95 ~successes:(int_of_float (p *. float_of_int mc_trials))
-          ~trials:mc_trials
-      in
-      let bound = 2. *. Ba_core.Common_coin.paley_zygmund_bound in
-      let mc_row =
-        [ string_of_int k; string_of_int budget; "model"; string_of_int mc_trials;
-          Printf.sprintf "%.4f" p;
-          Printf.sprintf "[%.4f, %.4f]" ci.Ba_stats.Ci.lo ci.Ba_stats.Ci.hi;
-          Printf.sprintf "%.4f" p1; Printf.sprintf "%.4f" bound;
-          (if ci.Ba_stats.Ci.lo >= bound then "yes" else "NO") ]
-      in
-      let engine_row =
-        if mode = `Algorithm2 || k > 512 || engine_trials = 0 then []
-        else begin
-          let common, ones =
-            coin_engine_check ~n:k ~budget ~trials:engine_trials
-              ~seed:(seed_for ~seed ("coin-engine", k))
-          in
-          let p = float_of_int common /. float_of_int engine_trials in
-          let p1 = if common = 0 then nan else float_of_int ones /. float_of_int common in
-          let ci = Ba_stats.Ci.wilson95 ~successes:common ~trials:engine_trials in
-          [ [ string_of_int k; string_of_int budget; "engine"; string_of_int engine_trials;
-              Printf.sprintf "%.4f" p;
-              Printf.sprintf "[%.4f, %.4f]" ci.Ba_stats.Ci.lo ci.Ba_stats.Ci.hi;
-              Printf.sprintf "%.4f" p1; Printf.sprintf "%.4f" bound;
-              (if ci.Ba_stats.Ci.lo >= bound then "yes" else "NO") ] ]
-        end
-      in
-      (mc_row :: engine_row))
-    sizes
-
-let coin_headers =
-  [ "flippers"; "byz"; "source"; "trials"; "Pr(Comm)"; "95% CI"; "Pr(1|Comm)";
-    "PZ bound"; ">= bound" ]
-
-let e1_coin_theorem3 ?(quick = false) ~seed () =
-  let sizes = if quick then [ 64; 256; 1024 ] else [ 64; 256; 1024; 4096; 16384 ] in
-  let mc_trials = if quick then 20000 else 100000 in
-  let engine_trials = if quick then 200 else 600 in
-  let rows = coin_rows ~mode:`Algorithm1 ~sizes ~mc_trials ~engine_trials ~seed in
-  let all_pass = List.for_all (fun row -> List.nth row 8 = "yes") rows in
-  { id = "E1";
-    title = "Theorem 3: Algorithm 1 is a common coin for t <= sqrt(n)/2";
-    summary =
-      Printf.sprintf
-        "Paper: Pr(Comm) >= 1/6 against a rushing adaptive adversary corrupting sqrt(n)/2 \
-         flippers. Measured: %s (worst-case splitter; engine and closed-form model agree)."
-        (if all_pass then "all sizes clear the bound" else "BOUND VIOLATED");
-    body = Ba_harness.Table.render ~title:"common coin, all nodes flipping" ~headers:coin_headers rows }
-
-let e2_coin_corollary1 ?(quick = false) ~seed () =
-  let sizes = if quick then [ 16; 64; 256 ] else [ 16; 64; 256; 1024; 4096 ] in
-  let mc_trials = if quick then 20000 else 100000 in
-  let rows = coin_rows ~mode:`Algorithm2 ~sizes ~mc_trials ~engine_trials:0 ~seed in
-  let all_pass = List.for_all (fun row -> List.nth row 8 = "yes") rows in
-  { id = "E2";
-    title = "Corollary 1: designated-committee coin (Algorithm 2)";
-    summary =
-      Printf.sprintf
-        "Paper: k designated flippers tolerate sqrt(k)/2 Byzantine members. Measured: %s."
-        (if all_pass then "bound holds at every committee size" else "BOUND VIOLATED");
-    body =
-      Ba_harness.Table.render ~title:"common coin, k designated flippers"
-        ~headers:coin_headers rows }
-
-(* ------------------------------------------------------------------ *)
-(* E3 — round-complexity shape                                         *)
-(* ------------------------------------------------------------------ *)
-
-let engine_killer_rounds ~n ~t ~trials ~seed =
-  let run =
-    Setups.make ~protocol:(Setups.Las_vegas { alpha = 2.0 }) ~adversary:Setups.Committee_killer
-      ~n ~t
+let registry =
+  let num (d : Ba_harness.Registry.descriptor) =
+    (* Ids are "E<n>"; a malformed id would be a programming error caught by
+       the DESIGN.md coverage test, so default it to the end of the list. *)
+    match int_of_string_opt (String.sub d.id 1 (String.length d.id - 1)) with
+    | Some n -> n
+    | None -> max_int
   in
-  let inputs = Setups.inputs Setups.Split ~n ~t in
-  let stats =
-    Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ~trials ~seed
-      ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
-      ()
-  in
-  stats.rounds
-
-let model_killer_rounds ~n ~t ~budget ~trials ~seed =
-  let rng = Ba_prng.Rng.create seed in
-  let s = Ba_stats.Summary.create () in
-  for _ = 1 to trials do
-    Ba_stats.Summary.add_int s (Fast_model.alg3 rng ~n ~t ~budget ()).Fast_model.rounds
-  done;
-  s
-
-let e3_rounds_vs_t ?(quick = false) ~seed () =
-  (* Small n: engine vs model validation. Large n: model only, where the
-     t^2 log n / n regime lives. *)
-  let small_n = if quick then 128 else 256 in
-  let small_ts =
-    List.filter (fun t -> t <= Ba_core.Params.max_tolerated small_n)
-      (if quick then [ 8; 16; 32; 42 ] else [ 8; 16; 24; 32; 48; 64; 85 ])
-  in
-  let engine_trials = if quick then 8 else 20 in
-  let model_trials = if quick then 200 else 1000 in
-  let validation_rows =
-    List.map
-      (fun t ->
-        let e =
-          engine_killer_rounds ~n:small_n ~t ~trials:engine_trials
-            ~seed:(seed_for ~seed ("e3-engine", t))
-        in
-        let m =
-          model_killer_rounds ~n:small_n ~t ~budget:t ~trials:model_trials
-            ~seed:(seed_for ~seed ("e3-model", t))
-        in
-        [ string_of_int small_n; string_of_int t;
-          Ba_harness.Table.fmt_mean_ci e; Ba_harness.Table.fmt_mean_ci m;
-          Ba_harness.Table.fmt_ratio (Ba_stats.Summary.mean e) (Ba_stats.Summary.mean m) ])
-      small_ts
-  in
-  (* The quadratic window [sqrt n, n/log^2 n] is only wide at very large n:
-     at n = 2^24 it spans t in [4096, ~29k]. The phase model makes that
-     reachable. *)
-  let big_n = 1 lsl 24 in
-  let big_trials = if quick then 50 else 200 in
-  let big_ts =
-    if quick then [ 4096; 8192; 16384; 29127; 65536 ]
-    else [ 4096; 5793; 8192; 11585; 16384; 23170; 29127; 65536; 131072 ]
-  in
-  let big =
-    List.map
-      (fun t ->
-        let m =
-          model_killer_rounds ~n:big_n ~t ~budget:t ~trials:big_trials
-            ~seed:(seed_for ~seed ("e3-big", t))
-        in
-        (t, m))
-      big_ts
-  in
-  let big_rows =
-    List.map
-      (fun (t, m) ->
-        [ string_of_int big_n; string_of_int t; Ba_harness.Table.fmt_mean_ci m;
-          Ba_harness.Table.fmt_float (Ba_core.Params.rounds_ours ~n:big_n ~t);
-          Ba_harness.Table.fmt_float (Ba_core.Params.rounds_chor_coan ~n:big_n ~t);
-          (match Ba_core.Params.regime ~n:big_n ~t with
-          | Ba_core.Params.Small_t -> "t^2logn/n"
-          | Ba_core.Params.Large_t -> "t/logn") ])
-      big
-  in
-  (* Fit the exponent over the quadratic regime (t in [sqrt n, crossover]). *)
-  let quad =
-    List.filter
-      (fun (t, _) -> t >= isqrt big_n && Ba_core.Params.regime ~n:big_n ~t = Ba_core.Params.Small_t)
-      big
-  in
-  let fit =
-    if List.length quad >= 3 then begin
-      let xs = Array.of_list (List.map (fun (t, _) -> float_of_int t) quad) in
-      let ys = Array.of_list (List.map (fun (_, m) -> Ba_stats.Summary.mean m) quad) in
-      Some (Ba_stats.Regression.log_log xs ys)
-    end
-    else None
-  in
-  let fig =
-    Ba_harness.Ascii_plot.render ~logx:true ~logy:true
-      ~title:(Printf.sprintf "rounds vs t (n = %d, committee-killer)" big_n)
-      ~xlabel:"t" ~ylabel:"rounds"
-      [ { Ba_harness.Ascii_plot.label = "measured (model)"; glyph = 'o';
-          points = List.map (fun (t, m) -> (float_of_int t, Ba_stats.Summary.mean m)) big };
-        { label = "paper bound min(t^2logn/n, t/logn)"; glyph = '.';
-          points =
-            List.map (fun t -> (float_of_int t, Ba_core.Params.rounds_ours ~n:big_n ~t)) big_ts } ]
-  in
-  { id = "E3";
-    title = "Theorem 2 shape: rounds scale as t^2 log n / n for small t";
-    summary =
-      (match fit with
-      | Some f ->
-          Printf.sprintf
-            "Paper: quadratic in t below the crossover. Measured exponent %.2f (r2=%.3f) over \
-             t in [%d, %d] at n=%d — %s."
-            f.Ba_stats.Regression.slope f.r2 (isqrt big_n) (Ba_core.Params.crossover_t big_n)
-            big_n
-            (if f.slope > 1.5 && f.slope < 2.5 then "quadratic shape confirmed"
-             else "UNEXPECTED EXPONENT")
-      | None -> "Not enough points in the quadratic regime to fit.");
-    body =
-      Ba_harness.Table.render ~title:"engine vs phase-model validation (small n)"
-        ~headers:[ "n"; "t"; "engine rounds"; "model rounds"; "ratio" ]
-        validation_rows
-      ^ "\n"
-      ^ Ba_harness.Table.render ~title:"model rounds at large n"
-          ~headers:[ "n"; "t"; "measured rounds"; "ours bound"; "CC bound"; "regime" ]
-          big_rows
-      ^ "\n" ^ fig }
-
-(* ------------------------------------------------------------------ *)
-(* E4 / E8 — crossover vs Chor–Coan, and message complexity            *)
-(* ------------------------------------------------------------------ *)
-
-let e4_data ?(quick = false) ~seed () =
-  let n = 65536 in
-  let ts =
-    if quick then [ 256; 512; 1024; 2048; 8192 ]
-    else [ 256; 512; 1024; 2048; 4096; 8192; 16384; 21845 ]
-  in
-  let trials = if quick then 200 else 600 in
-  List.map
-    (fun t ->
-      let rng_a = Ba_prng.Rng.create (seed_for ~seed ("e4-alg3", t)) in
-      let rng_c = Ba_prng.Rng.create (seed_for ~seed ("e4-cc", t)) in
-      let ours = Ba_stats.Summary.create () and cc = Ba_stats.Summary.create () in
-      for _ = 1 to trials do
-        Ba_stats.Summary.add_int ours (Fast_model.alg3 rng_a ~n ~t ~budget:t ()).Fast_model.rounds;
-        Ba_stats.Summary.add_int cc
-          (Fast_model.chor_coan rng_c ~n ~t ~budget:t ()).Fast_model.rounds
-      done;
-      (t, ours, cc))
-    ts
-
-let e4_crossover ?quick ~seed () =
-  let n = 65536 in
-  let data = e4_data ?quick ~seed () in
-  let rows =
-    List.map
-      (fun (t, ours, cc) ->
-        [ string_of_int t;
-          Ba_harness.Table.fmt_mean_ci ours;
-          Ba_harness.Table.fmt_mean_ci cc;
-          Ba_harness.Table.fmt_ratio (Ba_stats.Summary.mean cc) (Ba_stats.Summary.mean ours);
-          Ba_harness.Table.fmt_float (Ba_core.Params.lower_bound_bjb ~n ~t) ])
-      data
-  in
-  let fig =
-    Ba_harness.Ascii_plot.render ~logx:true ~logy:true
-      ~title:(Printf.sprintf "Algorithm 3 vs Chor-Coan (n = %d, worst-case adversary)" n)
-      ~xlabel:"t" ~ylabel:"rounds"
-      [ { Ba_harness.Ascii_plot.label = "Algorithm 3"; glyph = 'o';
-          points = List.map (fun (t, o, _) -> (float_of_int t, Ba_stats.Summary.mean o)) data };
-        { label = "Chor-Coan"; glyph = 'x';
-          points = List.map (fun (t, _, c) -> (float_of_int t, Ba_stats.Summary.mean c)) data };
-        { label = "BJB lower bound t/sqrt(n logn)"; glyph = '.';
-          points =
-            List.map (fun (t, _, _) -> (float_of_int t, Ba_core.Params.lower_bound_bjb ~n ~t))
-              data } ]
-  in
-  let small_t_speedup =
-    match data with
-    | (t0, o, c) :: _ -> (t0, Ba_stats.Summary.mean c /. Ba_stats.Summary.mean o)
-    | [] -> (0, nan)
-  in
-  let cross = Ba_core.Params.crossover_t n in
-  { id = "E4";
-    title = "Crossover: ours wins for t << n/log^2 n, matches Chor-Coan beyond";
-    summary =
-      Printf.sprintf
-        "Paper: strict improvement for t = o(n/log^2 n) (crossover near t ~ %d at n=%d), \
-         asymptotically equal after. Measured: %.1fx speedup at t=%d, ratio -> ~1 at large t."
-        cross n (snd small_t_speedup) (fst small_t_speedup);
-    body =
-      Ba_harness.Table.render ~title:"rounds: Algorithm 3 vs Chor-Coan"
-        ~headers:[ "t"; "alg3 rounds"; "chor-coan rounds"; "CC/ours"; "BJB bound" ]
-        rows
-      ^ "\n" ^ fig }
-
-let e8_message_complexity ?(quick = false) ~seed () =
-  (* Engine-metered messages and bits at moderate n; the paper's claim is
-     O(min{n t^2 log n, n^2 t / log n}) vs Chor-Coan's O(n^2 t / log n). *)
-  let n = if quick then 64 else 128 in
-  let ts =
-    List.filter (fun t -> t <= Ba_core.Params.max_tolerated n)
-      (if quick then [ 4; 10; 21 ] else [ 4; 8; 16; 28; 42 ])
-  in
-  let trials = if quick then 5 else 12 in
-  let rows =
-    List.concat_map
-      (fun t ->
-        let inputs = Setups.inputs Setups.Split ~n ~t in
-        List.map
-          (fun proto ->
-            let run = Setups.make ~protocol:proto ~adversary:Setups.Committee_killer ~n ~t in
-            let stats =
-              Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ~trials
-                ~seed:(seed_for ~seed ("e8", Setups.protocol_name proto, t))
-                ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
-                ()
-            in
-            [ string_of_int n; string_of_int t; run.run_protocol;
-              Ba_harness.Table.fmt_mean_ci stats.rounds;
-              Ba_harness.Table.fmt_float (Ba_stats.Summary.mean stats.messages);
-              Ba_harness.Table.fmt_float (Ba_stats.Summary.mean stats.bits) ])
-          [ Setups.Las_vegas { alpha = 2.0 }; Setups.Chor_coan_lv ])
-      ts
-  in
-  { id = "E8";
-    title = "Message and bit complexity vs Chor-Coan";
-    summary =
-      "Paper: message complexity O(min{n t^2 log n, n^2 t / log n}), improving on Chor-Coan's \
-       O(n^2 t / log n). Measured: per-run messages track rounds x n^2; ours sends fewer \
-       messages wherever it finishes in fewer rounds (same per-round cost, CONGEST payloads).";
-    body =
-      Ba_harness.Table.render ~title:"engine-metered cost (committee-killer adversary)"
-        ~headers:[ "n"; "t"; "protocol"; "rounds"; "messages"; "bits" ]
-        rows }
-
-(* ------------------------------------------------------------------ *)
-(* E5 — early termination                                              *)
-(* ------------------------------------------------------------------ *)
-
-let e5_early_termination ?(quick = false) ~seed () =
-  let n = if quick then 128 else 256 in
-  let t = Ba_core.Params.max_tolerated n in
-  let qs =
-    List.filter (fun q -> q <= t) (if quick then [ 0; 8; 21; 42 ] else [ 0; 8; 16; 32; 64; 85 ])
-  in
-  let engine_trials = if quick then 6 else 15 in
-  let inputs = Setups.inputs Setups.Split ~n ~t in
-  let rows =
-    List.map
-      (fun q ->
-        (* Engine: protocol provisioned for t, killer capped at q. *)
-        let run =
-          Setups.make ~protocol:(Setups.Las_vegas { alpha = 2.0 })
-            ~adversary:Setups.Committee_killer ~n ~t
-        in
-        let capped_exec ~seed ~trial:_ =
-          (* Rebuild with a capped adversary: go through the raw engine. *)
-          let inst = Ba_core.Las_vegas.make ~n ~t () in
-          let designated ~phase v =
-            Ba_core.Committee.is_member inst.committees
-              (Ba_core.Committee.for_phase inst.committees ~phase)
-              v
-          in
-          let adv =
-            Ba_adversary.Generic.capped ~limit:q
-              (Ba_adversary.Skeleton_adv.committee_killer ~config:inst.config ~designated)
-          in
-          Ba_sim.Engine.run ~max_rounds:run.default_max_rounds ~record:true
-            ~protocol:inst.protocol ~adversary:adv ~n ~t ~inputs ~seed ()
-        in
-        let stats =
-          Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase
-            ~trials:engine_trials
-            ~seed:(seed_for ~seed ("e5", q))
-            ~run:capped_exec ()
-        in
-        [ string_of_int q;
-          Ba_harness.Table.fmt_mean_ci stats.rounds;
-          Ba_harness.Table.fmt_mean_ci stats.corruptions;
-          Ba_harness.Table.fmt_float (Ba_core.Params.rounds_ours ~n ~t:(max q 1)) ])
-      qs
-  in
-  { id = "E5";
-    title = "Early termination: rounds track the actual corruptions q, not the budget t";
-    summary =
-      Printf.sprintf
-        "Paper: with q < t actual corruptions the protocol ends in O(min{q^2 logn/n, q/logn}) \
-         rounds. Measured at n=%d, t=%d: rounds grow with q and are constant-small at q=0."
-        n t;
-    body =
-      Ba_harness.Table.render
-        ~title:(Printf.sprintf "Algorithm 3 (Las Vegas), n=%d, budget t=%d, killer capped at q" n t)
-        ~headers:[ "q"; "rounds"; "corruptions used"; "bound(q) shape" ]
-        rows }
-
-(* ------------------------------------------------------------------ *)
-(* E6 — validity & agreement matrix                                    *)
-(* ------------------------------------------------------------------ *)
-
-let e6_validity_matrix ?(quick = false) ~seed () =
-  let trials = if quick then 4 else 10 in
-  let combos =
-    let skel p = (p, [ Setups.Silent; Setups.Static_crash; Setups.Staggered_crash 2;
-                       Setups.Committee_killer; Setups.Equivocator; Setups.Lone_finisher 0;
-                       Setups.Random_noise 0.4 ])
-    and gen p = (p, [ Setups.Silent; Setups.Static_crash; Setups.Staggered_crash 1 ]) in
-    [ skel (Setups.Alg3 { alpha = 2.0; coin_round = `Piggyback });
-      skel (Setups.Alg3 { alpha = 2.0; coin_round = `Extra });
-      skel (Setups.Las_vegas { alpha = 2.0 });
-      skel Setups.Chor_coan;
-      skel Setups.Rabin;
-      gen Setups.Phase_king;
-      gen Setups.Eig ]
-  in
-  let total_runs = ref 0 and failures = ref 0 in
-  let rows =
-    List.concat_map
-      (fun (proto, advs) ->
-        let n, t =
-          match proto with
-          | Setups.Phase_king -> (41, 9)
-          | Setups.Eig -> (7, 2)
-          | _ -> if quick then (40, 13) else (64, 21)
-        in
-        List.concat_map
-          (fun adv ->
-            let run = Setups.make ~protocol:proto ~adversary:adv ~n ~t in
-            List.map
-              (fun pattern ->
-                let inputs = Setups.inputs pattern ~n ~t in
-                let ok = ref 0 in
-                for trial = 0 to trials - 1 do
-                  let s =
-                    Ba_harness.Experiment.trial_seed
-                      ~seed:(seed_for ~seed ("e6", run.run_protocol, run.run_adversary))
-                      ~trial
-                  in
-                  let o = run.exec ~record:true ~inputs ~seed:s () in
-                  let violations =
-                    Ba_trace.Checker.standard ?rounds_per_phase:run.rounds_per_phase o
-                  in
-                  incr total_runs;
-                  if violations = [] then incr ok else incr failures
-                done;
-                [ run.run_protocol; run.run_adversary;
-                  (match pattern with
-                  | Setups.Unanimous b -> Printf.sprintf "unanimous-%d" b
-                  | Setups.Split -> "split"
-                  | Setups.Near_threshold -> "near-threshold");
-                  Printf.sprintf "%d/%d" !ok trials ])
-              [ Setups.Unanimous 0; Setups.Unanimous 1; Setups.Split; Setups.Near_threshold ])
-          advs)
-      combos
-  in
-  { id = "E6/E7";
-    title = "Validity and agreement under every adversary";
-    summary =
-      Printf.sprintf
-        "Paper: agreement + validity always (whp). Measured: %d/%d runs pass every invariant \
-         check (agreement, validity, Lemma 3 coherence, Lemma 4 termination window)."
-        (!total_runs - !failures) !total_runs;
-    body =
-      Ba_harness.Table.render ~title:"invariant checks across the full matrix"
-        ~headers:[ "protocol"; "adversary"; "inputs"; "clean runs" ]
-        rows }
-
-(* ------------------------------------------------------------------ *)
-(* E9 — Las Vegas distribution                                         *)
-(* ------------------------------------------------------------------ *)
-
-let e9_las_vegas ?(quick = false) ~seed () =
-  let n = if quick then 64 else 128 in
-  let t = Ba_core.Params.max_tolerated n in
-  let trials = if quick then 60 else 200 in
-  let run =
-    Setups.make ~protocol:(Setups.Las_vegas { alpha = 2.0 }) ~adversary:Setups.Committee_killer
-      ~n ~t
-  in
-  let inputs = Setups.inputs Setups.Split ~n ~t in
-  let rounds = ref [] in
-  let stats =
-    Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ~trials
-      ~seed:(seed_for ~seed "e9")
-      ~run:(fun ~seed ~trial:_ ->
-        let o = run.exec ~record:true ~inputs ~seed () in
-        rounds := float_of_int o.Ba_sim.Engine.rounds :: !rounds;
-        o)
-      ()
-  in
-  let samples = Array.of_list !rounds in
-  let hist =
-    Ba_stats.Histogram.create ~lo:0. ~hi:(Ba_stats.Summary.max stats.rounds +. 2.) ~bins:12
-  in
-  Array.iter (Ba_stats.Histogram.add hist) samples;
-  let q50 = Ba_stats.Quantiles.quantile samples 0.5
-  and q95 = Ba_stats.Quantiles.quantile samples 0.95 in
-  { id = "E9";
-    title = "Las Vegas variant: always terminates, expected rounds per Theorem 2";
-    summary =
-      Printf.sprintf
-        "Paper: agreement always reached, in O(min{t^2logn/n, t/logn}) expected rounds. \
-         Measured at n=%d t=%d under the killer: %d/%d terminated, mean %.1f rounds \
-         (median %.0f, p95 %.0f)."
-        n t (trials - stats.incomplete) trials (Ba_stats.Summary.mean stats.rounds) q50 q95;
-    body = Format.asprintf "round distribution (n=%d, t=%d, committee-killer):@.%a" n t
-        (fun fmt h -> Ba_stats.Histogram.pp fmt h) hist }
-
-(* ------------------------------------------------------------------ *)
-(* E10 — baseline ladder                                               *)
-(* ------------------------------------------------------------------ *)
-
-let e10_baseline_ladder ?(quick = false) ~seed () =
-  let trials = if quick then 5 else 12 in
-  let entries =
-    [ (Setups.Eig, 7, 2, Setups.Static_crash, "deterministic, n>3t, t+1 rounds, exp. messages");
-      (Setups.Phase_king, 65, 16, Setups.Staggered_crash 1, "deterministic, n>4t, O(t) rounds");
-      (Setups.Local_coin, 16, 5, Setups.Silent, "private coins, exp. expected rounds");
-      (Setups.Rabin, 64, 21, Setups.Static_crash, "dealer coin, O(1) expected phases");
-      (Setups.Chor_coan_lv, 64, 21, Setups.Committee_killer, "O(t/log n) rounds");
-      (Setups.Las_vegas { alpha = 2.0 }, 64, 21, Setups.Committee_killer,
-       "this paper: O(min{t^2logn/n, t/logn})") ]
-  in
-  let rows =
-    List.map
-      (fun (proto, n, t, adv, note) ->
-        let run = Setups.make ~protocol:proto ~adversary:adv ~n ~t in
-        let inputs = Setups.inputs Setups.Split ~n ~t in
-        let stats =
-          Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ~trials
-            ~seed:(seed_for ~seed ("e10", run.run_protocol))
-            ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
-            ()
-        in
-        [ run.run_protocol; string_of_int n; string_of_int t; run.run_adversary;
-          Ba_harness.Table.fmt_mean_ci stats.rounds;
-          Ba_harness.Table.fmt_float (Ba_stats.Summary.mean stats.messages);
-          Ba_harness.Table.fmt_float (Ba_core.Params.lower_bound_bjb ~n ~t); note ])
-      entries
-  in
-  { id = "E10";
-    title = "Baseline ladder: deterministic -> Chor-Coan -> Algorithm 3 -> BJB bound";
-    summary =
-      "Paper positioning: randomization beats the t+1 deterministic barrier (Chor-Coan), and \
-       committee coins beat Chor-Coan toward the Bar-Joseph-Ben-Or lower bound. Measured \
-       ladder reproduces the ordering.";
-    body =
-      Ba_harness.Table.render ~title:"all protocols, representative settings"
-        ~headers:[ "protocol"; "n"; "t"; "adversary"; "rounds"; "messages"; "BJB bound"; "notes" ]
-        rows }
-
-(* ------------------------------------------------------------------ *)
-(* E11 — ablations                                                     *)
-(* ------------------------------------------------------------------ *)
-
-let e11_ablation_alpha ?(quick = false) ~seed () =
-  let n = if quick then 64 else 128 in
-  let t = Ba_core.Params.max_tolerated n in
-  let trials = if quick then 12 else 40 in
-  let alphas = [ 1.0; 2.0; 4.0; 8.0 ] in
-  let inputs = Setups.inputs Setups.Split ~n ~t in
-  let failure_counts = ref [] in
-  let rows =
-    List.map
-      (fun alpha ->
-        (* Fixed-phase (whp) variant: count cap-hits = agreement failures. *)
-        let inst = Ba_core.Agreement.make ~alpha ~n ~t () in
-        let designated ~phase v = Ba_core.Agreement.is_flipper inst ~phase v in
-        let rounds = Ba_stats.Summary.create () in
-        let failures = ref 0 in
-        for trial = 0 to trials - 1 do
-          let s =
-            Ba_harness.Experiment.trial_seed ~seed:(seed_for ~seed ("e11a", alpha)) ~trial
-          in
-          let adv =
-            Ba_adversary.Skeleton_adv.committee_killer ~config:inst.config ~designated
-          in
-          let o =
-            Ba_sim.Engine.run
-              ~max_rounds:(Ba_core.Agreement.round_bound inst)
-              ~protocol:inst.protocol ~adversary:adv ~n ~t ~inputs ~seed:s ()
-          in
-          Ba_stats.Summary.add_int rounds o.rounds;
-          if (not (Ba_sim.Engine.agreement_holds o)) || not o.completed then incr failures
-        done;
-        let c = Ba_core.Params.committees ~alpha ~n ~t () in
-        failure_counts := (alpha, !failures) :: !failure_counts;
-        [ Printf.sprintf "%.1f" alpha; string_of_int c;
-          string_of_int (Ba_core.Params.committee_size ~n ~c);
-          Ba_harness.Table.fmt_mean_ci rounds;
-          Printf.sprintf "%d/%d" !failures trials ])
-      alphas
-  in
-  let fail_str =
-    String.concat ", "
-      (List.rev_map
-         (fun (a, f) -> Printf.sprintf "alpha=%.0f: %d/%d" a f trials)
-         !failure_counts)
-  in
-  { id = "E11a";
-    title = "Ablation: committee-count constant alpha";
-    summary =
-      Printf.sprintf
-        "Paper: alpha trades phase budget (rounds) against failure probability (the whp \
-         argument wants alpha - 4 sqrt(alpha) >= gamma, i.e. alpha >= ~23 — far above what \
-         is needed in practice). Measured phase-cap failures at t = n/3 - 1: %s. The Las \
-         Vegas form sidesteps the cap entirely."
-        fail_str;
-    body =
-      Ba_harness.Table.render
-        ~title:(Printf.sprintf "fixed-phase Algorithm 3, n=%d, t=%d, committee-killer" n t)
-        ~headers:[ "alpha"; "committees c"; "size s"; "rounds"; "failures" ]
-        rows }
-
-let e11_ablation_coin_round ?(quick = false) ~seed () =
-  let n = if quick then 40 else 64 in
-  let t = Ba_core.Params.max_tolerated n in
-  let trials = if quick then 8 else 20 in
-  let rows =
-    List.map
-      (fun coin_round ->
-        let run =
-          Setups.make ~protocol:(Setups.Alg3 { alpha = 2.0; coin_round })
-            ~adversary:Setups.Committee_killer ~n ~t
-        in
-        let inputs = Setups.inputs Setups.Split ~n ~t in
-        let stats =
-          Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ~fail_fast:false
-            ~trials
-            ~seed:(seed_for ~seed ("e11b", run.run_protocol))
-            ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
-            ()
-        in
-        [ run.run_protocol;
-          (match run.rounds_per_phase with Some r -> string_of_int r | None -> "-");
-          Ba_harness.Table.fmt_mean_ci stats.rounds;
-          Ba_harness.Table.fmt_mean_ci stats.phases;
-          string_of_int stats.agreement_failures ])
-      [ `Piggyback; `Extra ]
-  in
-  { id = "E11b";
-    title = "Ablation: coin piggybacked on round 2 vs separate coin round";
-    summary =
-      "The paper's 2-rounds-per-phase accounting needs the coin flips piggybacked on the \
-       round-2 broadcast. Measured: the 3-round variant needs the same number of phases but \
-       ~1.5x the rounds — piggybacking is a constant-factor win, not a correctness issue.";
-    body =
-      Ba_harness.Table.render ~title:"Algorithm 3 coin-round placement"
-        ~headers:[ "variant"; "rounds/phase"; "rounds"; "phases"; "agreement failures" ]
-        rows }
-
-(* ------------------------------------------------------------------ *)
-(* E12 — sampling-majority contrast baseline                           *)
-(* ------------------------------------------------------------------ *)
-
-let sampling_splitter ~rng =
-  (* Corrupt the budget up front; corrupted nodes feed value [dst mod 2]
-     into every sample, sustaining the split for as long as samples hit
-     Byzantine slots often enough. *)
-  { Ba_sim.Adversary.adv_name = "sampling-splitter";
-    act =
-      (fun view ->
-        let corrupt =
-          if view.Ba_sim.Adversary.round = 1 then
-            Array.to_list
-              (Ba_prng.Rng.sample_without_replacement rng ~k:view.budget_left ~n:view.n)
-          else []
-        in
-        { Ba_sim.Adversary.corrupt;
-          byz_msg = (fun ~src:_ ~dst -> Some (Ba_baselines.Sampling_majority.Value (dst mod 2))) }) }
-
-let e12_sampling_majority ?(quick = false) ~seed () =
-  let n = if quick then 256 else 1024 in
-  let trials = if quick then 10 else 25 in
-  let sqrt_n = isqrt n in
-  let budgets = [ 0; sqrt_n / 4; sqrt_n; min (4 * sqrt_n) (Ba_core.Params.max_tolerated n) ] in
-  (* Horizon 4 log n: the dynamics converge in O(log n) rounds; the module's
-     conservative default of 4 log^2 n would cost ~10x the wall clock at
-     n = 1024 for no extra information. *)
-  let horizon = 4 * int_of_float (ceil (Ba_core.Params.log2n n)) in
-  let protocol = Ba_baselines.Sampling_majority.make ~rounds:horizon () in
-  let rows =
-    List.map
-      (fun budget ->
-        let fractions = Ba_stats.Summary.create () in
-        let full_agreement = ref 0 in
-        for trial = 0 to trials - 1 do
-          let s = Ba_harness.Experiment.trial_seed ~seed:(seed_for ~seed ("e12", budget)) ~trial in
-          let adversary =
-            sampling_splitter ~rng:(Ba_prng.Rng.create (Ba_prng.Splitmix64.mix s))
-          in
-          let o =
-            Ba_sim.Engine.run ~protocol ~adversary ~n ~t:(max budget 1)
-              ~inputs:(Array.init n (fun i -> i mod 2)) ~seed:s ()
-          in
-          let f = Ba_baselines.Sampling_majority.agreement_fraction o in
-          Ba_stats.Summary.add fractions f;
-          if f >= 0.9999 then incr full_agreement
-        done;
-        [ string_of_int budget;
-          Printf.sprintf "%.2f sqrt(n)" (float_of_int budget /. float_of_int sqrt_n);
-          Ba_harness.Table.fmt_mean_ci fractions;
-          Printf.sprintf "%d/%d" !full_agreement trials ])
-      budgets
-  in
-  { id = "E12";
-    title = "Contrast baseline: sampling-majority dynamics (related work, Sec. 1.3)";
-    summary =
-      Printf.sprintf
-        "The paper's related-work alternative: per-round 2-sample majority converges for \
-         t = O(sqrt n / polylog n) but degrades past the same sqrt(n) anti-concentration \
-         threshold that limits Algorithm 1 — and has no committee amplification to push \
-         beyond it. Measured at n=%d: agreement fraction drops with t/sqrt(n)." n;
-    body =
-      Ba_harness.Table.render
-        ~title:(Printf.sprintf "sampling majority, n=%d, split inputs, splitter adversary" n)
-        ~headers:[ "byzantine"; "vs sqrt n"; "agreement fraction"; "global agreement" ]
-        rows }
-
-(* ------------------------------------------------------------------ *)
-(* E13 — near-optimality at t = sqrt n                                 *)
-(* ------------------------------------------------------------------ *)
-
-let e13_bjb_gap ?(quick = false) ~seed () =
-  (* Paper: at t ~ sqrt n the protocol is within logarithmic factors of the
-     Bar-Joseph--Ben-Or lower bound. Measure rounds at t = sqrt n across n
-     and report the measured/bound ratio against polylog growth. *)
-  let ns =
-    if quick then [ 10; 14; 18; 22 ] else [ 10; 12; 14; 16; 18; 20; 22; 24 ]
-  in
-  let trials = if quick then 100 else 400 in
-  let rows =
-    List.map
-      (fun log_n ->
-        let n = 1 lsl log_n in
-        let t = isqrt n in
-        let m =
-          model_killer_rounds ~n ~t ~budget:t ~trials ~seed:(seed_for ~seed ("e13", log_n))
-        in
-        let bjb = Ba_core.Params.lower_bound_bjb ~n ~t in
-        let measured = Ba_stats.Summary.mean m in
-        let ln = Ba_core.Params.log2n n in
-        [ string_of_int n; string_of_int t; Ba_harness.Table.fmt_mean_ci m;
-          Ba_harness.Table.fmt_float bjb;
-          Ba_harness.Table.fmt_float (measured /. bjb);
-          Ba_harness.Table.fmt_float (measured /. (bjb *. ln *. ln)) ])
-      ns
-  in
-  (* The claim holds if ratio / log^2 n stays bounded (no growth trend). *)
-  let ratios =
-    List.map
-      (fun row -> float_of_string (List.nth row 5))
-      (List.filter (fun row -> List.nth row 5 <> "-") rows)
-  in
-  let bounded =
-    match (ratios, List.rev ratios) with
-    | first :: _, last :: _ -> last <= 4. *. first
-    | _ -> false
-  in
-  { id = "E13";
-    title = "Near-optimality: measured rounds vs the BJB lower bound at t = sqrt n";
-    summary =
-      Printf.sprintf
-        "Paper: at t ~ sqrt n the protocol matches the Omega(t / sqrt(n log n)) lower bound \
-         up to logarithmic factors. Measured: rounds/bound divided by log^2 n is %s across \
-         three orders of magnitude in n."
-        (if bounded then "flat (bounded)" else "NOT bounded");
-    body =
-      Ba_harness.Table.render ~title:"worst-case rounds at t = sqrt(n) (phase model)"
-        ~headers:[ "n"; "t=sqrt n"; "rounds"; "BJB bound"; "ratio"; "ratio/log^2 n" ]
-        rows }
-
-(* ------------------------------------------------------------------ *)
-(* E14 — crash faults vs Byzantine faults                              *)
-(* ------------------------------------------------------------------ *)
-
-let e14_crash_vs_byzantine ?(quick = false) ~seed () =
-  (* The BJB lower bound already holds for adaptive crash faults; measure
-     how much weaker the crash-only killer is in practice (deletions cost
-     ~|X|+1 per coin vs the Byzantine ~|X|/2+1). *)
-  let n = if quick then 64 else 128 in
-  let t = Ba_core.Params.max_tolerated n in
-  let trials = if quick then 8 else 20 in
-  let inputs = Setups.inputs Setups.Split ~n ~t in
-  let measure adversary =
-    let run = Setups.make ~protocol:(Setups.Las_vegas { alpha = 2.0 }) ~adversary ~n ~t in
-    Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ~trials
-      ~seed:(seed_for ~seed ("e14", Setups.adversary_name adversary))
-      ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
-      ()
-  in
-  let byz = measure Setups.Committee_killer in
-  let crash = measure Setups.Crash_committee_killer in
-  let silent = measure Setups.Silent in
-  let rows =
-    List.map
-      (fun (name, stats) ->
-        [ name;
-          Ba_harness.Table.fmt_mean_ci stats.Ba_harness.Experiment.rounds;
-          Ba_harness.Table.fmt_mean_ci stats.corruptions;
-          Ba_harness.Table.fmt_ratio
-            (Ba_stats.Summary.mean stats.rounds)
-            (Ba_stats.Summary.mean silent.Ba_harness.Experiment.rounds) ])
-      [ ("silent", silent); ("crash-committee-killer", crash); ("committee-killer", byz) ]
-  in
-  let slowdown =
-    Ba_stats.Summary.mean byz.Ba_harness.Experiment.rounds
-    /. Ba_stats.Summary.mean crash.Ba_harness.Experiment.rounds
-  in
-  { id = "E14";
-    title = "Fault-model ladder: crash faults vs full Byzantine behaviour";
-    summary =
-      Printf.sprintf
-        "BJB's lower bound already holds for adaptive mid-round crash faults; Byzantine \
-         equivocation roughly halves the per-coin kill cost. Measured at n=%d, t=%d: the \
-         Byzantine killer sustains %.1fx more rounds than the crash-only killer."
-        n t slowdown;
-    body =
-      Ba_harness.Table.render
-        ~title:(Printf.sprintf "Algorithm 3 (Las Vegas), n=%d, t=%d" n t)
-        ~headers:[ "adversary"; "rounds"; "corruptions used"; "vs silent" ]
-        rows }
-
-(* ------------------------------------------------------------------ *)
-(* E15 — termination-realization ablation                              *)
-(* ------------------------------------------------------------------ *)
-
-let e15_termination_ablation ?(quick = false) ~seed () =
-  (* The paper's "broadcast once more" taken literally vs the extra-phase
-     realization, both under the lone-finisher attack with a full budget.
-     The literal reading strands the remaining honest nodes below every
-     threshold: the Las Vegas run never terminates (cap hit) and the
-     fixed-phase run risks disagreement at the cap. *)
-  let n = if quick then 40 else 64 in
-  let t = Ba_core.Params.max_tolerated n in
-  let trials = if quick then 10 else 25 in
-  let inputs = Setups.inputs Setups.Near_threshold ~n ~t in
-  let run_one ~termination ~seed =
-    let inst = Ba_core.Agreement.make ~termination ~n ~t () in
-    let adversary =
-      Ba_adversary.Skeleton_adv.lone_finisher
-        ~rng:(Ba_prng.Rng.create (Ba_prng.Splitmix64.mix seed))
-        ~config:inst.config ~target:0
-    in
-    Ba_sim.Engine.run ~record:true
-      ~max_rounds:(4 * Ba_core.Agreement.round_bound inst)
-      ~protocol:inst.protocol ~adversary ~n ~t ~inputs ~seed ()
-  in
-  let rows =
-    List.map
-      (fun (label, termination) ->
-        let stalls = ref 0 and disagreements = ref 0 and clean = ref 0 in
-        let rounds = Ba_stats.Summary.create () in
-        for trial = 0 to trials - 1 do
-          let s = Ba_harness.Experiment.trial_seed ~seed:(seed_for ~seed ("e15", label)) ~trial in
-          let o = run_one ~termination ~seed:s in
-          Ba_stats.Summary.add_int rounds o.Ba_sim.Engine.rounds;
-          if not o.completed then incr stalls
-          else if not (Ba_sim.Engine.agreement_holds o) then incr disagreements
-          else incr clean
-        done;
-        [ label; Ba_harness.Table.fmt_mean_ci rounds;
-          Printf.sprintf "%d/%d" !clean trials;
-          Printf.sprintf "%d/%d" !stalls trials;
-          Printf.sprintf "%d/%d" !disagreements trials ])
-      [ ("literal (paper text)", `Literal); ("extra-phase (ours)", `Extra_phase) ]
-  in
-  { id = "E15";
-    title = "Termination ablation: paper-literal \"broadcast once more\" vs extra phase";
-    summary =
-      "Reading Algorithm 3's lines 8-10 literally, a budget-exhausting lone-finisher attack \
-       strands the remaining honest nodes below the n-t threshold forever (stalls, and \
-       disagreements at the phase cap); the extra-phase realization used throughout this \
-       library terminates cleanly in the same runs — the concrete justification for the \
-       interpretation documented in DESIGN.md section 4.2.";
-    body =
-      Ba_harness.Table.render
-        ~title:
-          (Printf.sprintf
-             "lone-finisher with full budget, near-threshold inputs, n=%d, t=%d" n t)
-        ~headers:[ "termination"; "rounds"; "clean"; "stalled"; "disagreed" ]
-        rows }
-
-(* ------------------------------------------------------------------ *)
-(* E16 — elected vs predetermined committees                           *)
-(* ------------------------------------------------------------------ *)
-
-let e16_election_vs_adaptive ?(quick = false) ~seed () =
-  (* The introduction's static-vs-adaptive contrast, made concrete: Feige
-     lightest-bin election keeps an honest committee majority whp against a
-     static adversary and collapses against the adaptive rushing one. *)
-  let trials = if quick then 2000 else 10000 in
-  let ns = if quick then [ 256; 1024 ] else [ 256; 1024; 4096; 16384 ] in
-  let rows =
-    List.concat_map
-      (fun n ->
-        let bins = Ba_baselines.Feige_election.default_bins n in
-        let t = int_of_float (sqrt (float_of_int n)) in
-        List.map
-          (fun adaptive ->
-            let rng =
-              Ba_prng.Rng.create (seed_for ~seed ("e16", n, adaptive))
-            in
-            let rate =
-              Ba_baselines.Feige_election.honest_majority_rate rng ~n ~t ~bins ~adaptive
-                ~trials
-            in
-            let sample = Ba_baselines.Feige_election.elect rng ~n ~t ~bins ~adaptive in
-            [ string_of_int n; string_of_int t; string_of_int bins;
-              string_of_int sample.committee_size;
-              (if adaptive then "adaptive-rushing" else "static");
-              Printf.sprintf "%.4f" rate ])
-          [ false; true ])
-      ns
-  in
-  { id = "E16";
-    title = "Why committees are predetermined: lightest-bin election vs adaptivity";
-    summary =
-      "The static-adversary O(log n) protocols (GPV/BPV) elect a small committee via \
-       Feige's lightest bin; measured honest-majority rate is ~1.0 against a static \
-       adversary and exactly 0 against the adaptive rushing adversary (it corrupts the \
-       small winning committee after the election) even at t = sqrt(n) << n/3. Algorithm 3 \
-       avoids elections entirely: committees are fixed by ID and *all* of them get a turn, \
-       so the adversary must pay per phase instead of once.";
-    body =
-      Ba_harness.Table.render ~title:"Feige lightest-bin election, t = sqrt(n)"
-        ~headers:[ "n"; "t"; "bins"; "committee"; "adversary"; "honest-majority rate" ]
-        rows }
-
-(* ------------------------------------------------------------------ *)
-(* E17 — the asynchronous contrast (Section 1.3)                       *)
-(* ------------------------------------------------------------------ *)
-
-let e17_async_contrast ?(quick = false) ~seed () =
-  (* The paper's Section 1.3: under the same full-information adaptive
-     adversary, asynchrony is much harder — Ben-Or/Bracha are exponential,
-     the best known polynomial bound (Huang-Pettie-Zhu) is O(n^4). Measure
-     classic async Ben-Or (t < n/5, private coins) under an adversarial
-     random scheduler plus Byzantine splitter, against synchronous
-     Algorithm 3 at the same (n, t). *)
-  let ns = if quick then [ 6; 11; 16 ] else [ 6; 11; 16; 21; 26 ] in
-  let trials = if quick then 10 else 25 in
-  let rows =
-    List.map
-      (fun n ->
-        let t = (n - 1) / 5 in
-        let protocol = Ba_async.Ben_or_async.make ~n ~t in
-        let deliveries = Ba_stats.Summary.create () in
-        let eff_rounds = Ba_stats.Summary.create () in
-        let clean = ref 0 in
-        for trial = 0 to trials - 1 do
-          let s = Ba_harness.Experiment.trial_seed ~seed:(seed_for ~seed ("e17", n)) ~trial in
-          let adversary =
-            Ba_async.Async_adv.ben_or_splitter ~rng:(Ba_prng.Rng.create (Ba_prng.Splitmix64.mix s))
-          in
-          let o =
-            Ba_async.Async_engine.run ~protocol ~adversary ~n ~t
-              ~inputs:(Array.init n (fun i -> i mod 2)) ~seed:s ()
-          in
-          if o.completed && Ba_async.Async_engine.agreement_holds o then incr clean;
-          Ba_stats.Summary.add_int deliveries o.deliveries;
-          (* One async round = two broadcast waves ~ 2n^2 deliveries. *)
-          Ba_stats.Summary.add eff_rounds
-            (float_of_int o.deliveries /. (2.0 *. float_of_int (n * n)))
-        done;
-        (* Sync Algorithm 3 at the same (n, t) under its killer. *)
-        let sync_rounds =
-          if t = 0 then Ba_stats.Summary.of_array [| 6.0 |]
-          else begin
-            let run =
-              Setups.make ~protocol:(Setups.Las_vegas { alpha = 2.0 })
-                ~adversary:Setups.Committee_killer ~n ~t
-            in
-            let inputs = Setups.inputs Setups.Split ~n ~t in
-            let stats =
-              Ba_harness.Experiment.monte_carlo ~trials
-                ~seed:(seed_for ~seed ("e17-sync", n))
-                ~run:(fun ~seed ~trial:_ -> run.exec ~record:false ~inputs ~seed ())
-                ()
-            in
-            stats.rounds
-          end
-        in
-        [ string_of_int n; string_of_int t;
-          Printf.sprintf "%d/%d" !clean trials;
-          Ba_harness.Table.fmt_mean_ci eff_rounds;
-          Ba_harness.Table.fmt_float (Ba_stats.Summary.mean deliveries);
-          Ba_harness.Table.fmt_mean_ci sync_rounds ])
-      ns
-  in
-  { id = "E17";
-    title = "The asynchronous contrast: Ben-Or (async, t < n/5) vs Algorithm 3 (sync, t < n/3)";
-    summary =
-      "Paper Sec. 1.3: the same adversary model is far harder without synchrony — classic \
-       async protocols are exponential and even the best known polynomial bound is O(n^4). \
-       Measured: async Ben-Or needs private coins to align across ~n undecided nodes \
-       (effective rounds grow quickly with n, at a fifth of the resilience), while the \
-       synchronous committee protocol stays flat at full t < n/3.";
-    body =
-      Ba_harness.Table.render ~title:"adversarial scheduler + splitter vs committee-killer"
-        ~headers:[ "n"; "t(async)"; "async clean"; "async eff. rounds"; "async deliveries";
-                   "sync alg3 rounds (t=max)" ]
-        rows }
+  Ba_harness.Registry.of_list
+    (List.sort
+       (fun a b -> compare (num a) (num b))
+       (Exp_coin.experiments @ Exp_scaling.experiments @ Exp_complexity.experiments
+      @ Exp_baselines.experiments @ Exp_ablations.experiments @ Exp_async.experiments))
 
 let all ?(quick = false) ~seed () =
-  [ e1_coin_theorem3 ~quick ~seed ();
-    e2_coin_corollary1 ~quick ~seed ();
-    e3_rounds_vs_t ~quick ~seed ();
-    e4_crossover ~quick ~seed ();
-    e5_early_termination ~quick ~seed ();
-    e6_validity_matrix ~quick ~seed ();
-    e8_message_complexity ~quick ~seed ();
-    e9_las_vegas ~quick ~seed ();
-    e10_baseline_ladder ~quick ~seed ();
-    e11_ablation_alpha ~quick ~seed ();
-    e11_ablation_coin_round ~quick ~seed ();
-    e12_sampling_majority ~quick ~seed ();
-    e13_bjb_gap ~quick ~seed ();
-    e14_crash_vs_byzantine ~quick ~seed ();
-    e15_termination_ablation ~quick ~seed ();
-    e16_election_vs_adaptive ~quick ~seed ();
-    e17_async_contrast ~quick ~seed () ]
+  List.map
+    (fun (d : Ba_harness.Registry.descriptor) -> d.run ~quick ~seed)
+    (Ba_harness.Registry.all registry)

@@ -1,23 +1,18 @@
-(** The paper's claims as runnable experiments (E1–E17 in DESIGN.md).
+(** The paper's claims as runnable experiments (E1–E17 in DESIGN.md §5).
 
-    The paper is a theory result with no empirical tables, so each
-    experiment regenerates a stated claim: the common-coin guarantees
-    (Theorem 3 / Corollary 1), the round-complexity shape and regime
-    crossover of Theorem 2, early termination, message complexity, the Las
-    Vegas variant, the baseline ladder against Chor–Coan / Rabin /
-    deterministic protocols, and the design-choice ablations.
+    This is a thin compatibility facade: the experiments themselves live in
+    the per-claim modules ({!Exp_coin}, {!Exp_scaling}, {!Exp_complexity},
+    {!Exp_baselines}, {!Exp_ablations}, {!Exp_async}), each of which also
+    publishes {!Ba_harness.Registry.descriptor}s. The assembled {!registry}
+    is the single source of truth that [ba_sweep] and [bench] drive — no
+    experiment list is maintained anywhere else.
 
-    Every function returns a {!report} whose [body] is a rendered table
-    and/or ASCII figure; the [summary] line states the paper-vs-measured
-    verdict that EXPERIMENTS.md records. All experiments are deterministic
-    in [seed]. [quick] shrinks sizes/trials by roughly 4x. *)
+    Every experiment returns a structured {!Ba_harness.Report.t}: rendered
+    [body] tables/figures for the terminal, plus machine-readable [verdict],
+    [metrics] and [series] for the JSON/CSV pipeline. All experiments are
+    deterministic in [seed]. [quick] shrinks sizes/trials by roughly 4x. *)
 
-type report = {
-  id : string;
-  title : string;
-  summary : string;
-  body : string;
-}
+type report = Ba_harness.Report.t
 
 val pp_report : Format.formatter -> report -> unit
 
@@ -44,8 +39,12 @@ val e4_crossover : ?quick:bool -> seed:int64 -> unit -> report
 val e5_early_termination : ?quick:bool -> seed:int64 -> unit -> report
 
 (** E6 — validity under every adversary, both unanimous inputs, all
-    protocols; also aggregates agreement across all trials (E7). *)
+    protocols. *)
 val e6_validity_matrix : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E7 — agreement aggregated across protocol × adversary pairs with
+    fail-fast off: failures are counted, never silently aborted on. *)
+val e7_agreement_aggregate : ?quick:bool -> seed:int64 -> unit -> report
 
 (** E8 — message/bit complexity of Algorithm 3 vs Chor–Coan across [t]. *)
 val e8_message_complexity : ?quick:bool -> seed:int64 -> unit -> report
@@ -59,10 +58,11 @@ val e9_las_vegas : ?quick:bool -> seed:int64 -> unit -> report
 val e10_baseline_ladder : ?quick:bool -> seed:int64 -> unit -> report
 
 (** E11a — α ablation: committee-count constant vs rounds and vs failure
-    rate of the fixed-phase (whp) variant. *)
+    rate of the fixed-phase (whp) variant. Registered as part of E11. *)
 val e11_ablation_alpha : ?quick:bool -> seed:int64 -> unit -> report
 
-(** E11b — coin piggybacking vs a separate coin round. *)
+(** E11b — coin piggybacking vs a separate coin round. Registered as part
+    of E11. *)
 val e11_ablation_coin_round : ?quick:bool -> seed:int64 -> unit -> report
 
 (** E12 — contrast baseline: the sampling-majority dynamics from the
@@ -91,5 +91,10 @@ val e16_election_vs_adaptive : ?quick:bool -> seed:int64 -> unit -> report
     adversarial scheduler vs synchronous Algorithm 3. *)
 val e17_async_contrast : ?quick:bool -> seed:int64 -> unit -> report
 
-(** [all ?quick ~seed ()] — every experiment, in order. *)
+(** The full E1–E17 registry, in numeric id order. The single source of
+    truth for every driver ([ba_sweep], [bench]) and for the DESIGN.md §5
+    coverage test. *)
+val registry : Ba_harness.Registry.t
+
+(** [all ?quick ~seed ()] — run every registered experiment, in order. *)
 val all : ?quick:bool -> seed:int64 -> unit -> report list

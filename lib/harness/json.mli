@@ -1,0 +1,47 @@
+(** Dependency-free JSON values: emitter and minimal parser.
+
+    Used by the structured report pipeline ({!Report}, {!Registry}) and by
+    the [ba_json_check] validator. The emitter is strict about floats:
+    NaN/±inf have no JSON encoding and raise [Invalid_argument] — callers
+    serializing possibly-undefined metrics must map them to {!Null} first.
+    Emission is deterministic (fields keep their given order, floats use a
+    shortest round-tripping representation), so equal values always produce
+    byte-identical strings. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** [to_string ?pretty v] — serialize. [pretty] (default false) indents by
+    two spaces, keeping scalar-only arrays on one line.
+    @raise Invalid_argument on non-finite floats. *)
+val to_string : ?pretty:bool -> t -> string
+
+(** [float_repr f] — the emitter's canonical float text (round-trips through
+    [float_of_string]).
+    @raise Invalid_argument on non-finite floats. *)
+val float_repr : float -> string
+
+(** [of_string s] — parse one JSON value; the whole input must be consumed.
+    @raise Parse_error on malformed input. *)
+val of_string : string -> t
+
+(** Accessors; [None] on shape mismatch. [to_float] accepts both [Int] and
+    [Float]. *)
+
+val member : string -> t -> t option
+
+val to_float : t -> float option
+
+val to_int : t -> int option
+
+val to_str : t -> string option
+
+val to_list : t -> t list option

@@ -1,0 +1,81 @@
+type tag = Coin | Scaling | Complexity | Baseline | Ablation | Async | Robustness
+
+let tag_to_string = function
+  | Coin -> "coin"
+  | Scaling -> "scaling"
+  | Complexity -> "complexity"
+  | Baseline -> "baseline"
+  | Ablation -> "ablation"
+  | Async -> "async"
+  | Robustness -> "robustness"
+
+let all_tags = [ Coin; Scaling; Complexity; Baseline; Ablation; Async; Robustness ]
+
+let tag_of_string s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun t -> tag_to_string t = s) all_tags
+
+type descriptor = {
+  id : string;
+  title : string;
+  claim : string;
+  tags : tag list;
+  run : quick:bool -> seed:int64 -> Report.t;
+}
+
+type t = descriptor list
+
+exception Duplicate_id of string
+
+let norm id = String.uppercase_ascii id
+
+let of_list descriptors =
+  let seen =
+    List.fold_left
+      (fun seen d ->
+        let id = norm d.id in
+        if List.mem id seen then raise (Duplicate_id d.id);
+        id :: seen)
+      [] descriptors
+  in
+  ignore (seen : string list);
+  descriptors
+
+let all t = t
+
+let ids t = List.map (fun d -> d.id) t
+
+let find t id = List.find_opt (fun d -> norm d.id = norm id) t
+
+let with_tag t tag = List.filter (fun d -> List.mem tag d.tags) t
+
+let size t = List.length t
+
+(* ------------------------------------------------------------------ *)
+
+let descriptor_json d (report : Report.t) wall =
+  match Report.to_json report with
+  | Json.Obj fields ->
+      let tags = ("tags", Json.List (List.map (fun tg -> Json.String (tag_to_string tg)) d.tags)) in
+      let wall =
+        match wall with
+        | Some seconds -> [ ("wall_seconds", Json.Float seconds) ]
+        | None -> []
+      in
+      (* tags after "claim", wall time last: metric payload layout is stable
+         whether or not a wall time is attached. *)
+      let rec insert = function
+        | ("claim", _) as c :: rest -> c :: tags :: rest
+        | f :: rest -> f :: insert rest
+        | [] -> [ tags ]
+      in
+      Json.Obj (insert fields @ wall)
+  | other -> other
+
+let suite_json ~seed ~profile ~entries =
+  Json.Obj
+    [ ("schema_version", Json.Int Report.schema_version);
+      ("suite", Json.String "adaptive_ba_experiments");
+      ("seed", Json.String (Int64.to_string seed));
+      ("profile", Json.String profile);
+      ("experiments", Json.List (List.map (fun (d, r, w) -> descriptor_json d r w) entries)) ]

@@ -1,0 +1,55 @@
+(** Typed experiment registry.
+
+    Each claim experiment (E1–E17, DESIGN.md §5) is described once by a
+    {!descriptor} — id, title, paper claim, tags, and a quick/full runner
+    returning a structured {!Report.t}. The registry is an immutable
+    collection built with {!of_list} (duplicate ids are rejected at
+    construction time), so there is no module-level mutable state to share
+    across domains (lint rule D003). Drivers ([ba_sweep], [bench/main])
+    iterate it instead of hand-maintaining experiment lists. *)
+
+type tag = Coin | Scaling | Complexity | Baseline | Ablation | Async | Robustness
+
+val tag_to_string : tag -> string
+
+(** Case-insensitive; [None] for unknown names. *)
+val tag_of_string : string -> tag option
+
+val all_tags : tag list
+
+type descriptor = {
+  id : string;  (** unique, e.g. "E3" (matched case-insensitively) *)
+  title : string;
+  claim : string;  (** paper reference, e.g. "Theorem 2 (shape)" *)
+  tags : tag list;
+  run : quick:bool -> seed:int64 -> Report.t;
+}
+
+type t
+
+exception Duplicate_id of string
+
+(** [of_list ds] — build a registry, preserving order.
+    @raise Duplicate_id if two descriptors share an id (case-insensitive). *)
+val of_list : descriptor list -> t
+
+(** Registration order. *)
+val all : t -> descriptor list
+
+val ids : t -> string list
+
+(** Case-insensitive id lookup. *)
+val find : t -> string -> descriptor option
+
+val with_tag : t -> tag -> descriptor list
+
+val size : t -> int
+
+(** [suite_json ~seed ~profile ~entries] — the schema-versioned suite
+    document ([Report.schema_version]): seed, profile, and one object per
+    experiment (id, claim, tags, title, verdict, summary, metrics, series,
+    and — when provided — the driver-measured wall time). Everything except
+    [wall_seconds] is a pure function of the seed, so two runs with the same
+    seed produce byte-identical metric payloads. *)
+val suite_json :
+  seed:int64 -> profile:string -> entries:(descriptor * Report.t * float option) list -> Json.t

@@ -1,0 +1,115 @@
+type verdict = Pass | Shape_ok | Fail
+
+let verdict_to_string = function Pass -> "pass" | Shape_ok -> "shape_ok" | Fail -> "fail"
+
+let verdict_of_string = function
+  | "pass" -> Some Pass
+  | "shape_ok" -> Some Shape_ok
+  | "fail" -> Some Fail
+  | _ -> None
+
+let worst a b =
+  match (a, b) with
+  | Fail, _ | _, Fail -> Fail
+  | Shape_ok, _ | _, Shape_ok -> Shape_ok
+  | Pass, Pass -> Pass
+
+type series = { series_name : string; points : (float * float) list }
+
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  verdict : verdict;
+  summary : string;
+  metrics : (string * float) list;
+  series : series list;
+  body : string;
+}
+
+let make ~id ~title ?(claim = "") ?(metrics = []) ?(series = []) ~verdict ~summary ~body () =
+  { id; title; claim; verdict; summary; metrics; series; body }
+
+let metric_key s =
+  let buf = Buffer.create (String.length s) in
+  let last_underscore = ref true in
+  String.iter
+    (fun c ->
+      let c = Char.lowercase_ascii c in
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then begin
+        Buffer.add_char buf c;
+        last_underscore := false
+      end
+      else if not !last_underscore then begin
+        Buffer.add_char buf '_';
+        last_underscore := true
+      end)
+    s;
+  let out = Buffer.contents buf in
+  let n = String.length out in
+  if n > 0 && out.[n - 1] = '_' then String.sub out 0 (n - 1) else out
+
+let find_metric r name = List.assoc_opt name r.metrics
+
+let json_of_float f = if Float.is_finite f then Json.Float f else Json.Null
+
+let to_json r =
+  Json.Obj
+    [ ("id", Json.String r.id);
+      ("claim", Json.String r.claim);
+      ("title", Json.String r.title);
+      ("verdict", Json.String (verdict_to_string r.verdict));
+      ("summary", Json.String r.summary);
+      ("metrics", Json.Obj (List.map (fun (k, v) -> (k, json_of_float v)) r.metrics));
+      ("series",
+       Json.List
+         (List.map
+            (fun s ->
+              Json.Obj
+                [ ("name", Json.String s.series_name);
+                  ("points",
+                   Json.List
+                     (List.map
+                        (fun (x, y) -> Json.List [ json_of_float x; json_of_float y ])
+                        s.points)) ])
+            r.series)) ]
+
+(* ------------------------------------------------------------------ *)
+(* CSV *)
+
+let csv_escape s =
+  if String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let csv_float f = if Float.is_finite f then Json.float_repr f else "nan"
+
+let csv_of_reports reports =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "id,claim,verdict,metric,value\n";
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%s,%s,%s\n" (csv_escape r.id) (csv_escape r.claim)
+               (verdict_to_string r.verdict) (csv_escape k) (csv_float v)))
+        r.metrics)
+    reports;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>---- %s: %s ----@,%s@,[%s] %s@,@]" r.id r.title r.body
+    (verdict_to_string r.verdict) r.summary
+
+let schema_version = 1

@@ -1,0 +1,77 @@
+(** Structured experiment reports.
+
+    Every experiment returns a {!t}: the machine-readable claim verdict and
+    named scalar metrics (means, CI endpoints, crossover points, success
+    probabilities) alongside the rendered ASCII [body] that the CLI prints.
+    The JSON/CSV forms exclude [body]; together with {!Json}'s deterministic
+    emission this makes the metric payload byte-identical across runs with
+    the same seed.
+
+    No wall-clock reads happen here (lint rule D002): elapsed times are
+    measured by the [bin/]/[bench/] drivers and passed into
+    {!Registry.suite_json}. *)
+
+type verdict =
+  | Pass  (** the claim's quantitative bound/criterion held *)
+  | Shape_ok
+      (** qualitative shape reproduced; no strict bound to test (or a soft
+          criterion missed that does not contradict the paper) *)
+  | Fail  (** a stated bound or invariant was violated *)
+
+val verdict_to_string : verdict -> string
+(** ["pass" | "shape_ok" | "fail"]. *)
+
+val verdict_of_string : string -> verdict option
+
+(** [worst a b] — the more severe of the two ([Fail] > [Shape_ok] > [Pass]);
+    used when one report aggregates several checks. *)
+val worst : verdict -> verdict -> verdict
+
+(** A named (x, y) curve, e.g. measured rounds vs [t]. *)
+type series = { series_name : string; points : (float * float) list }
+
+type t = {
+  id : string;  (** registry id, e.g. "E3" *)
+  title : string;
+  claim : string;  (** paper reference, e.g. "Theorem 2 (shape)" *)
+  verdict : verdict;
+  summary : string;  (** one-line paper-vs-measured statement *)
+  metrics : (string * float) list;  (** named scalars, deterministic order *)
+  series : series list;
+  body : string;  (** rendered tables/figures (not serialized) *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  ?claim:string ->
+  ?metrics:(string * float) list ->
+  ?series:series list ->
+  verdict:verdict ->
+  summary:string ->
+  body:string ->
+  unit ->
+  t
+
+(** [metric_key s] — canonical snake_case metric name: lowercased, runs of
+    non-alphanumerics collapsed to single underscores, no leading/trailing
+    underscore (["las-vegas(alpha=2.0)"] → ["las_vegas_alpha_2_0"]). *)
+val metric_key : string -> string
+
+val find_metric : t -> string -> float option
+
+(** [to_json r] — the report without [body]. Non-finite metric values are
+    serialized as [null] (the {!Json} emitter rejects them as floats). *)
+val to_json : t -> Json.t
+
+(** [csv_of_reports rs] — long-form CSV, one row per metric:
+    [id,claim,verdict,metric,value]. *)
+val csv_of_reports : t list -> string
+
+(** Renders like the legacy report printer, with the verdict prefixed to the
+    summary line. *)
+val pp : Format.formatter -> t -> unit
+
+(** Version of the suite JSON document layout (see {!Registry.suite_json});
+    bump on breaking changes. *)
+val schema_version : int

@@ -1,65 +1,103 @@
-(* Integration: every experiment runs end-to-end in quick mode and reports
-   a passing verdict (the summaries embed their own pass/fail wording). *)
+(* Integration: every registered experiment runs end-to-end in quick mode
+   with a non-failing verdict, the registry covers DESIGN.md §5 exactly,
+   and reports are deterministic in the seed. *)
 
 let seed = 97L
 
-let contains_sub ~sub s =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m > 0 && go 0
-
-let failure_markers = [ "BOUND VIOLATED"; "UNEXPECTED"; "NOT bounded"; "NO " ]
+let registry = Ba_experiments.Experiments.registry
 
 let check_report (r : Ba_experiments.Experiments.report) =
   Alcotest.(check bool) (r.id ^ " has body") true (String.length r.body > 50);
   Alcotest.(check bool) (r.id ^ " has summary") true (String.length r.summary > 20);
+  Alcotest.(check bool) (r.id ^ " has metrics") true (r.metrics <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s verdict is not fail (%s)" r.id r.summary)
+    true
+    (r.verdict <> Ba_harness.Report.Fail)
+
+let registry_cases =
+  List.map
+    (fun (d : Ba_harness.Registry.descriptor) ->
+      Alcotest.test_case d.id `Slow (fun () ->
+          let r = d.run ~quick:true ~seed in
+          Alcotest.(check string) "report id matches descriptor" d.id r.id;
+          check_report r))
+    (Ba_harness.Registry.all registry)
+
+(* Every E<n> id named in DESIGN.md §5's index table must be registered
+   exactly once, and nothing else may be registered. *)
+let test_design_md_coverage () =
+  let text = In_channel.with_open_bin "../DESIGN.md" In_channel.input_all in
+  let lines = String.split_on_char '\n' text in
+  let _, design_ids =
+    List.fold_left
+      (fun (in_section, acc) line ->
+        if String.length line >= 4 && String.sub line 0 4 = "## 5" then (true, acc)
+        else if String.length line >= 3 && String.sub line 0 3 = "## " then (false, acc)
+        else if in_section && String.length line > 3 && String.sub line 0 3 = "| E" then
+          match String.index_from_opt line 1 '|' with
+          | Some stop -> (in_section, String.trim (String.sub line 1 (stop - 1)) :: acc)
+          | None -> (in_section, acc)
+        else (in_section, acc))
+      (false, []) lines
+  in
+  let design_ids = List.rev design_ids in
+  Alcotest.(check int) "17 experiment rows in DESIGN.md section 5" 17
+    (List.length design_ids);
+  Alcotest.(check int) "DESIGN.md ids are distinct" (List.length design_ids)
+    (List.length (List.sort_uniq compare design_ids));
   List.iter
-    (fun marker ->
-      Alcotest.(check bool)
-        (Printf.sprintf "%s: no %S in summary (%s)" r.id marker r.summary)
-        false
-        (contains_sub ~sub:marker r.summary))
-    failure_markers
+    (fun id ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s registered exactly once" id)
+        1
+        (List.length
+           (List.filter
+              (fun (d : Ba_harness.Registry.descriptor) -> d.id = id)
+              (Ba_harness.Registry.all registry))))
+    design_ids;
+  Alcotest.(check int) "nothing registered beyond DESIGN.md section 5"
+    (List.length design_ids)
+    (Ba_harness.Registry.size registry)
 
-let case id f = Alcotest.test_case id `Slow (fun () -> check_report (f ~quick:true ~seed ()))
+let test_every_descriptor_tagged () =
+  List.iter
+    (fun (d : Ba_harness.Registry.descriptor) ->
+      Alcotest.(check bool) (d.id ^ " has at least one tag") true (d.tags <> []);
+      Alcotest.(check bool) (d.id ^ " has a claim") true (d.claim <> ""))
+    (Ba_harness.Registry.all registry)
 
-let test_all_distinct_ids () =
+let test_facade_all () =
   let ids =
     List.map
       (fun (r : Ba_experiments.Experiments.report) -> r.id)
       (Ba_experiments.Experiments.all ~quick:true ~seed ())
   in
-  Alcotest.(check int) "17 experiments" 17 (List.length ids);
-  Alcotest.(check int) "distinct ids" (List.length ids)
-    (List.length (List.sort_uniq compare ids))
+  Alcotest.(check (list string)) "all() follows the registry"
+    (Ba_harness.Registry.ids registry) ids
 
 let test_determinism () =
   let r1 = Ba_experiments.Experiments.e9_las_vegas ~quick:true ~seed:5L () in
   let r2 = Ba_experiments.Experiments.e9_las_vegas ~quick:true ~seed:5L () in
   Alcotest.(check string) "same seed, same report" r1.body r2.body;
+  Alcotest.(check bool) "same seed, same metrics" true (r1.metrics = r2.metrics);
   let r3 = Ba_experiments.Experiments.e9_las_vegas ~quick:true ~seed:6L () in
   Alcotest.(check bool) "different seed, different report" true (r1.body <> r3.body)
 
+let test_legacy_ablation_runners () =
+  (* E11a/E11b stay callable through the facade even though the registry
+     exposes them as the single merged E11. *)
+  let a = Ba_experiments.Experiments.e11_ablation_alpha ~quick:true ~seed () in
+  let b = Ba_experiments.Experiments.e11_ablation_coin_round ~quick:true ~seed () in
+  Alcotest.(check string) "alpha ablation id" "E11a" a.id;
+  Alcotest.(check string) "coin-round ablation id" "E11b" b.id
+
 let () =
   Alcotest.run "ba_experiments"
-    [ ("reports",
-       [ case "E1" (fun ~quick ~seed () -> Ba_experiments.Experiments.e1_coin_theorem3 ~quick ~seed ());
-         case "E2" (fun ~quick ~seed () -> Ba_experiments.Experiments.e2_coin_corollary1 ~quick ~seed ());
-         case "E3" (fun ~quick ~seed () -> Ba_experiments.Experiments.e3_rounds_vs_t ~quick ~seed ());
-         case "E4" (fun ~quick ~seed () -> Ba_experiments.Experiments.e4_crossover ~quick ~seed ());
-         case "E5" (fun ~quick ~seed () -> Ba_experiments.Experiments.e5_early_termination ~quick ~seed ());
-         case "E6" (fun ~quick ~seed () -> Ba_experiments.Experiments.e6_validity_matrix ~quick ~seed ());
-         case "E8" (fun ~quick ~seed () -> Ba_experiments.Experiments.e8_message_complexity ~quick ~seed ());
-         case "E9" (fun ~quick ~seed () -> Ba_experiments.Experiments.e9_las_vegas ~quick ~seed ());
-         case "E10" (fun ~quick ~seed () -> Ba_experiments.Experiments.e10_baseline_ladder ~quick ~seed ());
-         case "E11a" (fun ~quick ~seed () -> Ba_experiments.Experiments.e11_ablation_alpha ~quick ~seed ());
-         case "E11b" (fun ~quick ~seed () -> Ba_experiments.Experiments.e11_ablation_coin_round ~quick ~seed ());
-         case "E12" (fun ~quick ~seed () -> Ba_experiments.Experiments.e12_sampling_majority ~quick ~seed ());
-         case "E13" (fun ~quick ~seed () -> Ba_experiments.Experiments.e13_bjb_gap ~quick ~seed ());
-         case "E14" (fun ~quick ~seed () -> Ba_experiments.Experiments.e14_crash_vs_byzantine ~quick ~seed ());
-         case "E15" (fun ~quick ~seed () -> Ba_experiments.Experiments.e15_termination_ablation ~quick ~seed ());
-         case "E16" (fun ~quick ~seed () -> Ba_experiments.Experiments.e16_election_vs_adaptive ~quick ~seed ());
-         case "E17" (fun ~quick ~seed () -> Ba_experiments.Experiments.e17_async_contrast ~quick ~seed ()) ]);
+    [ ("registry-reports", registry_cases);
       ("meta",
-       [ Alcotest.test_case "all() runs and ids distinct" `Slow test_all_distinct_ids;
-         Alcotest.test_case "reports deterministic in seed" `Quick test_determinism ]) ]
+       [ Alcotest.test_case "DESIGN.md section 5 coverage" `Quick test_design_md_coverage;
+         Alcotest.test_case "descriptors tagged and claimed" `Quick test_every_descriptor_tagged;
+         Alcotest.test_case "all() follows the registry" `Slow test_facade_all;
+         Alcotest.test_case "reports deterministic in seed" `Quick test_determinism;
+         Alcotest.test_case "legacy ablation runners" `Slow test_legacy_ablation_runners ]) ]
