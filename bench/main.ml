@@ -23,7 +23,7 @@ let run_experiments ~quick ~seed ~json_path =
     List.map
       (fun (d : Ba_harness.Registry.descriptor) ->
         let t0 = Unix.gettimeofday () in
-        let r = d.run ~quick ~seed in
+        let r = d.run ~policy:Ba_harness.Supervisor.default ~quick ~seed in
         let wall = Unix.gettimeofday () -. t0 in
         Format.printf "%a@." Ba_experiments.Experiments.pp_report r;
         Format.print_flush ();

@@ -20,6 +20,46 @@ let check_metrics id = function
         fields
   | Some _ -> fail "experiment %s: \"metrics\" is not an object" id
 
+(* A supervised failure record (Supervisor.failure_to_json): trial, seed,
+   attempts, kind, error, backtrace_digest. *)
+let check_failure id j =
+  let str field =
+    match Option.bind (Ba_harness.Json.member field j) Ba_harness.Json.to_str with
+    | Some s -> s
+    | None -> fail "experiment %s: failure entry missing string field %S" id field
+  in
+  let int field =
+    match Option.bind (Ba_harness.Json.member field j) Ba_harness.Json.to_int with
+    | Some n -> n
+    | None -> fail "experiment %s: failure entry missing integer field %S" id field
+  in
+  ignore (int "trial" : int);
+  if Int64.of_string_opt (str "seed") = None then
+    fail "experiment %s: failure \"seed\" is not a decimal int64" id;
+  if int "attempts" < 1 then fail "experiment %s: failure \"attempts\" < 1" id;
+  (match str "kind" with
+  | "crash" | "round_cap" -> ()
+  | k -> fail "experiment %s: unknown failure kind %S" id k);
+  ignore (str "error" : string);
+  let digest = str "backtrace_digest" in
+  if
+    String.length digest <> 16
+    || not
+         (String.for_all
+            (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+            digest)
+  then fail "experiment %s: \"backtrace_digest\" is not 16 lowercase hex chars" id
+
+let check_failures id verdict = function
+  | None -> ()
+  | Some (Ba_harness.Json.List []) ->
+      fail "experiment %s: \"failures\" present but empty (omit it instead)" id
+  | Some (Ba_harness.Json.List entries) ->
+      if verdict <> Ba_harness.Report.Fail then
+        fail "experiment %s: has failure records but verdict is not \"fail\"" id;
+      List.iter (check_failure id) entries
+  | Some _ -> fail "experiment %s: \"failures\" is not an array" id
+
 let check_experiment ~require_pass seen j =
   let str field =
     match Option.bind (Ba_harness.Json.member field j) Ba_harness.Json.to_str with
@@ -29,12 +69,16 @@ let check_experiment ~require_pass seen j =
   let id = str "id" in
   if List.mem id seen then fail "duplicate experiment id %S" id;
   let verdict = str "verdict" in
-  (match Ba_harness.Report.verdict_of_string verdict with
-  | Some v ->
-      if require_pass && v = Ba_harness.Report.Fail then
-        fail "experiment %s has verdict \"fail\"" id
-  | None -> fail "experiment %s: unknown verdict %S" id verdict);
+  let verdict =
+    match Ba_harness.Report.verdict_of_string verdict with
+    | Some v ->
+        if require_pass && v = Ba_harness.Report.Fail then
+          fail "experiment %s has verdict \"fail\"" id;
+        v
+    | None -> fail "experiment %s: unknown verdict %S" id verdict
+  in
   check_metrics id (Ba_harness.Json.member "metrics" j);
+  check_failures id verdict (Ba_harness.Json.member "failures" j);
   id :: seen
 
 let () =

@@ -3,7 +3,8 @@
    Examples:
      ba_run --protocol alg3 --adversary committee-killer -n 64 -t 21
      ba_run --protocol chor-coan --adversary equivocator -n 40 -t 13 --inputs split
-     ba_run --protocol phase-king --adversary staggered-crash -n 41 -t 9 --trace *)
+     ba_run --protocol phase-king --adversary staggered-crash -n 41 -t 9 --trace
+     ba_run --protocol alg3 --adversary silent -n 64 --drop 0.05 --silence 3:2:8 *)
 
 open Cmdliner
 
@@ -69,23 +70,67 @@ let congest_arg =
        & info [ "congest" ] ~docv:"BITS"
            ~doc:"Meter CONGEST compliance: flag payloads above BITS bits per edge per round.")
 
-let run protocol adversary n t seed pattern trace timeline csv congest =
+let drop_arg =
+  Arg.(value & opt float 0.0
+       & info [ "drop" ] ~docv:"P" ~doc:"Benign fault injection: per-link message drop probability.")
+
+let duplicate_arg =
+  Arg.(value & opt float 0.0
+       & info [ "duplicate" ] ~docv:"P"
+           ~doc:"Benign fault injection: per-link stale-redelivery probability.")
+
+let corrupt_arg =
+  Arg.(value & opt float 0.0
+       & info [ "corrupt" ] ~docv:"P"
+           ~doc:"Benign fault injection: per-link payload-corruption probability \
+                 (skeleton-message protocols only).")
+
+let silence_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.split_on_char ':' s with
+        | [ node; from_; until ] -> (
+            match (int_of_string_opt node, int_of_string_opt from_, int_of_string_opt until) with
+            | Some s_node, Some s_from, Some s_until ->
+                Ok { Ba_sim.Faults.s_node; s_from; s_until }
+            | _ -> Error (`Msg "expected NODE:FROM:UNTIL (three integers)"))
+        | _ -> Error (`Msg "expected NODE:FROM:UNTIL")),
+      fun fmt w ->
+        Format.fprintf fmt "%d:%d:%d" w.Ba_sim.Faults.s_node w.s_from w.s_until )
+
+let silence_arg =
+  Arg.(value & opt_all silence_conv []
+       & info [ "silence" ] ~docv:"NODE:FROM:UNTIL"
+           ~doc:"Crash-recovery window (repeatable): NODE sends nothing for rounds \
+                 [FROM, UNTIL) and then resumes.")
+
+let run protocol adversary n t seed pattern trace timeline csv congest drop duplicate corrupt
+    silences =
   let t = match t with Some t -> t | None -> Ba_core.Params.max_tolerated n in
   match
     (fun () ->
-      let run = Ba_experiments.Setups.make ~protocol ~adversary ~n ~t in
+      let faults =
+        { Ba_experiments.Setups.fs_drop = drop; fs_duplicate = duplicate; fs_corrupt = corrupt;
+          fs_silences = silences }
+      in
+      let injecting = faults <> Ba_experiments.Setups.no_faults in
+      let run =
+        if injecting then Ba_experiments.Setups.make_faulty ~faults ~protocol ~adversary ~n ~t
+        else Ba_experiments.Setups.make ~protocol ~adversary ~n ~t
+      in
       let inputs = Ba_experiments.Setups.inputs pattern ~n ~t in
       let o = run.exec ?congest_limit_bits:congest ~record:true ~inputs ~seed () in
-      (run, o))
+      (run, injecting, o))
       ()
   with
   | exception Invalid_argument msg ->
       Format.eprintf "error: %s@." msg;
       1
-  | run_info, o ->
+  | run_info, injecting, o ->
       Format.printf "%a@." Ba_trace.Export.pp_outcome o;
       let violations =
-        Ba_trace.Checker.standard ?rounds_per_phase:run_info.rounds_per_phase o
+        Ba_trace.Checker.standard ?rounds_per_phase:run_info.rounds_per_phase
+          ~allow_faults:injecting o
       in
       if violations = [] then Format.printf "invariants: all checks passed@."
       else
@@ -112,6 +157,7 @@ let cmd =
     (Cmd.info "ba_run" ~doc)
     Term.(
       const run $ protocol_arg $ adversary_arg $ n_arg $ t_arg $ seed_arg $ inputs_arg
-      $ trace_arg $ timeline_arg $ csv_arg $ congest_arg)
+      $ trace_arg $ timeline_arg $ csv_arg $ congest_arg $ drop_arg $ duplicate_arg
+      $ corrupt_arg $ silence_arg)
 
 let () = exit (Cmd.eval' cmd)

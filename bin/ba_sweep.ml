@@ -1,4 +1,4 @@
-(* ba_sweep: run registered experiments (E1-E17 from DESIGN.md §5).
+(* ba_sweep: run registered experiments (E1-E19 from DESIGN.md §5).
 
    The experiment set comes from Ba_experiments.Experiments.registry — this
    driver holds no list of its own.
@@ -7,7 +7,12 @@
      ba_sweep --list
      ba_sweep E3 E4 --seed 7
      ba_sweep --tag scaling --json out.json
-     ba_sweep --all --quick --json out.json --csv out.csv *)
+     ba_sweep --all --quick --json out.json --csv out.csv
+     ba_sweep --all --keep-going --retries 1 --json out.json
+
+   Exit codes: 0 all verdicts pass/shape_ok; 1 at least one scientific FAIL
+   verdict; 2 usage error or infrastructure failure (a crashed/runaway
+   experiment or trial, after retries). *)
 
 open Cmdliner
 
@@ -37,6 +42,25 @@ let json_arg =
 let csv_arg =
   Arg.(value & opt (some string) None
        & info [ "csv" ] ~docv:"PATH" ~doc:"Write long-form metrics CSV (id,claim,verdict,metric,value).")
+
+let keep_going_arg =
+  Arg.(value & flag
+       & info [ "keep-going" ]
+           ~doc:"Crashing or runaway trials become structured failure records in the report \
+                 (and the suite JSON) instead of aborting the sweep; the remaining trials and \
+                 experiments still run. Implies exit code 2 when any failure is recorded.")
+
+let retries_arg =
+  Arg.(value & opt int 0
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry each failing trial up to $(docv) extra times with deterministically \
+                 re-derived seeds before recording/raising the failure.")
+
+let round_cap_arg =
+  Arg.(value & opt (some int) None
+       & info [ "trial-round-cap" ] ~docv:"ROUNDS"
+           ~doc:"Watchdog: fail any trial whose simulated execution exceeds $(docv) rounds \
+                 (deterministic — never wall clock).")
 
 let list_registry () =
   List.iter
@@ -84,7 +108,24 @@ let select ~ids ~tags ~all =
            List.exists (fun (c : Ba_harness.Registry.descriptor) -> c.id = d.id) chosen)
          (Ba_harness.Registry.all registry))
 
-let run ids all list quick seed tags json_path csv_path =
+(* A crashed experiment (not just a crashed trial) under --keep-going still
+   produces a report: verdict fail, one synthesized failure record with
+   trial = -1 so it is distinguishable from per-trial records. *)
+let crashed_report (d : Ba_harness.Registry.descriptor) ~seed exn bt =
+  let failure =
+    { Ba_harness.Supervisor.f_trial = -1;
+      f_seed = seed;
+      f_attempts = 1;
+      f_kind = Ba_harness.Supervisor.Crash;
+      f_error = Printexc.to_string exn;
+      f_backtrace = Ba_harness.Supervisor.digest bt }
+  in
+  Ba_harness.Report.make ~id:d.id ~title:d.title ~claim:d.claim ~failures:[ failure ]
+    ~verdict:Ba_harness.Report.Fail
+    ~summary:(Printf.sprintf "experiment crashed: %s" (Printexc.to_string exn))
+    ~body:"" ()
+
+let run ids all list quick seed tags json_path csv_path keep_going retries round_cap =
   if list then begin
     list_registry ();
     0
@@ -102,12 +143,30 @@ let run ids all list quick seed tags json_path csv_path =
     | Ok [] ->
         Format.eprintf "error: nothing to run@.";
         2
+    | Ok selected
+      when retries < 0 || (match round_cap with Some c -> c <= 0 | None -> false) ->
+        ignore (selected : Ba_harness.Registry.descriptor list);
+        Format.eprintf "error: --retries must be >= 0 and --trial-round-cap > 0@.";
+        2
     | Ok selected ->
         let entries =
           List.map
             (fun (d : Ba_harness.Registry.descriptor) ->
+              let sink = Ba_harness.Supervisor.sink () in
+              let policy =
+                { Ba_harness.Supervisor.round_cap; retries; keep_going;
+                  failure_sink = (if keep_going then Some sink else None) }
+              in
               let t0 = Unix.gettimeofday () in
-              let report = d.run ~quick ~seed in
+              let report =
+                if keep_going then
+                  match d.run ~policy ~quick ~seed with
+                  | r -> Ba_harness.Report.with_failures r (Ba_harness.Supervisor.drain sink)
+                  | exception exn ->
+                      let bt = Printexc.get_backtrace () in
+                      crashed_report d ~seed exn bt
+                else d.run ~policy ~quick ~seed
+              in
               let wall = Unix.gettimeofday () -. t0 in
               Format.printf "%a@." Ba_experiments.Experiments.pp_report report;
               (d, report, Some wall))
@@ -132,20 +191,29 @@ let run ids all list quick seed tags json_path csv_path =
             Out_channel.with_open_bin path (fun oc ->
                 Out_channel.output_string oc (Ba_harness.Report.csv_of_reports reports));
             Format.printf "wrote %s@." path);
-        if
+        let infra =
+          List.exists (fun (r : Ba_harness.Report.t) -> r.failures <> []) reports
+        in
+        let science_fail =
           List.exists
-            (fun (r : Ba_harness.Report.t) -> r.verdict = Ba_harness.Report.Fail)
+            (fun (r : Ba_harness.Report.t) ->
+              r.failures = [] && r.verdict = Ba_harness.Report.Fail)
             reports
-        then begin
+        in
+        if infra then begin
+          Format.eprintf "error: infrastructure failure (crashed/runaway trials recorded)@.";
+          2
+        end
+        else if science_fail then begin
           Format.eprintf "error: at least one experiment verdict is FAIL@.";
           1
         end
         else 0
 
 let cmd =
-  let doc = "run the paper's registered experiments (E1-E17)" in
+  let doc = "run the paper's registered experiments (E1-E19)" in
   Cmd.v (Cmd.info "ba_sweep" ~doc)
     Term.(const run $ ids_arg $ all_arg $ list_arg $ quick_arg $ seed_arg $ tag_arg
-          $ json_arg $ csv_arg)
+          $ json_arg $ csv_arg $ keep_going_arg $ retries_arg $ round_cap_arg)
 
 let () = exit (Cmd.eval' cmd)

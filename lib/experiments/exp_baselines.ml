@@ -84,7 +84,7 @@ let e6 ?(quick = false) ~seed () =
 (* E7 — agreement aggregate                                            *)
 (* ------------------------------------------------------------------ *)
 
-let e7 ?(quick = false) ~seed () =
+let e7 ?policy ?(quick = false) ~seed () =
   (* The "agreement always holds" claim as its own aggregate: Monte-Carlo
      sweeps with fail_fast off, counting agreement/validity failures across
      protocol x adversary pairs instead of aborting on the first one. *)
@@ -103,7 +103,7 @@ let e7 ?(quick = false) ~seed () =
         let run = Setups.make ~protocol:proto ~adversary:adv ~n ~t in
         let inputs = Setups.inputs Setups.Split ~n ~t in
         let stats =
-          Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase
+          Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ?policy
             ~fail_fast:false ~trials
             ~seed:(seed_for ~seed ("e7", run.run_protocol, run.run_adversary))
             ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
@@ -155,7 +155,7 @@ let e7 ?(quick = false) ~seed () =
 (* E10 — baseline ladder                                               *)
 (* ------------------------------------------------------------------ *)
 
-let e10 ?(quick = false) ~seed () =
+let e10 ?policy ?(quick = false) ~seed () =
   let trials = if quick then 5 else 12 in
   let entries =
     [ (Setups.Eig, 7, 2, Setups.Static_crash, "deterministic, n>3t, t+1 rounds, exp. messages");
@@ -172,7 +172,7 @@ let e10 ?(quick = false) ~seed () =
         let run = Setups.make ~protocol:proto ~adversary:adv ~n ~t in
         let inputs = Setups.inputs Setups.Split ~n ~t in
         let stats =
-          Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ~trials
+          Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ?policy ~trials
             ~seed:(seed_for ~seed ("e10", run.run_protocol))
             ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
             ()
@@ -389,24 +389,24 @@ let experiments =
       title = "validity/agreement matrix";
       claim = "Validity (all protocols x adversaries)";
       tags = [ Ba_harness.Registry.Robustness ];
-      run = (fun ~quick ~seed -> e6 ~quick ~seed ()) };
+      run = (fun ~policy:_ ~quick ~seed -> e6 ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E7";
       title = "agreement aggregate (fail-fast off)";
       claim = "Agreement (whp)";
       tags = [ Ba_harness.Registry.Robustness ];
-      run = (fun ~quick ~seed -> e7 ~quick ~seed ()) };
+      run = (fun ~policy ~quick ~seed -> e7 ~policy ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E10";
       title = "baseline ladder";
       claim = "Baseline positioning";
       tags = [ Ba_harness.Registry.Baseline ];
-      run = (fun ~quick ~seed -> e10 ~quick ~seed ()) };
+      run = (fun ~policy ~quick ~seed -> e10 ~policy ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E12";
       title = "sampling-majority contrast baseline";
       claim = "Related work (Sec. 1.3): sampling dynamics";
       tags = [ Ba_harness.Registry.Baseline ];
-      run = (fun ~quick ~seed -> e12 ~quick ~seed ()) };
+      run = (fun ~policy:_ ~quick ~seed -> e12 ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E16";
       title = "elected vs predetermined committees";
       claim = "Static vs adaptive (introduction)";
       tags = [ Ba_harness.Registry.Coin; Ba_harness.Registry.Baseline ];
-      run = (fun ~quick ~seed -> e16 ~quick ~seed ()) } ]
+      run = (fun ~policy:_ ~quick ~seed -> e16 ~quick ~seed ()) } ]

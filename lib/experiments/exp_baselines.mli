@@ -9,9 +9,9 @@
 
 val e6 : ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
 
-val e7 : ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
+val e7 : ?policy:Ba_harness.Supervisor.policy -> ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
 
-val e10 : ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
+val e10 : ?policy:Ba_harness.Supervisor.policy -> ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
 
 val e12 : ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
 

@@ -27,6 +27,8 @@ let e14_crash_vs_byzantine ?quick ~seed () = Exp_ablations.e14 ?quick ~seed ()
 let e15_termination_ablation ?quick ~seed () = Exp_ablations.e15 ?quick ~seed ()
 let e16_election_vs_adaptive ?quick ~seed () = Exp_baselines.e16 ?quick ~seed ()
 let e17_async_contrast ?quick ~seed () = Exp_async.e17 ?quick ~seed ()
+let e18_link_faults ?quick ~seed () = Exp_robustness.e18 ?quick ~seed ()
+let e19_crash_recovery ?quick ~seed () = Exp_robustness.e19 ?quick ~seed ()
 
 let registry =
   let num (d : Ba_harness.Registry.descriptor) =
@@ -40,9 +42,10 @@ let registry =
     (List.sort
        (fun a b -> compare (num a) (num b))
        (Exp_coin.experiments @ Exp_scaling.experiments @ Exp_complexity.experiments
-      @ Exp_baselines.experiments @ Exp_ablations.experiments @ Exp_async.experiments))
+      @ Exp_baselines.experiments @ Exp_ablations.experiments @ Exp_async.experiments
+      @ Exp_robustness.experiments))
 
-let all ?(quick = false) ~seed () =
+let all ?(policy = Ba_harness.Supervisor.default) ?(quick = false) ~seed () =
   List.map
-    (fun (d : Ba_harness.Registry.descriptor) -> d.run ~quick ~seed)
+    (fun (d : Ba_harness.Registry.descriptor) -> d.run ~policy ~quick ~seed)
     (Ba_harness.Registry.all registry)

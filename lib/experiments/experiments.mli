@@ -1,8 +1,8 @@
-(** The paper's claims as runnable experiments (E1–E17 in DESIGN.md §5).
+(** The paper's claims as runnable experiments (E1–E19 in DESIGN.md §5).
 
     This is a thin compatibility facade: the experiments themselves live in
     the per-claim modules ({!Exp_coin}, {!Exp_scaling}, {!Exp_complexity},
-    {!Exp_baselines}, {!Exp_ablations}, {!Exp_async}), each of which also
+    {!Exp_baselines}, {!Exp_ablations}, {!Exp_async}, {!Exp_robustness}), each of which also
     publishes {!Ba_harness.Registry.descriptor}s. The assembled {!registry}
     is the single source of truth that [ba_sweep] and [bench] drive — no
     experiment list is maintained anywhere else.
@@ -91,10 +91,21 @@ val e16_election_vs_adaptive : ?quick:bool -> seed:int64 -> unit -> report
     adversarial scheduler vs synchronous Algorithm 3. *)
 val e17_async_contrast : ?quick:bool -> seed:int64 -> unit -> report
 
-(** The full E1–E17 registry, in numeric id order. The single source of
+(** E18 — benign link faults (drop/duplicate/corrupt) counted against the
+    [t] budget: agreement/validity must survive, termination rate is
+    reported per fault rate. *)
+val e18_link_faults : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E19 — crash-recovery gauntlet: rotating send-omission waves with the
+    Lemma 4 termination window enforced. *)
+val e19_crash_recovery : ?quick:bool -> seed:int64 -> unit -> report
+
+(** The full E1–E19 registry, in numeric id order. The single source of
     truth for every driver ([ba_sweep], [bench]) and for the DESIGN.md §5
     coverage test. *)
 val registry : Ba_harness.Registry.t
 
-(** [all ?quick ~seed ()] — run every registered experiment, in order. *)
-val all : ?quick:bool -> seed:int64 -> unit -> report list
+(** [all ?policy ?quick ~seed ()] — run every registered experiment, in
+    order. [policy] (default {!Ba_harness.Supervisor.default}) supervises
+    each experiment's Monte-Carlo trials. *)
+val all : ?policy:Ba_harness.Supervisor.policy -> ?quick:bool -> seed:int64 -> unit -> report list

@@ -88,6 +88,43 @@ let parse_adversary s =
   | _ -> Error (Printf.sprintf "unknown adversary %S; expected one of: %s" s
                   (String.concat ", " all_adversary_names))
 
+type fault_spec = {
+  fs_drop : float;
+  fs_duplicate : float;
+  fs_corrupt : float;
+  fs_silences : Ba_sim.Faults.silence list;
+}
+
+let no_faults = { fs_drop = 0.0; fs_duplicate = 0.0; fs_corrupt = 0.0; fs_silences = [] }
+
+(* Benign payload corruption for skeleton messages: flip the vote, the
+   decided flag, or a piggybacked coin flip — the message-level "bit flips"
+   that actually influence the phase machine's thresholds. *)
+let mutate_skeleton rng (m : Ba_core.Skeleton.msg) =
+  match Ba_prng.Rng.int rng 3 with
+  | 0 -> { m with m_val = 1 - m.m_val }
+  | 1 -> { m with m_decided = not m.m_decided }
+  | _ -> (
+      match m.m_flip with
+      | Some f -> { m with m_flip = Some (-f) }
+      | None -> { m with m_val = 1 - m.m_val })
+
+let skeleton_fault_plan = function
+  | None -> None
+  | Some s ->
+      Some
+        (Ba_sim.Faults.make ~drop:s.fs_drop ~duplicate:s.fs_duplicate ~corrupt:s.fs_corrupt
+           ?mutate:(if s.fs_corrupt > 0.0 then Some mutate_skeleton else None)
+           ~silences:s.fs_silences ())
+
+let generic_fault_plan = function
+  | None -> None
+  | Some s ->
+      if s.fs_corrupt > 0.0 then
+        invalid_arg "Setups.make: corrupt faults need a skeleton-message protocol";
+      Some
+        (Ba_sim.Faults.make ~drop:s.fs_drop ~duplicate:s.fs_duplicate ~silences:s.fs_silences ())
+
 type run = {
   run_protocol : string;
   run_adversary : string;
@@ -102,6 +139,11 @@ type run = {
     unit ->
     Ba_sim.Engine.outcome;
 }
+
+(* Adversary corruption cap: E18/E19 split the fault budget t between the
+   Byzantine adversary and the injected benign faults. *)
+let cap_adversary cap adv =
+  match cap with None -> adv | Some limit -> Ba_adversary.Generic.capped ~limit adv
 
 let adversary_rng seed = Ba_prng.Rng.create (Ba_prng.Splitmix64.mix (Int64.lognot seed))
 
@@ -133,8 +175,9 @@ let skeleton_adversary kind ~config ~designated ~seed :
             ~corrupt_prob:p
       | Silent | Static_crash | Staggered_crash _ -> assert false)
 
-let skeleton_run ~protocol ~config ~designated ~adversary ~n ~t ~round_bound =
+let skeleton_run ~faults ~cap ~protocol ~config ~designated ~adversary ~n ~t ~round_bound =
   let rpp = Ba_core.Skeleton.rounds_per_phase config in
+  let faults = skeleton_fault_plan faults in
   { run_protocol = protocol.Ba_sim.Protocol.name;
     run_adversary = adversary_name adversary;
     rounds_per_phase = Some rpp;
@@ -142,17 +185,18 @@ let skeleton_run ~protocol ~config ~designated ~adversary ~n ~t ~round_bound =
     exec =
       (fun ?max_rounds ?congest_limit_bits ~record ~inputs ~seed () ->
         let max_rounds = Option.value max_rounds ~default:round_bound in
-        let adv = skeleton_adversary adversary ~config ~designated ~seed in
-        Ba_sim.Engine.run ~max_rounds ?congest_limit_bits ~record ~protocol ~adversary:adv ~n
-          ~t ~inputs ~seed ()) }
+        let adv = cap_adversary cap (skeleton_adversary adversary ~config ~designated ~seed) in
+        Ba_sim.Engine.run ~max_rounds ?congest_limit_bits ?faults ~record ~protocol
+          ~adversary:adv ~n ~t ~inputs ~seed ()) }
 
-let generic_run ~protocol ~adversary ~n ~t ~round_bound ~rounds_per_phase =
+let generic_run ~faults ~cap ~protocol ~adversary ~n ~t ~round_bound ~rounds_per_phase =
   match generic_adversary adversary ~seed:0L with
   | None ->
       invalid_arg
         (Printf.sprintf "Setups.make: adversary %s needs a skeleton-message protocol"
            (adversary_name adversary))
   | Some _ ->
+      let faults = generic_fault_plan faults in
       { run_protocol = protocol.Ba_sim.Protocol.name;
         run_adversary = adversary_name adversary;
         rounds_per_phase;
@@ -160,15 +204,15 @@ let generic_run ~protocol ~adversary ~n ~t ~round_bound ~rounds_per_phase =
         exec =
           (fun ?max_rounds ?congest_limit_bits ~record ~inputs ~seed () ->
             let max_rounds = Option.value max_rounds ~default:round_bound in
-            let adv = Option.get (generic_adversary adversary ~seed) in
-            Ba_sim.Engine.run ~max_rounds ?congest_limit_bits ~record ~protocol ~adversary:adv
-              ~n ~t ~inputs ~seed ()) }
+            let adv = cap_adversary cap (Option.get (generic_adversary adversary ~seed)) in
+            Ba_sim.Engine.run ~max_rounds ?congest_limit_bits ?faults ~record ~protocol
+              ~adversary:adv ~n ~t ~inputs ~seed ()) }
 
-let make ~protocol ~adversary ~n ~t =
+let make_impl ~faults ~cap ~protocol ~adversary ~n ~t =
   match protocol with
   | Alg3 { alpha; coin_round } ->
       let inst = Ba_core.Agreement.make ~alpha ~coin_round ~n ~t () in
-      skeleton_run ~protocol:inst.protocol ~config:inst.config
+      skeleton_run ~faults ~cap ~protocol:inst.protocol ~config:inst.config
         ~designated:(fun ~phase v -> Ba_core.Agreement.is_flipper inst ~phase v)
         ~adversary ~n ~t
         ~round_bound:(Ba_core.Agreement.round_bound inst)
@@ -183,8 +227,8 @@ let make ~protocol ~adversary ~n ~t =
       let round_bound =
         64 + (8 * int_of_float (ceil (Ba_core.Las_vegas.expected_round_bound inst)))
       in
-      skeleton_run ~protocol:inst.protocol ~config:inst.config ~designated ~adversary ~n ~t
-        ~round_bound
+      skeleton_run ~faults ~cap ~protocol:inst.protocol ~config:inst.config ~designated ~adversary
+        ~n ~t ~round_bound
   | Chor_coan | Chor_coan_lv ->
       let cycle = protocol = Chor_coan_lv in
       let inst = Ba_baselines.Chor_coan.make ~cycle ~n ~t () in
@@ -192,7 +236,7 @@ let make ~protocol ~adversary ~n ~t =
         let base = Ba_baselines.Chor_coan.round_bound inst in
         if cycle then 64 + (8 * base) else base
       in
-      skeleton_run ~protocol:inst.protocol ~config:inst.config
+      skeleton_run ~faults ~cap ~protocol:inst.protocol ~config:inst.config
         ~designated:(fun ~phase v -> Ba_baselines.Chor_coan.designated inst ~phase v)
         ~adversary ~n ~t ~round_bound
   | Rabin ->
@@ -201,6 +245,7 @@ let make ~protocol ~adversary ~n ~t =
       let probe = Ba_baselines.Rabin.make ~n ~t ~dealer_seed:0L () in
       let rpp = Ba_core.Skeleton.rounds_per_phase probe.config in
       let round_bound = Ba_baselines.Rabin.round_bound probe in
+      let fault_plan = skeleton_fault_plan faults in
       { run_protocol = probe.protocol.Ba_sim.Protocol.name;
         run_adversary = adversary_name adversary;
         rounds_per_phase = Some rpp;
@@ -211,25 +256,35 @@ let make ~protocol ~adversary ~n ~t =
             let inst = Ba_baselines.Rabin.make ~n ~t ~dealer_seed () in
             let max_rounds = Option.value max_rounds ~default:round_bound in
             let adv =
-              skeleton_adversary adversary ~config:inst.config
-                ~designated:(fun ~phase:_ _ -> false)
-                ~seed
+              cap_adversary cap
+                (skeleton_adversary adversary ~config:inst.config
+                   ~designated:(fun ~phase:_ _ -> false)
+                   ~seed)
             in
-            Ba_sim.Engine.run ~max_rounds ?congest_limit_bits ~record ~protocol:inst.protocol
-              ~adversary:adv ~n ~t ~inputs ~seed ()) }
+            Ba_sim.Engine.run ~max_rounds ?congest_limit_bits ?faults:fault_plan ~record
+              ~protocol:inst.protocol ~adversary:adv ~n ~t ~inputs ~seed ()) }
   | Local_coin ->
       let inst = Ba_baselines.Local_coin.make ~n ~t () in
-      skeleton_run ~protocol:inst.protocol ~config:inst.config
+      skeleton_run ~faults ~cap ~protocol:inst.protocol ~config:inst.config
         ~designated:(fun ~phase:_ _ -> false)
         ~adversary ~n ~t
         ~round_bound:(Ba_sim.Protocol.default_round_cap ~n)
   | Phase_king ->
       let protocol = Ba_baselines.Phase_king.make ~n ~t in
-      generic_run ~protocol ~adversary ~n ~t
+      generic_run ~faults ~cap ~protocol ~adversary ~n ~t
         ~round_bound:(Ba_baselines.Phase_king.rounds ~t + 2)
         ~rounds_per_phase:(Some 2)
   | Eig ->
       if n > 10 then invalid_arg "Setups.make: eig is exponential; use n <= 10";
-      generic_run ~protocol:Ba_baselines.Eig.protocol ~adversary ~n ~t
+      generic_run ~faults ~cap ~protocol:Ba_baselines.Eig.protocol ~adversary ~n ~t
         ~round_bound:(Ba_baselines.Eig.rounds ~t + 1)
         ~rounds_per_phase:None
+
+let make ~protocol ~adversary ~n ~t = make_impl ~faults:None ~cap:None ~protocol ~adversary ~n ~t
+
+let make_faulty ~faults ~protocol ~adversary ~n ~t =
+  make_impl ~faults:(Some faults) ~cap:None ~protocol ~adversary ~n ~t
+
+let make_capped ~faults ~limit ~protocol ~adversary ~n ~t =
+  if limit < 0 then invalid_arg "Setups.make_capped: limit must be >= 0";
+  make_impl ~faults:(Some faults) ~cap:(Some limit) ~protocol ~adversary ~n ~t

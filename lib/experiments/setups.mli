@@ -47,6 +47,21 @@ val all_protocol_names : string list
 
 val all_adversary_names : string list
 
+(** Benign fault injection for a setup ({!Ba_sim.Faults}), message-agnostic:
+    link drop/duplication rates, payload-corruption rate, and crash-recovery
+    silence windows. Corruption is realized by a skeleton-message mutator
+    (vote / decided-flag / coin-flip bit flips), so [fs_corrupt > 0] is
+    rejected for the non-skeleton protocols ([Phase_king], [Eig]). *)
+type fault_spec = {
+  fs_drop : float;
+  fs_duplicate : float;
+  fs_corrupt : float;
+  fs_silences : Ba_sim.Faults.silence list;
+}
+
+(** All rates zero, no silences — equivalent to passing no spec. *)
+val no_faults : fault_spec
+
 type run = {
   run_protocol : string;
   run_adversary : string;
@@ -67,3 +82,26 @@ type run = {
     adversaries against [Phase_king]/[Eig]) or out-of-range [n]/[t] (e.g.
     [Phase_king] needs [n > 4t]). *)
 val make : protocol:protocol_kind -> adversary:adversary_kind -> n:int -> t:int -> run
+
+(** [make_faulty ~faults ~protocol ~adversary ~n ~t] — {!make} with benign
+    fault injection threaded into every [exec] of the setup.
+    @raise Invalid_argument additionally for [fs_corrupt > 0] against a
+    non-skeleton protocol, or a malformed {!fault_spec}. *)
+val make_faulty :
+  faults:fault_spec -> protocol:protocol_kind -> adversary:adversary_kind -> n:int -> t:int -> run
+
+(** [make_capped ~faults ~limit ~protocol ~adversary ~n ~t] — {!make_faulty}
+    with the adversary's corruption budget clamped to [limit]
+    ({!Ba_adversary.Generic.capped}). The fault experiments (E18/E19) use
+    this to split the protocol's provisioned budget [t] between Byzantine
+    corruptions and injected benign faults, so faulty links/nodes are
+    counted against [t].
+    @raise Invalid_argument if [limit < 0]. *)
+val make_capped :
+  faults:fault_spec ->
+  limit:int ->
+  protocol:protocol_kind ->
+  adversary:adversary_kind ->
+  n:int ->
+  t:int ->
+  run

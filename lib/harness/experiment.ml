@@ -9,19 +9,20 @@ type stats = {
   validity_failures : int;
   incomplete : int;
   violations : Ba_trace.Checker.violation list;
+  failures : Supervisor.failure list;
 }
 
-let trial_seed ~seed ~trial =
-  Ba_prng.Splitmix64.mix (Int64.add seed (Int64.of_int (0x9E37 + (trial * 2654435769))))
+let trial_seed = Supervisor.trial_seed
 
 let max_kept_violations = 32
 
-let monte_carlo ?rounds_per_phase ?check ?(fail_fast = true) ~trials ~seed ~run () =
+let monte_carlo ?rounds_per_phase ?check ?(fail_fast = true) ?(policy = Supervisor.default)
+    ~trials ~seed ~run () =
   if trials <= 0 then invalid_arg "Experiment.monte_carlo: trials <= 0";
   let check =
     match check with
     | Some f -> f
-    | None -> Ba_trace.Checker.standard ?rounds_per_phase
+    | None -> fun o -> Ba_trace.Checker.standard ?rounds_per_phase o
   in
   let rounds = Ba_stats.Summary.create ()
   and phases = Ba_stats.Summary.create ()
@@ -30,32 +31,39 @@ let monte_carlo ?rounds_per_phase ?check ?(fail_fast = true) ~trials ~seed ~run 
   and corruptions = Ba_stats.Summary.create () in
   let agreement_failures = ref 0 and validity_failures = ref 0 and incomplete = ref 0 in
   let violations = ref [] and violation_count = ref 0 in
+  let failures = ref [] in
   for trial = 0 to trials - 1 do
-    let o = run ~seed:(trial_seed ~seed ~trial) ~trial in
-    Ba_stats.Summary.add_int rounds o.Ba_sim.Engine.rounds;
-    (match rounds_per_phase with
-    | Some rpp when rpp > 0 ->
-        Ba_stats.Summary.add phases (float_of_int o.rounds /. float_of_int rpp)
-    | Some _ | None -> ());
-    Ba_stats.Summary.add_int messages (Ba_sim.Metrics.messages o.metrics);
-    Ba_stats.Summary.add_int bits (Ba_sim.Metrics.bits o.metrics);
-    Ba_stats.Summary.add_int corruptions o.corruptions_used;
-    if not (Ba_sim.Engine.agreement_holds o) then incr agreement_failures;
-    if not (Ba_sim.Engine.validity_holds o) then incr validity_failures;
-    if not o.completed then incr incomplete;
-    let vs = check o in
-    if vs <> [] then begin
-      incr violation_count;
-      if List.length !violations < max_kept_violations then violations := vs @ !violations;
-      if fail_fast then
-        failwith
-          (Format.asprintf "experiment trial %d (seed %Ld): %a" trial
-             (trial_seed ~seed ~trial)
-             (Format.pp_print_list ~pp_sep:Format.pp_print_space
-                Ba_trace.Checker.pp_violation)
-             vs)
-    end
+    match Supervisor.run_trial ~policy ~seed ~trial ~run with
+    | Error f ->
+        if not policy.keep_going then Supervisor.raise_failure f;
+        failures := f :: !failures
+    | Ok o ->
+        Ba_stats.Summary.add_int rounds o.Ba_sim.Engine.rounds;
+        (match rounds_per_phase with
+        | Some rpp when rpp > 0 ->
+            Ba_stats.Summary.add phases (float_of_int o.rounds /. float_of_int rpp)
+        | Some _ | None -> ());
+        Ba_stats.Summary.add_int messages (Ba_sim.Metrics.messages o.metrics);
+        Ba_stats.Summary.add_int bits (Ba_sim.Metrics.bits o.metrics);
+        Ba_stats.Summary.add_int corruptions o.corruptions_used;
+        if not (Ba_sim.Engine.agreement_holds o) then incr agreement_failures;
+        if not (Ba_sim.Engine.validity_holds o) then incr validity_failures;
+        if not o.completed then incr incomplete;
+        let vs = check o in
+        if vs <> [] then begin
+          incr violation_count;
+          if List.length !violations < max_kept_violations then violations := vs @ !violations;
+          if fail_fast then
+            failwith
+              (Format.asprintf "experiment trial %d (seed %Ld): %a" trial
+                 (trial_seed ~seed ~trial)
+                 (Format.pp_print_list ~pp_sep:Format.pp_print_space
+                    Ba_trace.Checker.pp_violation)
+                 vs)
+        end
   done;
+  let failures = List.rev !failures in
+  Option.iter (fun s -> Supervisor.record s failures) policy.failure_sink;
   { trials;
     rounds;
     phases;
@@ -65,6 +73,7 @@ let monte_carlo ?rounds_per_phase ?check ?(fail_fast = true) ~trials ~seed ~run 
     agreement_failures = !agreement_failures;
     validity_failures = !validity_failures;
     incomplete = !incomplete;
-    violations = !violations }
+    violations = !violations;
+    failures }
 
 let sweep xs f = List.map (fun x -> (x, f x)) xs

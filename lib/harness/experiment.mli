@@ -16,20 +16,31 @@ type stats = {
   validity_failures : int;
   incomplete : int;
   violations : Ba_trace.Checker.violation list;  (** most recent first, capped *)
+  failures : Supervisor.failure list;
+      (** supervised trial failures kept by a [keep_going] policy, in trial
+          order; failed trials are excluded from every aggregate above *)
 }
 
 (** [monte_carlo ~trials ~seed ~run ()] executes [run ~seed ~trial] for
-    [trial] in [0, trials), each with an independent derived seed.
+    [trial] in [0, trials), each with an independent derived seed. Every
+    trial runs under {!Supervisor.run_trial}: a raising or round-budget-
+    overrunning trial either aborts with full context (the default policy)
+    or — under a [keep_going] policy — becomes a {!Supervisor.failure}
+    record in [stats.failures] while the remaining trials run.
 
     @param rounds_per_phase used for the phase summary and Lemma 4 checking.
     @param check override the per-outcome checker (default
     {!Ba_trace.Checker.standard}).
     @param fail_fast raise [Failure] on the first violation (default true —
-    experiments must not silently aggregate broken runs). *)
+    experiments must not silently aggregate broken runs). Checker violations
+    are science, not infrastructure: they are never converted to failure
+    records.
+    @param policy supervision policy (default {!Supervisor.default}). *)
 val monte_carlo :
   ?rounds_per_phase:int ->
   ?check:(Ba_sim.Engine.outcome -> Ba_trace.Checker.violation list) ->
   ?fail_fast:bool ->
+  ?policy:Supervisor.policy ->
   trials:int ->
   seed:int64 ->
   run:(seed:int64 -> trial:int -> Ba_sim.Engine.outcome) ->
@@ -37,7 +48,8 @@ val monte_carlo :
   stats
 
 (** [trial_seed ~seed ~trial] — the derived per-trial seed (exposed so tests
-    can reproduce a single trial of an experiment). *)
+    can reproduce a single trial of an experiment); an alias of
+    {!Supervisor.trial_seed}, which owns the derivation. *)
 val trial_seed : seed:int64 -> trial:int -> int64
 
 (** [sweep xs f] — maps [f] over parameter points, keeping the pairing. *)

@@ -11,6 +11,7 @@ type partial = {
   mutable p_incomplete : int;
   mutable p_violations : (int * Ba_trace.Checker.violation list) list;
       (* (trial, violations), lowest trial last *)
+  mutable p_failures : Supervisor.failure list;  (* lowest trial last *)
 }
 
 let empty_partial () =
@@ -22,34 +23,44 @@ let empty_partial () =
     p_agreement_failures = 0;
     p_validity_failures = 0;
     p_incomplete = 0;
-    p_violations = [] }
+    p_violations = [];
+    p_failures = [] }
 
-let run_chunk ~rounds_per_phase ~check ~seed ~run ~lo ~hi =
+let run_chunk ~rounds_per_phase ~check ~policy ~seed ~run ~lo ~hi =
   let acc = empty_partial () in
   for trial = lo to hi - 1 do
-    let o = run ~seed:(Experiment.trial_seed ~seed ~trial) ~trial in
-    Ba_stats.Summary.add_int acc.p_rounds o.Ba_sim.Engine.rounds;
-    (match rounds_per_phase with
-    | Some rpp when rpp > 0 ->
-        Ba_stats.Summary.add acc.p_phases (float_of_int o.rounds /. float_of_int rpp)
-    | Some _ | None -> ());
-    Ba_stats.Summary.add_int acc.p_messages (Ba_sim.Metrics.messages o.metrics);
-    Ba_stats.Summary.add_int acc.p_bits (Ba_sim.Metrics.bits o.metrics);
-    Ba_stats.Summary.add_int acc.p_corruptions o.corruptions_used;
-    if not (Ba_sim.Engine.agreement_holds o) then
-      acc.p_agreement_failures <- acc.p_agreement_failures + 1;
-    if not (Ba_sim.Engine.validity_holds o) then
-      acc.p_validity_failures <- acc.p_validity_failures + 1;
-    if not o.completed then acc.p_incomplete <- acc.p_incomplete + 1;
-    let vs = check o in
-    if vs <> [] then acc.p_violations <- (trial, vs) :: acc.p_violations
+    match Supervisor.run_trial ~policy ~seed ~trial ~run with
+    | Error f ->
+        (* Even without [keep_going] the chunk finishes: the merge step on
+           the main domain raises after every domain is joined, so a
+           poisoned trial never leaks domains. *)
+        acc.p_failures <- f :: acc.p_failures
+    | Ok o ->
+        Ba_stats.Summary.add_int acc.p_rounds o.Ba_sim.Engine.rounds;
+        (match rounds_per_phase with
+        | Some rpp when rpp > 0 ->
+            Ba_stats.Summary.add acc.p_phases (float_of_int o.rounds /. float_of_int rpp)
+        | Some _ | None -> ());
+        Ba_stats.Summary.add_int acc.p_messages (Ba_sim.Metrics.messages o.metrics);
+        Ba_stats.Summary.add_int acc.p_bits (Ba_sim.Metrics.bits o.metrics);
+        Ba_stats.Summary.add_int acc.p_corruptions o.corruptions_used;
+        if not (Ba_sim.Engine.agreement_holds o) then
+          acc.p_agreement_failures <- acc.p_agreement_failures + 1;
+        if not (Ba_sim.Engine.validity_holds o) then
+          acc.p_validity_failures <- acc.p_validity_failures + 1;
+        if not o.completed then acc.p_incomplete <- acc.p_incomplete + 1;
+        let vs = check o in
+        if vs <> [] then acc.p_violations <- (trial, vs) :: acc.p_violations
   done;
   acc
 
-let monte_carlo ?domains ?rounds_per_phase ?check ?(fail_fast = true) ~trials ~seed ~run () =
+let monte_carlo ?domains ?rounds_per_phase ?check ?(fail_fast = true)
+    ?(policy = Supervisor.default) ~trials ~seed ~run () =
   if trials <= 0 then invalid_arg "Parallel.monte_carlo: trials <= 0";
   let check =
-    match check with Some f -> f | None -> Ba_trace.Checker.standard ?rounds_per_phase
+    match check with
+    | Some f -> f
+    | None -> fun o -> Ba_trace.Checker.standard ?rounds_per_phase o
   in
   let domains = max 1 (min trials (Option.value domains ~default:(default_domains ()))) in
   let chunk = (trials + domains - 1) / domains in
@@ -61,15 +72,35 @@ let monte_carlo ?domains ?rounds_per_phase ?check ?(fail_fast = true) ~trials ~s
     match bounds with
     | [] -> []
     | (lo0, hi0) :: rest ->
+        (* Backtrace recording is domain-local in OCaml 5: propagate the
+           spawning domain's setting so a failure record's backtrace digest
+           does not depend on which domain ran the trial. *)
+        let record_bt = Printexc.backtrace_status () in
         let handles =
           List.map
             (fun (lo, hi) ->
-              Domain.spawn (fun () -> run_chunk ~rounds_per_phase ~check ~seed ~run ~lo ~hi))
+              Domain.spawn (fun () ->
+                  Printexc.record_backtrace record_bt;
+                  run_chunk ~rounds_per_phase ~check ~policy ~seed ~run ~lo ~hi))
             rest
         in
-        (* The first chunk runs on the current domain. *)
-        let first = run_chunk ~rounds_per_phase ~check ~seed ~run ~lo:lo0 ~hi:hi0 in
-        first :: List.map Domain.join handles
+        (* The first chunk runs on the current domain. If it (or an early
+           join) raises — e.g. a raising [check] closure — every spawned
+           domain is still joined before the exception escapes: no leaked
+           domains (ISSUE 3 satellite; previously a main-chunk raise
+           abandoned the handles). *)
+        let joined = ref false in
+        Fun.protect
+          ~finally:(fun () ->
+            if not !joined then
+              List.iter
+                (fun h -> try ignore (Domain.join h : partial) with _ -> ())
+                handles)
+          (fun () ->
+            let first = run_chunk ~rounds_per_phase ~check ~policy ~seed ~run ~lo:lo0 ~hi:hi0 in
+            let rest = List.map Domain.join handles in
+            joined := true;
+            first :: rest)
   in
   let merged = empty_partial () in
   let merge_summary get =
@@ -86,8 +117,21 @@ let monte_carlo ?domains ?rounds_per_phase ?check ?(fail_fast = true) ~trials ~s
       merged.p_agreement_failures <- merged.p_agreement_failures + p.p_agreement_failures;
       merged.p_validity_failures <- merged.p_validity_failures + p.p_validity_failures;
       merged.p_incomplete <- merged.p_incomplete + p.p_incomplete;
-      merged.p_violations <- p.p_violations @ merged.p_violations)
+      merged.p_violations <- p.p_violations @ merged.p_violations;
+      merged.p_failures <- p.p_failures @ merged.p_failures)
     partials;
+  (* Chunks accumulate lowest-trial-last and merge in arbitrary chunk order:
+     sort by trial before selecting or reporting anything, so the failure
+     message, the violation list and the failure records are identical for
+     every domain count. *)
+  let failures_sorted =
+    List.stable_sort
+      (fun (a : Supervisor.failure) b -> compare a.f_trial b.f_trial)
+      merged.p_failures
+  in
+  (match failures_sorted with
+  | f :: _ when not policy.keep_going -> Supervisor.raise_failure f
+  | _ -> ());
   let violations_sorted =
     List.sort (fun (a, _) (b, _) -> compare a b) merged.p_violations
   in
@@ -99,6 +143,7 @@ let monte_carlo ?domains ?rounds_per_phase ?check ?(fail_fast = true) ~trials ~s
            (Format.pp_print_list ~pp_sep:Format.pp_print_space Ba_trace.Checker.pp_violation)
            vs)
   | _ -> ());
+  Option.iter (fun s -> Supervisor.record s failures_sorted) policy.failure_sink;
   { Experiment.trials;
     rounds;
     phases;
@@ -108,4 +153,5 @@ let monte_carlo ?domains ?rounds_per_phase ?check ?(fail_fast = true) ~trials ~s
     agreement_failures = merged.p_agreement_failures;
     validity_failures = merged.p_validity_failures;
     incomplete = merged.p_incomplete;
-    violations = List.concat_map snd violations_sorted }
+    violations = List.concat_map snd violations_sorted;
+    failures = failures_sorted }

@@ -3,21 +3,34 @@
     Same contract and same results as {!Experiment.monte_carlo} — per-trial
     seeds are derived identically, so the aggregate statistics are
     bit-for-bit independent of the domain count — but trials run across
-    [domains] cores.
+    [domains] cores. Trials are supervised exactly like the serial runner
+    ({!Supervisor.run_trial}): crashes and round-budget overruns become
+    {!Supervisor.failure} records under a [keep_going] policy, and the
+    failure records themselves are sorted by trial, hence also independent
+    of the domain count.
 
     Requirement on [run]: it must not share mutable state between calls
     (every setup in {!Ba_experiments.Setups} satisfies this — each [exec]
     builds its own adversary, RNGs and protocol state from the seed).
 
+    Domains are always joined, even when the main-domain chunk raises (a
+    raising [check] closure, for instance): the join is wrapped in
+    [Fun.protect], so an exception never leaks spawned domains.
+
     Fail-fast semantics differ slightly from the serial runner: violations
-    abort after the in-flight chunk completes, and the reported failure is
-    the lowest-numbered violating trial. *)
+    abort after the in-flight chunks complete, and the reported failure is
+    the lowest-numbered violating trial (chunk results are sorted by trial
+    before any selection, so the message is consistent regardless of which
+    chunk finished first). Likewise, without [keep_going] a failing trial
+    aborts only after every chunk has finished and joined, citing the
+    lowest-numbered failing trial. *)
 
 val monte_carlo :
   ?domains:int ->
   ?rounds_per_phase:int ->
   ?check:(Ba_sim.Engine.outcome -> Ba_trace.Checker.violation list) ->
   ?fail_fast:bool ->
+  ?policy:Supervisor.policy ->
   trials:int ->
   seed:int64 ->
   run:(seed:int64 -> trial:int -> Ba_sim.Engine.outcome) ->

@@ -22,7 +22,11 @@ type descriptor = {
   title : string;
   claim : string;  (** paper reference, e.g. "Theorem 2 (shape)" *)
   tags : tag list;
-  run : quick:bool -> seed:int64 -> Report.t;
+  run : policy:Supervisor.policy -> quick:bool -> seed:int64 -> Report.t;
+      (** [policy] supervises the experiment's Monte-Carlo trials — drivers
+          pass a [keep_going] policy with a sink to collect trial failures
+          instead of aborting; pass {!Supervisor.default} for the legacy
+          abort-on-crash behaviour *)
 }
 
 type t

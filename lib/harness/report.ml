@@ -24,11 +24,19 @@ type t = {
   summary : string;
   metrics : (string * float) list;
   series : series list;
+  failures : Supervisor.failure list;
   body : string;
 }
 
-let make ~id ~title ?(claim = "") ?(metrics = []) ?(series = []) ~verdict ~summary ~body () =
-  { id; title; claim; verdict; summary; metrics; series; body }
+let make ~id ~title ?(claim = "") ?(metrics = []) ?(series = []) ?(failures = []) ~verdict
+    ~summary ~body () =
+  let verdict = if failures = [] then verdict else Fail in
+  { id; title; claim; verdict; summary; metrics; series; failures; body }
+
+let with_failures r failures =
+  match failures with
+  | [] -> r
+  | _ :: _ -> { r with verdict = Fail; failures = r.failures @ failures }
 
 let metric_key s =
   let buf = Buffer.create (String.length s) in
@@ -55,7 +63,7 @@ let json_of_float f = if Float.is_finite f then Json.Float f else Json.Null
 
 let to_json r =
   Json.Obj
-    [ ("id", Json.String r.id);
+    ([ ("id", Json.String r.id);
       ("claim", Json.String r.claim);
       ("title", Json.String r.title);
       ("verdict", Json.String (verdict_to_string r.verdict));
@@ -73,6 +81,12 @@ let to_json r =
                         (fun (x, y) -> Json.List [ json_of_float x; json_of_float y ])
                         s.points)) ])
             r.series)) ]
+    @
+    (* Emitted only when non-empty: fault-free payloads keep the schema-v1
+       layout byte-for-byte. *)
+    (match r.failures with
+    | [] -> []
+    | fs -> [ ("failures", Json.List (List.map Supervisor.failure_to_json fs)) ]))
 
 (* ------------------------------------------------------------------ *)
 (* CSV *)
@@ -110,6 +124,7 @@ let csv_of_reports reports =
 
 let pp fmt r =
   Format.fprintf fmt "@[<v>---- %s: %s ----@,%s@,[%s] %s@,@]" r.id r.title r.body
-    (verdict_to_string r.verdict) r.summary
+    (verdict_to_string r.verdict) r.summary;
+  List.iter (fun f -> Format.fprintf fmt "@[<v>FAILURE %a@,@]" Supervisor.pp_failure f) r.failures
 
 let schema_version = 1

@@ -38,20 +38,32 @@ type t = {
   summary : string;  (** one-line paper-vs-measured statement *)
   metrics : (string * float) list;  (** named scalars, deterministic order *)
   series : series list;
+  failures : Supervisor.failure list;
+      (** supervised trial/experiment failures; non-empty forces [Fail] *)
   body : string;  (** rendered tables/figures (not serialized) *)
 }
 
+(** [make …] — a non-empty [failures] forces the verdict to [Fail]
+    regardless of the [verdict] argument: infrastructure failures are never
+    reported as science. *)
 val make :
   id:string ->
   title:string ->
   ?claim:string ->
   ?metrics:(string * float) list ->
   ?series:series list ->
+  ?failures:Supervisor.failure list ->
   verdict:verdict ->
   summary:string ->
   body:string ->
   unit ->
   t
+
+(** [with_failures r fs] — append supervised failure records to a finished
+    report; non-empty [fs] forces the verdict to [Fail]. Drivers use this to
+    attach sink-collected trial failures without experiments having to
+    thread them. *)
+val with_failures : t -> Supervisor.failure list -> t
 
 (** [metric_key s] — canonical snake_case metric name: lowercased, runs of
     non-alphanumerics collapsed to single underscores, no leading/trailing
@@ -61,7 +73,9 @@ val metric_key : string -> string
 val find_metric : t -> string -> float option
 
 (** [to_json r] — the report without [body]. Non-finite metric values are
-    serialized as [null] (the {!Json} emitter rejects them as floats). *)
+    serialized as [null] (the {!Json} emitter rejects them as floats). A
+    [failures] array is appended only when non-empty, so fault-free payloads
+    are byte-identical to the pre-supervisor layout. *)
 val to_json : t -> Json.t
 
 (** [csv_of_reports rs] — long-form CSV, one row per metric:

@@ -24,12 +24,17 @@ let validate ~n ~t ~inputs =
   if Array.length inputs <> n then invalid_arg "Engine.run: inputs length <> n";
   Array.iter (fun b -> if b <> 0 && b <> 1 then invalid_arg "Engine.run: inputs must be 0/1") inputs
 
-let run ?max_rounds ?(record = false) ?congest_limit_bits
+let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults
     ~(protocol : ('state, 'msg) Protocol.t) ~(adversary : ('state, 'msg) Adversary.t) ~n ~t
     ~inputs ~seed () =
   validate ~n ~t ~inputs;
   let max_rounds =
     match max_rounds with Some m -> m | None -> Protocol.default_round_cap ~n
+  in
+  let faults =
+    match faults with
+    | Some plan when not (Faults.is_none plan) -> Some (Faults.instantiate plan ~n ~seed)
+    | Some _ | None -> None
   in
   let master = Ba_prng.Rng.create seed in
   let node_rngs = Ba_prng.Rng.split_n master n in
@@ -65,6 +70,19 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits
     let honest_msgs =
       Array.init n (fun v -> if live v then protocol.send (ctx_of v) states.(v) ~round:r else None)
     in
+    (* 1b. Crash-recovery schedules suppress broadcasts of silenced nodes
+       (the node keeps receiving and stepping, so it stays in sync). The
+       rushing adversary observes the silence like everything else. *)
+    (match faults with
+    | Some inst ->
+        for v = 0 to n - 1 do
+          if live v && Option.is_some honest_msgs.(v) && Faults.silenced inst ~node:v ~round:r
+          then begin
+            honest_msgs.(v) <- None;
+            Metrics.record_crash_silence metrics
+          end
+        done
+    | None -> ());
     (* 2. The rushing adversary observes everything and acts. *)
     let view =
       { Adversary.round = r;
@@ -98,20 +116,23 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits
       if live u then begin
         let inbox =
           Array.init n (fun v ->
-              if corrupted.(v) then begin
-                let m = action.byz_msg ~src:v ~dst:u in
-                (match m with
-                | Some payload -> meter payload ~byzantine:true
-                | None -> ());
-                m
-              end
-              else begin
-                match honest_msgs.(v) with
-                | Some payload ->
-                    if v <> u then meter payload ~byzantine:false;
-                    Some payload
-                | None -> None
-              end)
+              let raw, byzantine =
+                if corrupted.(v) then (action.byz_msg ~src:v ~dst:u, true)
+                else (honest_msgs.(v), false)
+              in
+              (* Benign link faults apply to honest and Byzantine payloads
+                 alike; self-delivery is exempt (a node always hears itself
+                 unless silenced above). *)
+              let m =
+                match faults with
+                | Some inst when v <> u ->
+                    Faults.deliver inst ~metrics ~round:r ~src:v ~dst:u raw
+                | Some _ | None -> raw
+              in
+              (match m with
+              | Some payload when v <> u -> meter payload ~byzantine
+              | Some _ | None -> ());
+              m)
         in
         new_states.(u) <- protocol.recv (ctx_of u) states.(u) ~round:r ~inbox
       end

@@ -47,13 +47,20 @@ type outcome = {
     this is counted as a CONGEST violation in the metrics (the paper's model
     allows O(log n) bits per edge per round); delivery still happens, so a
     violating protocol (e.g. EIG) remains runnable but measurably so.
+    @param faults a benign fault-injection {!Faults.plan} (link drop /
+    duplication / corruption, crash-recovery silence windows); the fault
+    stream is derived from [seed], every injected event is metered, and
+    passing {!Faults.none} (or omitting the argument) is the exact fault-free
+    engine.
     @param inputs binary inputs, one per node (length [n]).
     @raise Invalid_argument if [inputs] has the wrong length, if any input is
-    not 0/1, or if [t < 0] or [t >= n]. *)
+    not 0/1, if [t < 0] or [t >= n], or if the fault plan names a node
+    [>= n]. *)
 val run :
   ?max_rounds:int ->
   ?record:bool ->
   ?congest_limit_bits:int ->
+  ?faults:'msg Faults.plan ->
   protocol:('state, 'msg) Protocol.t ->
   adversary:('state, 'msg) Adversary.t ->
   n:int ->

@@ -1,0 +1,89 @@
+(** Deterministic benign fault injection for the round engine.
+
+    The paper's adversary model is Byzantine corruption under a budget [t];
+    this module adds the {e benign} unreliability a production deployment
+    would face — lossy, duplicating, bit-flipping links and crash-recovery
+    windows — without touching the protocol implementations. The engine
+    threads a {!plan} through message delivery; every injected event is
+    metered in {!Metrics} so runs remain auditable, and the whole fault
+    stream is derived from the run seed (one salted splittable PRNG), so a
+    faulty run replays bit-for-bit from [(seed, plan)].
+
+    Semantics (per directed link [src -> dst], self-delivery exempt):
+
+    - {b drop}: with probability [drop], a sent payload is not delivered.
+    - {b corrupt}: with probability [corrupt], the payload is rewritten by
+      the plan's [mutate] before delivery (the supplied mutator decides what
+      a "bit flip" means for the protocol's message type).
+    - {b duplicate}: with probability [duplicate], a delivered payload is
+      also queued and re-delivered one round later {e if} the link is
+      otherwise idle that round (a stale redelivery — the synchronous inbox
+      holds one slot per sender).
+    - {b silence} (crash-recovery): a node listed with window [\[from,
+      until)] sends nothing during those rounds but keeps receiving and
+      stepping, then resumes — the classic send-omission realization of
+      "crashed for a while, then recovered" that keeps the node
+      round-synchronized.
+
+    What counts against the corruption budget [t] is a modelling decision of
+    the experiment, not of this module: E18/E19 size their Byzantine budget
+    down so (Byzantine nodes + expected faulty links/silenced nodes per
+    round) stays within the protocol's tolerance (DESIGN.md §9). *)
+
+(** Silence window: node [s_node] sends nothing in rounds [\[s_from, s_until)]. *)
+type silence = { s_node : int; s_from : int; s_until : int }
+
+type 'msg plan = private {
+  drop : float;
+  duplicate : float;
+  corrupt : float;
+  mutate : (Ba_prng.Rng.t -> 'msg -> 'msg) option;
+  silences : silence list;
+}
+
+(** No faults at all; the engine treats it exactly like passing no plan. *)
+val none : 'msg plan
+
+val is_none : _ plan -> bool
+
+(** [make ()] — build a validated plan.
+    @raise Invalid_argument if a rate is outside [\[0,1]], if [corrupt > 0]
+    without a [mutate], or a silence window is malformed. *)
+val make :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?corrupt:float ->
+  ?mutate:(Ba_prng.Rng.t -> 'msg -> 'msg) ->
+  ?silences:silence list ->
+  unit ->
+  'msg plan
+
+(** Runtime state for one engine run (PRNG stream + duplicate buffer). *)
+type 'msg instance
+
+(** [instantiate plan ~n ~seed] — the fault stream is
+    [Splitmix64.mix (seed + salt)], independent of the node streams derived
+    from the same seed.
+    @raise Invalid_argument if a silence window names a node [>= n]. *)
+val instantiate : 'msg plan -> n:int -> seed:int64 -> 'msg instance
+
+(** [silenced inst ~node ~round] — is the node inside one of its silence
+    windows this round? *)
+val silenced : _ instance -> node:int -> round:int -> bool
+
+(** [silenced_in_round plan ~round] — how many schedule entries cover
+    [round] (for budget accounting in experiments). *)
+val silenced_in_round : _ plan -> round:int -> int
+
+(** [deliver inst ~metrics ~round ~src ~dst payload] — push one link's
+    payload through the fault model, metering every injected event. Must be
+    called in a deterministic link order (the engine iterates receivers then
+    senders) so the PRNG stream is reproducible. *)
+val deliver :
+  'msg instance ->
+  metrics:Metrics.t ->
+  round:int ->
+  src:int ->
+  dst:int ->
+  'msg option ->
+  'msg option

@@ -40,4 +40,31 @@ val record_congest_violation : t -> unit
 
 val congest_violations : t -> int
 
+(** Benign fault-injection accounting (see {!Faults}): every injected fault
+    event is metered here, so a run's fault exposure is part of its outcome
+    and the checkers can audit that a fault-free configuration really saw no
+    faults. *)
+
+val record_link_drop : t -> unit
+
+val record_link_duplicate : t -> unit
+
+val record_link_corruption : t -> unit
+
+(** [record_crash_silence m] — one node kept silent for one round by a
+    crash-recovery schedule. *)
+val record_crash_silence : t -> unit
+
+val link_drops : t -> int
+
+val link_duplicates : t -> int
+
+val link_corruptions : t -> int
+
+val crash_silences : t -> int
+
+(** [fault_events m] — total injected fault events (drops + duplicates +
+    corruptions + crash silences). *)
+val fault_events : t -> int
+
 val pp : Format.formatter -> t -> unit

@@ -52,6 +52,20 @@ let corruption_budget (o : Ba_sim.Engine.outcome) =
     o.records;
   List.rev !violations
 
+let benign_faults (o : Ba_sim.Engine.outcome) =
+  let m = o.metrics in
+  let events = Ba_sim.Metrics.fault_events m in
+  if events > 0 then
+    fail "benign-faults"
+      "%d benign fault events metered (drop=%d dup=%d corrupt=%d silence=%d) in a run checked \
+       as fault-free"
+      events
+      (Ba_sim.Metrics.link_drops m)
+      (Ba_sim.Metrics.link_duplicates m)
+      (Ba_sim.Metrics.link_corruptions m)
+      (Ba_sim.Metrics.crash_silences m)
+  else []
+
 let congest (o : Ba_sim.Engine.outcome) =
   let v = Ba_sim.Metrics.congest_violations o.metrics in
   if v > 0 then
@@ -143,7 +157,7 @@ let termination_gap ~rounds_per_phase (o : Ba_sim.Engine.outcome) =
         else []
   end
 
-let standard ?rounds_per_phase (o : Ba_sim.Engine.outcome) =
+let standard ?rounds_per_phase ?(allow_faults = false) (o : Ba_sim.Engine.outcome) =
   let record_checks =
     if o.records = [] then []
     else
@@ -152,4 +166,6 @@ let standard ?rounds_per_phase (o : Ba_sim.Engine.outcome) =
         | Some rpp -> termination_gap ~rounds_per_phase:rpp o
         | None -> [])
   in
-  agreement o @ validity o @ completion o @ corruption_budget o @ congest o @ record_checks
+  agreement o @ validity o @ completion o @ corruption_budget o @ congest o
+  @ (if allow_faults then [] else benign_faults o)
+  @ record_checks

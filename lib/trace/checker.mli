@@ -36,6 +36,12 @@ val corruption_budget : Ba_sim.Engine.outcome -> violation list
     some payload exceeded it. *)
 val congest : Ba_sim.Engine.outcome -> violation list
 
+(** [benign_faults o] — fires when the run's metrics show injected benign
+    fault events ({!Ba_sim.Faults}): in a configuration that claims to be
+    fault-free, any metered drop/duplicate/corruption/silence is a harness
+    bug. Fault experiments opt out via {!standard}'s [allow_faults]. *)
+val benign_faults : Ba_sim.Engine.outcome -> violation list
+
 (** Record-level checks (need [~record:true]). *)
 
 val decided_coherence : Ba_sim.Engine.outcome -> violation list
@@ -45,7 +51,10 @@ val frozen_finishers : Ba_sim.Engine.outcome -> violation list
 (** [termination_gap ~rounds_per_phase o] — Lemma 4's two-phase window. *)
 val termination_gap : rounds_per_phase:int -> Ba_sim.Engine.outcome -> violation list
 
-(** [standard ?rounds_per_phase o] — all of the above that apply (record
-    checks are skipped when the outcome carries no records; the termination
-    gap is skipped unless [rounds_per_phase] is given). *)
-val standard : ?rounds_per_phase:int -> Ba_sim.Engine.outcome -> violation list
+(** [standard ?rounds_per_phase ?allow_faults o] — all of the above that
+    apply (record checks are skipped when the outcome carries no records; the
+    termination gap is skipped unless [rounds_per_phase] is given; the
+    {!benign_faults} audit is skipped when [allow_faults] is [true] — default
+    [false], so fault injection never leaks into an experiment silently). *)
+val standard :
+  ?rounds_per_phase:int -> ?allow_faults:bool -> Ba_sim.Engine.outcome -> violation list

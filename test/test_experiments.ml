@@ -19,7 +19,7 @@ let registry_cases =
   List.map
     (fun (d : Ba_harness.Registry.descriptor) ->
       Alcotest.test_case d.id `Slow (fun () ->
-          let r = d.run ~quick:true ~seed in
+          let r = d.run ~policy:Ba_harness.Supervisor.default ~quick:true ~seed in
           Alcotest.(check string) "report id matches descriptor" d.id r.id;
           check_report r))
     (Ba_harness.Registry.all registry)
@@ -42,7 +42,7 @@ let test_design_md_coverage () =
       (false, []) lines
   in
   let design_ids = List.rev design_ids in
-  Alcotest.(check int) "17 experiment rows in DESIGN.md section 5" 17
+  Alcotest.(check int) "19 experiment rows in DESIGN.md section 5" 19
     (List.length design_ids);
   Alcotest.(check int) "DESIGN.md ids are distinct" (List.length design_ids)
     (List.length (List.sort_uniq compare design_ids));

@@ -1,4 +1,4 @@
-(* ba_lint: every rule D001-D006 is demonstrated by a fixture that trips
+(* ba_lint: every rule D001-D007 is demonstrated by a fixture that trips
    exactly that rule, suppression pragmas silence them, and the real lib/
    tree self-scans clean (the same invariant `dune build @lint` enforces). *)
 
@@ -23,6 +23,10 @@ let test_prng_exemption () =
   Alcotest.(check (list string)) "lib/prng may use Random" []
     (codes (scan (fixtures ^ "/lib/prng/random_ok.ml")))
 
+let test_harness_exemption () =
+  Alcotest.(check (list string)) "lib/harness may spawn/join domains" []
+    (codes (scan (fixtures ^ "/lib/harness/domain_ok.ml")))
+
 let test_non_lib_scoping () =
   Alcotest.(check (list string)) "D002/D003/D006 are lib-only" []
     (codes (scan (fixtures ^ "/clean_bin.ml")))
@@ -31,6 +35,12 @@ let scan_src ?mli_exists ~path src =
   match Ba_lint_rules.scan_source ~path ?mli_exists src with
   | Ok vs -> vs
   | Error msg -> Alcotest.failf "inline scan failed: %s" msg
+
+let test_d007_outside_lib () =
+  (* Unlike D002/D003/D006, D007 also applies to bin/bench/examples — an
+     unjoined domain leaks wherever it is spawned. *)
+  let vs = scan_src ~path:"bin/x.ml" "let d () = Domain.spawn (fun () -> 0)\n" in
+  Alcotest.(check (list string)) "bin spawn flagged" [ "D007" ] (codes vs)
 
 let test_physical_equality () =
   let vs = scan_src ~path:"lib/x.ml" "let same a b = a == b\n" in
@@ -131,10 +141,13 @@ let () =
          Alcotest.test_case "D005 Obj.magic" `Quick
            (check_fixture "lib/d005_obj_magic.ml" [ "D005" ]);
          Alcotest.test_case "D006 missing mli" `Quick
-           (check_fixture "lib/d006_missing_mli.ml" [ "D006" ]) ]);
+           (check_fixture "lib/d006_missing_mli.ml" [ "D006" ]);
+         Alcotest.test_case "D007 bare domains" `Quick
+           (check_fixture "lib/d007_domain.ml" [ "D007"; "D007" ]) ]);
       ("scoping & pragmas",
        [ Alcotest.test_case "suppression pragmas" `Quick test_suppression;
          Alcotest.test_case "lib/prng exemption" `Quick test_prng_exemption;
+         Alcotest.test_case "lib/harness exemption" `Quick test_harness_exemption;
          Alcotest.test_case "non-lib scoping" `Quick test_non_lib_scoping;
          Alcotest.test_case "multi-code pragma" `Quick test_multi_code_pragma;
          Alcotest.test_case "wrong code does not suppress" `Quick test_pragma_wrong_code ]);
@@ -144,6 +157,7 @@ let () =
          Alcotest.test_case "mutable record literal" `Quick test_mutable_record_literal;
          Alcotest.test_case "nested module toplevel" `Quick test_nested_module_toplevel;
          Alcotest.test_case "parse error surfaces" `Quick test_parse_error;
+         Alcotest.test_case "D007 outside lib" `Quick test_d007_outside_lib;
          Alcotest.test_case "D006 scoping" `Quick test_d006_needs_scan_flag ]);
       ("reports",
        [ Alcotest.test_case "text & json reporters" `Quick test_reporters;

@@ -79,6 +79,54 @@ let test_no_fail_fast_collects () =
 let test_default_domains_positive () =
   Alcotest.(check bool) "at least 1" true (Ba_harness.Parallel.default_domains () >= 1)
 
+let test_raising_check_joins_domains () =
+  (* A check closure that raises on the main domain's chunk must propagate
+     (not deadlock or leak): the join is under Fun.protect. Exercised for
+     both an arbitrary exception and a second run afterwards to show the
+     runner is still usable. *)
+  let run = runner () in
+  let boom _ = raise Exit in
+  List.iter
+    (fun domains ->
+      match
+        Ba_harness.Parallel.monte_carlo ~domains ~check:boom ~trials:6 ~seed:3L ~run ()
+      with
+      | exception Exit -> ()
+      | _ -> Alcotest.fail "raising check swallowed")
+    [ 1; 2; 4 ];
+  let again = Ba_harness.Parallel.monte_carlo ~domains:4 ~trials:6 ~seed:3L ~run () in
+  Alcotest.(check int) "runner still functional" 6 (Ba_stats.Summary.count again.rounds)
+
+let test_fail_fast_message_domain_independent () =
+  (* Chunk results are sorted by trial before selection, so the cited trial
+     must not depend on how trials were split across domains. *)
+  let run = runner () in
+  let bogus o =
+    if o.Ba_sim.Engine.rounds mod 2 = 0 then
+      [ { Ba_trace.Checker.check = "bogus"; detail = "even rounds" } ]
+    else []
+  in
+  let first domains =
+    try
+      ignore
+        (Ba_harness.Parallel.monte_carlo ~domains ~check:bogus ~trials:10 ~seed:5L ~run ());
+      Alcotest.fail "expected a failure"
+    with Failure msg -> msg
+  in
+  Alcotest.(check string) "two chunks agree with one" (first 1) (first 2)
+
+let test_keep_going_in_parallel () =
+  let run = runner () in
+  let poisoned ~seed ~trial = if trial = 5 then failwith "poisoned" else run ~seed ~trial in
+  let par =
+    Ba_harness.Parallel.monte_carlo ~domains:4
+      ~policy:(Ba_harness.Supervisor.supervised ())
+      ~trials:12 ~seed:2L ~run:poisoned ()
+  in
+  Alcotest.(check int) "11 clean trials" 11 (Ba_stats.Summary.count par.rounds);
+  Alcotest.(check (list int)) "failure isolated to trial 5" [ 5 ]
+    (List.map (fun f -> f.Ba_harness.Supervisor.f_trial) par.failures)
+
 let () =
   Alcotest.run "ba_parallel"
     [ ("parallel",
@@ -86,4 +134,9 @@ let () =
          Alcotest.test_case "more domains than trials" `Quick test_more_domains_than_trials;
          Alcotest.test_case "fail fast lowest trial" `Quick test_fail_fast_reports_lowest_trial;
          Alcotest.test_case "collects without fail fast" `Quick test_no_fail_fast_collects;
-         Alcotest.test_case "default domains" `Quick test_default_domains_positive ]) ]
+         Alcotest.test_case "default domains" `Quick test_default_domains_positive;
+         Alcotest.test_case "raising check joins domains" `Quick
+           test_raising_check_joins_domains;
+         Alcotest.test_case "fail-fast message domain-independent" `Quick
+           test_fail_fast_message_domain_independent;
+         Alcotest.test_case "keep-going in parallel" `Quick test_keep_going_in_parallel ]) ]

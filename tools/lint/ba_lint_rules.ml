@@ -1,7 +1,7 @@
 (* Determinism & domain-safety rules over the Parsetree. See the .mli and
    DESIGN.md §8 for the catalog and rationale. *)
 
-type code = D001 | D002 | D003 | D004 | D005 | D006
+type code = D001 | D002 | D003 | D004 | D005 | D006 | D007
 
 let code_name = function
   | D001 -> "D001"
@@ -10,6 +10,7 @@ let code_name = function
   | D004 -> "D004"
   | D005 -> "D005"
   | D006 -> "D006"
+  | D007 -> "D007"
 
 let code_of_string = function
   | "D001" -> Some D001
@@ -18,6 +19,7 @@ let code_of_string = function
   | "D004" -> Some D004
   | "D005" -> Some D005
   | "D006" -> Some D006
+  | "D007" -> Some D007
   | _ -> None
 
 let describe = function
@@ -27,6 +29,8 @@ let describe = function
   | D004 -> "Hashtbl.iter/fold visit entries in nondeterministic hash order"
   | D005 -> "Obj.* / physical equality: representation-dependent behaviour"
   | D006 -> "library module without an interface (.mli)"
+  | D007 ->
+      "bare Domain.spawn/Domain.join outside lib/harness: spawn only via the supervised runners"
 
 type violation = {
   v_file : string;
@@ -53,11 +57,14 @@ let rec has_adjacent a b = function
   | x :: (y :: _ as rest) -> (x = a && y = b) || has_adjacent a b rest
   | _ -> false
 
-type ctx = { c_path : string; c_lib : bool; c_prng : bool }
+type ctx = { c_path : string; c_lib : bool; c_prng : bool; c_harness : bool }
 
 let ctx_of_path path =
   let segs = path_segments path in
-  { c_path = path; c_lib = List.mem "lib" segs; c_prng = has_adjacent "lib" "prng" segs }
+  { c_path = path;
+    c_lib = List.mem "lib" segs;
+    c_prng = has_adjacent "lib" "prng" segs;
+    c_harness = has_adjacent "lib" "harness" segs }
 
 (* ------------------------------------------------------------------ *)
 (* Suppression pragmas: "(* lint: allow D004 — why *)". A pragma
@@ -152,6 +159,11 @@ let scan ~ctx structure =
     | [ ("==" | "!=") as op ] ->
         add loc D005
           ("physical (in)equality (" ^ op ^ ") on boxed values is representation-dependent; use = / <> or compare")
+    | [ "Domain"; ("spawn" | "join" as f) ] when not ctx.c_harness ->
+        add loc D007
+          ("Domain." ^ f
+         ^ " outside lib/harness leaks domains on exceptions; go through \
+            Ba_harness.Parallel/Supervisor, which join via Fun.protect")
     | [ "Hashtbl"; ("iter" | "fold") ] | [ "MoreLabels"; "Hashtbl"; ("iter" | "fold") ] ->
         add loc D004
           (name

@@ -24,13 +24,17 @@
     - {b D005} no [Obj.*] and no physical (in)equality ([==]/[!=]) —
       representation-dependent results.
     - {b D006} every [lib/] module has an interface ([.mli]).
+    - {b D007} no bare [Domain.spawn]/[Domain.join] outside [lib/harness]
+      — ad-hoc domains leak on exceptions; all fan-out goes through the
+      supervised runners ([Ba_harness.Parallel]/[Ba_harness.Supervisor]),
+      which always join via [Fun.protect].
 
     A violation is suppressed by a pragma comment on the same line or the
     line directly above it: [(* lint: allow D004 — commutative count *)].
     Codes are matched textually, so the pragma also works from within a
     string literal — keep pragmas out of string constants. *)
 
-type code = D001 | D002 | D003 | D004 | D005 | D006
+type code = D001 | D002 | D003 | D004 | D005 | D006 | D007
 
 val code_name : code -> string
 

@@ -1,0 +1,5 @@
+(* Fixture: bare Domain.spawn/Domain.join outside lib/harness (D007). *)
+
+let compute () =
+  let d = Domain.spawn (fun () -> 1 + 1) in
+  Domain.join d

@@ -1,0 +1,3 @@
+(* Fixture interface so the D007 case is not polluted by D006. *)
+
+val compute : unit -> int

@@ -1,0 +1,6 @@
+(* Fixture: lib/harness is the one place allowed to spawn/join domains
+   directly (D007 exemption — mirrors lib/prng for D001). *)
+
+let compute () =
+  let d = Domain.spawn (fun () -> 1 + 1) in
+  Domain.join d

@@ -1,0 +1,3 @@
+(* Fixture interface so the exemption case is not polluted by D006. *)
+
+val compute : unit -> int
