@@ -1,21 +1,23 @@
 (* Benchmark harness.
 
    Two parts:
-   1. the registered experiment suite (E1-E17, Experiments.registry): the
+   1. the registered experiment suite (E1-E19, Experiments.registry): the
       paper is a theory result, so its claims are regenerated empirically —
       tables and figures on stdout, optionally a schema-versioned JSON
       suite document (see DESIGN.md section 5 / EXPERIMENTS.md);
    2. Bechamel micro-benchmarks of the substrates (PRNG, coin Monte-Carlo,
-      engine rounds, phase model).
+      engine rounds, phase model), optionally emitted as a schema-versioned
+      micro-baseline document for the @perf-smoke regression gate
+      (DESIGN.md section 10).
 
    Usage:
      dune exec bench/main.exe                 # everything, quick profile
      dune exec bench/main.exe -- --full       # full-size experiments
-     dune exec bench/main.exe -- --micro-only
-     dune exec bench/main.exe -- --experiments-only
+     dune exec bench/main.exe -- --micro-only [--quota-ms N] [--json BENCH_micro.json]
+     dune exec bench/main.exe -- --experiments-only [--domains K]
      dune exec bench/main.exe -- --json BENCH_experiments.json *)
 
-let run_experiments ~quick ~seed ~json_path =
+let run_experiments ~quick ~seed ~domains ~json_path =
   (* Stream each report as it completes (the full profile takes minutes;
      a single batched run would sit silent until the very end). *)
   let registry = Ba_experiments.Experiments.registry in
@@ -23,7 +25,7 @@ let run_experiments ~quick ~seed ~json_path =
     List.map
       (fun (d : Ba_harness.Registry.descriptor) ->
         let t0 = Unix.gettimeofday () in
-        let r = d.run ~policy:Ba_harness.Supervisor.default ~quick ~seed in
+        let r = d.run ~policy:Ba_harness.Supervisor.default ~domains ~quick ~seed in
         let wall = Unix.gettimeofday () -. t0 in
         Format.printf "%a@." Ba_experiments.Experiments.pp_report r;
         Format.print_flush ();
@@ -80,6 +82,23 @@ let make_micro_tests () =
   let engine_killer =
     engine_of Ba_experiments.Setups.Committee_killer "engine/alg3-n64-killer"
   in
+  (* The perf gate's headline metric: eight benign all-to-all broadcast
+     rounds of Algorithm 3 at n=256 — the O(n^2)-deliveries hot path every
+     experiment ultimately spins (batched-plane fast path since DESIGN.md
+     section 10). *)
+  let engine_round =
+    let n = 256 and t = 64 in
+    let run =
+      Ba_experiments.Setups.make ~protocol:(Ba_experiments.Setups.Las_vegas { alpha = 2.0 })
+        ~adversary:Ba_experiments.Setups.Silent ~n ~t
+    in
+    let inputs = Ba_experiments.Setups.inputs Ba_experiments.Setups.Split ~n ~t in
+    let seed = ref 0L in
+    Test.make ~name:"engine/round-n256"
+      (Staged.stage (fun () ->
+           seed := Int64.add !seed 1L;
+           (run.exec ~max_rounds:8 ~record:false ~inputs ~seed:!seed ()).Ba_sim.Engine.rounds))
+  in
   let model =
     let rng = Ba_prng.Rng.create 11L in
     Test.make ~name:"model/alg3-n2^24-t16384"
@@ -87,15 +106,20 @@ let make_micro_tests () =
            (Ba_experiments.Fast_model.alg3 rng ~n:(1 lsl 24) ~t:16384 ~budget:16384 ())
              .Ba_experiments.Fast_model.rounds))
   in
-  [ prng_bits; prng_int; coin_sum; coin_trial; engine_silent; engine_killer; model ]
+  [ prng_bits; prng_int; coin_sum; coin_trial; engine_silent; engine_killer; engine_round; model ]
 
-let run_micro () =
+(* Returns the measured (name, ns/call) pairs, sorted by name. *)
+let run_micro ~quota_ms =
   let open Bechamel in
   let open Toolkit in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second (float_of_int quota_ms /. 1000.)) ~stabilize:true
+      ()
+  in
   print_endline "== micro-benchmarks (ns per call, OLS on monotonic clock) ==";
+  let measured = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -107,13 +131,29 @@ let run_micro () =
       List.iter
         (fun (name, ols_result) ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/call\n%!" name est
+          | Some [ est ] ->
+              Printf.printf "  %-28s %12.1f ns/call\n%!" name est;
+              measured := (name, est) :: !measured
           | Some ests ->
               Printf.printf "  %-28s %s\n%!" name
                 (String.concat ", " (List.map (Printf.sprintf "%.1f") ests))
           | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
         (List.sort (fun (a, _) (b, _) -> compare a b) !rows))
-    (make_micro_tests ())
+    (make_micro_tests ());
+  List.sort compare !measured
+
+let write_micro_json ~path measured =
+  let metrics =
+    List.filter_map
+      (fun (name, ns) -> if Float.is_finite ns && ns > 0.0 then Some (name, ns) else None)
+      measured
+  in
+  let doc = Ba_harness.Micro.make ~calibration:"rng/bits64" metrics in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (Ba_harness.Json.to_string ~pretty:true (Ba_harness.Micro.to_json doc));
+      Out_channel.output_char oc '\n');
+  Printf.printf "wrote %s\n%!" path
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -129,9 +169,23 @@ let () =
   in
   let seed = find_value "--seed" 2026L Int64.of_string in
   let json_path = find_value "--json" None (fun v -> Some v) in
-  if not (has "--experiments-only") then run_micro ();
-  if not (has "--micro-only") then begin
+  let quota_ms = find_value "--quota-ms" 500 int_of_string in
+  let domains = find_value "--domains" 1 int_of_string in
+  if quota_ms <= 0 then begin
+    prerr_endline "bench: --quota-ms must be > 0";
+    exit 2
+  end;
+  if domains <= 0 then begin
+    prerr_endline "bench: --domains must be > 0";
+    exit 2
+  end;
+  if has "--micro-only" then begin
+    let measured = run_micro ~quota_ms in
+    match json_path with None -> () | Some path -> write_micro_json ~path measured
+  end
+  else begin
+    if not (has "--experiments-only") then ignore (run_micro ~quota_ms : (string * float) list);
     Printf.printf "\n== experiment suite (%s profile, seed %Ld) ==\n%!"
       (if quick then "quick" else "full") seed;
-    run_experiments ~quick ~seed ~json_path
+    run_experiments ~quick ~seed ~domains ~json_path
   end

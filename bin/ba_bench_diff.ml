@@ -1,0 +1,85 @@
+(* ba_bench_diff: compare a fresh micro-benchmark document against the
+   committed baseline (BENCH_micro.json), with per-metric tolerance bands.
+   Drives the `dune build @perf-smoke` alias and the CI perf gate.
+
+   Usage:
+     ba_bench_diff BASELINE CURRENT [--default-tolerance F]
+     ba_bench_diff --check-schema FILE
+
+   Metrics are normalized by the baseline's calibration metric before
+   comparison, so the committed ns/call numbers stay meaningful on machines
+   of different absolute speed (DESIGN.md §10).
+
+   Exit codes: 0 no regression (or schema valid); 1 at least one metric
+   regressed beyond its tolerance band; 2 usage/IO/schema error. *)
+
+let usage () =
+  prerr_endline
+    "usage: ba_bench_diff BASELINE CURRENT [--default-tolerance F]\n\
+    \       ba_bench_diff --check-schema FILE";
+  exit 2
+
+let fail fmt = Format.ksprintf (fun s -> prerr_endline ("ba_bench_diff: " ^ s); exit 2) fmt
+
+let load path =
+  let text =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error e -> fail "%s" e
+  in
+  let json =
+    try Ba_harness.Json.of_string text
+    with Ba_harness.Json.Parse_error e -> fail "%s: %s" path e
+  in
+  match Ba_harness.Micro.of_json json with
+  | Ok doc -> doc
+  | Error e -> fail "%s: %s" path e
+
+let check_schema path =
+  let doc = load path in
+  Printf.printf "%s: valid micro-baseline schema v%d (%d metrics)\n" path doc.schema_version
+    (List.length doc.metrics);
+  exit 0
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--check-schema"; path ] | [ path; "--check-schema" ] -> check_schema path
+  | base_path :: cur_path :: rest when String.length base_path > 0 && base_path.[0] <> '-' ->
+      let default_tolerance =
+        match rest with
+        | [] -> None
+        | [ "--default-tolerance"; f ] -> (
+            match float_of_string_opt f with
+            | Some v when Float.is_finite v && v >= 1.0 -> Some v
+            | Some _ | None -> fail "--default-tolerance must be a finite number >= 1")
+        | _ -> usage ()
+      in
+      let baseline = load base_path and current = load cur_path in
+      (match
+         Ba_harness.Micro.compare_docs ?default_tolerance ~baseline ~current ()
+       with
+      | Error e -> fail "%s" e
+      | Ok verdicts ->
+          let regressions = ref 0 in
+          (match baseline.calibration with
+          | Some c -> Printf.printf "normalized by %S\n" c
+          | None -> print_endline "absolute comparison (no calibration metric)");
+          List.iter
+            (fun (v : Ba_harness.Micro.verdict) ->
+              if Float.is_nan v.v_current then begin
+                incr regressions;
+                Printf.printf "  %-28s MISSING from current document\n" v.v_name
+              end
+              else begin
+                if v.v_regressed then incr regressions;
+                Printf.printf "  %-28s %10.4f -> %10.4f  (x%.2f, limit x%.2f) %s\n" v.v_name
+                  v.v_baseline v.v_current v.v_ratio v.v_limit
+                  (if v.v_regressed then "REGRESSED" else "ok")
+              end)
+            verdicts;
+          if !regressions > 0 then begin
+            Printf.eprintf "ba_bench_diff: %d metric(s) regressed beyond tolerance\n" !regressions;
+            exit 1
+          end;
+          Printf.printf "no regression across %d metric(s)\n" (List.length verdicts))
+  | _ -> usage ()

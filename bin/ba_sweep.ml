@@ -24,6 +24,14 @@ let ids_arg =
 let all_arg = Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment.")
 let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List experiment IDs and exit.")
 let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sizes and fewer trials.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"K"
+        ~doc:
+          "Shard within-round message delivery across $(docv) OCaml domains. Reports are \
+           byte-identical at any value; only wall-clock changes.")
 let seed_arg = Arg.(value & opt int64 2026L & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
 let tag_arg =
@@ -125,10 +133,14 @@ let crashed_report (d : Ba_harness.Registry.descriptor) ~seed exn bt =
     ~summary:(Printf.sprintf "experiment crashed: %s" (Printexc.to_string exn))
     ~body:"" ()
 
-let run ids all list quick seed tags json_path csv_path keep_going retries round_cap =
+let run ids all list quick domains seed tags json_path csv_path keep_going retries round_cap =
   if list then begin
     list_registry ();
     0
+  end
+  else if domains < 1 then begin
+    Format.eprintf "error: --domains must be >= 1@.";
+    2
   end
   else if (not all) && ids = [] && tags = [] then begin
     Format.eprintf
@@ -160,12 +172,12 @@ let run ids all list quick seed tags json_path csv_path keep_going retries round
               let t0 = Unix.gettimeofday () in
               let report =
                 if keep_going then
-                  match d.run ~policy ~quick ~seed with
+                  match d.run ~policy ~domains ~quick ~seed with
                   | r -> Ba_harness.Report.with_failures r (Ba_harness.Supervisor.drain sink)
                   | exception exn ->
                       let bt = Printexc.get_backtrace () in
                       crashed_report d ~seed exn bt
-                else d.run ~policy ~quick ~seed
+                else d.run ~policy ~domains ~quick ~seed
               in
               let wall = Unix.gettimeofday () -. t0 in
               Format.printf "%a@." Ba_experiments.Experiments.pp_report report;
@@ -213,7 +225,7 @@ let run ids all list quick seed tags json_path csv_path keep_going retries round
 let cmd =
   let doc = "run the paper's registered experiments (E1-E19)" in
   Cmd.v (Cmd.info "ba_sweep" ~doc)
-    Term.(const run $ ids_arg $ all_arg $ list_arg $ quick_arg $ seed_arg $ tag_arg
+    Term.(const run $ ids_arg $ all_arg $ list_arg $ quick_arg $ domains_arg $ seed_arg $ tag_arg
           $ json_arg $ csv_arg $ keep_going_arg $ retries_arg $ round_cap_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -58,7 +58,7 @@ let protocol : (state, msg) Ba_sim.Protocol.t =
     recv =
       (fun ctx st ~round ~inbox ->
         let n = ctx.Ba_sim.Protocol.n and t = ctx.Ba_sim.Protocol.t in
-        Array.iteri
+        Ba_sim.Plane.iteri
           (fun sender m ->
             match m with
             | Some entries ->
@@ -81,6 +81,7 @@ let protocol : (state, msg) Ba_sim.Protocol.t =
     msg_bits =
       (fun entries ->
         List.fold_left (fun acc (label, _) -> acc + 1 + (8 * (1 + List.length label))) 0 entries);
+    codec = None (* subtree payloads have no vote/flip header to pack *);
     inspect = (fun _ -> None) }
 
 let rounds ~t = t + 1

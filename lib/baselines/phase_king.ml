@@ -13,6 +13,13 @@ let phase_of_round round = (((round - 1) / 2) + 1, if (round - 1) mod 2 = 0 then
 
 let king_of_phase ~n ~phase = (phase - 1) mod n
 
+(* Batched-plane packing: sub 0 = value broadcast, sub 1 = king broadcast.
+   Only the value sub-round is tallied; the king slot is read boxed. *)
+let msg_code m =
+  Ba_sim.Plane.code ~phase:m.pk_phase
+    ~sub:(if m.pk_king then 1 else 0)
+    ~decided:false ~vote:m.pk_val ~flip:None
+
 let protocol : (state, msg) Ba_sim.Protocol.t =
   { Ba_sim.Protocol.name = "phase-king";
     init =
@@ -34,21 +41,14 @@ let protocol : (state, msg) Ba_sim.Protocol.t =
         let st = { st with phase } in
         match sub with
         | `Value ->
-            let counts = [| 0; 0 |] in
-            Array.iter
-              (fun m ->
-                match m with
-                | Some { pk_phase; pk_king = false; pk_val }
-                  when pk_phase = phase && (pk_val = 0 || pk_val = 1) ->
-                    counts.(pk_val) <- counts.(pk_val) + 1
-                | Some _ | None -> ())
-              inbox;
+            let c0, c1 = Ba_sim.Plane.vote_counts inbox ~phase ~sub:0 ~decided_only:false in
+            let counts = [| c0; c1 |] in
             let maj = if counts.(1) >= counts.(0) then 1 else 0 in
             { st with maj; mult = counts.(maj) }
         | `King ->
             let king = king_of_phase ~n ~phase in
             let king_val =
-              match inbox.(king) with
+              match Ba_sim.Plane.get inbox king with
               | Some { pk_phase; pk_king = true; pk_val }
                 when pk_phase = phase && (pk_val = 0 || pk_val = 1) ->
                   pk_val
@@ -61,6 +61,7 @@ let protocol : (state, msg) Ba_sim.Protocol.t =
     halted = (fun st -> st.halted);
     msg_bits = (fun m -> 3 + (let rec il acc x = if x <= 1 then acc else il (acc + 1) (x / 2) in
                               il 0 (m.pk_phase + 2)));
+    codec = Some msg_code;
     inspect =
       (fun st ->
         Some

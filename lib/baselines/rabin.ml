@@ -12,15 +12,23 @@ let make ?(gamma = 4.0) ?(cycle = false) ~n ~t ~dealer_seed () =
   if n < (3 * t) + 1 then invalid_arg "Rabin.make: need n >= 3t + 1";
   let dealer_rng = Ba_prng.Rng.create dealer_seed in
   let memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let lock = Mutex.create () in
   let dealer phase =
-    match Hashtbl.find_opt memo phase with
-    | Some b -> b
-    | None ->
-        (* Phases are visited in order by all nodes, so drawing on first
-           use keeps the stream independent of the adversary's choices. *)
-        let b = if Ba_prng.Rng.bool dealer_rng then 1 else 0 in
-        Hashtbl.add memo phase b;
-        b
+    (* The dealer closure is shared by every node, and under sharded
+       delivery nodes of one round step on different domains; the mutex
+       keeps the memo coherent. Draw order stays deterministic at any
+       shard count: all nodes of a round ask for the same phase, so each
+       phase is drawn exactly once, and first uses are phase-ascending
+       across rounds regardless of which domain happens to draw. *)
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt memo phase with
+        | Some b -> b
+        | None ->
+            (* Phases are visited in order by all nodes, so drawing on first
+               use keeps the stream independent of the adversary's choices. *)
+            let b = if Ba_prng.Rng.bool dealer_rng then 1 else 0 in
+            Hashtbl.add memo phase b;
+            b)
   in
   let phases = max 2 (int_of_float (ceil (gamma *. Params.log2n n))) in
   let config =

@@ -32,7 +32,7 @@ let make ?rounds () : (state, msg) Ba_sim.Protocol.t =
             if attempts = 0 then st.value
             else begin
               let v = Ba_prng.Rng.int rng n in
-              match inbox.(v) with
+              match Ba_sim.Plane.get inbox v with
               | Some (Value b) when b = 0 || b = 1 -> b
               | Some (Value _) | None -> go (attempts - 1)
             end
@@ -46,6 +46,7 @@ let make ?rounds () : (state, msg) Ba_sim.Protocol.t =
     output = (fun st -> st.output);
     halted = (fun st -> st.halted);
     msg_bits = (fun (Value _) -> 1);
+    codec = None (* recv samples two slots; a tally kernel would not pay *);
     inspect =
       (fun st ->
         Some

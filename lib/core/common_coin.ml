@@ -6,7 +6,9 @@ type state = {
   halted : bool;
 }
 
-let valid_flip = function Flip f -> if f = 1 || f = -1 then Some f else None
+(* A flip is the whole payload: phase 0, sub 0; non-±1 values encode with
+   no flip bits, so the kernel ignores them exactly as the boxed path did. *)
+let msg_code (Flip f) = Ba_sim.Plane.code ~phase:0 ~sub:0 ~decided:false ~vote:2 ~flip:(Some f)
 
 let make_protocol ~name ~designated : (state, msg) Ba_sim.Protocol.t =
   { Ba_sim.Protocol.name;
@@ -16,18 +18,12 @@ let make_protocol ~name ~designated : (state, msg) Ba_sim.Protocol.t =
         if st.designated ctx.me then Some (Flip (Ba_prng.Rng.sign ctx.rng)) else None);
     recv =
       (fun _ctx st ~round:_ ~inbox ->
-        let sum = ref 0 in
-        Array.iteri
-          (fun v m ->
-            if st.designated v then
-              match m with
-              | Some m -> ( match valid_flip m with Some f -> sum := !sum + f | None -> ())
-              | None -> ())
-          inbox;
-        { st with coin = Some (if !sum >= 0 then 1 else 0); halted = true });
+        let sum = Ba_sim.Plane.signed_sum inbox ~phase:0 ~sub:0 ~members:st.designated in
+        { st with coin = Some (if sum >= 0 then 1 else 0); halted = true });
     output = (fun st -> st.coin);
     halted = (fun st -> st.halted);
     msg_bits = (fun (Flip _) -> 2);
+    codec = Some msg_code;
     inspect = (fun _ -> None) }
 
 let algorithm2 ~designated = make_protocol ~name:"common-coin-designated" ~designated

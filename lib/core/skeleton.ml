@@ -60,35 +60,25 @@ let coin_sub cfg = match cfg.cfg_coin_round with `Piggyback -> R2 | `Extra -> RC
 let is_flipper cfg ~phase v =
   match cfg.cfg_coin with Flippers pred -> pred ~phase v | Dealer _ | Private -> false
 
-(* Count round-1 votes / round-2 decided-votes for each bit value. Byzantine
-   senders can mislabel phase or sub, send non-binary values, or equivocate;
-   only well-formed messages of the current (phase, sub) count. *)
+let sub_code = function R1 -> 0 | R2 -> 1 | RC -> 2
+
+(* Pack a payload header for the batched plane's tally kernels. Byzantine
+   senders can mislabel phase or sub, send non-binary values, or send
+   garbage flips; [Plane.code] normalizes all of that (non-binary val ->
+   uncountable, bad flip -> none, absurd phase -> opaque), so the kernels
+   count exactly the well-formed messages of the queried (phase, sub). *)
+let msg_code m =
+  Ba_sim.Plane.code ~phase:m.m_phase ~sub:(sub_code m.m_sub) ~decided:m.m_decided ~vote:m.m_val
+    ~flip:m.m_flip
+
+(* Count round-1 votes / round-2 decided-votes for each bit value. *)
 let tally ~phase ~sub ~decided_only inbox =
-  let votes = [| 0; 0 |] in
-  Array.iter
-    (fun m ->
-      match m with
-      | Some m
-        when m.m_phase = phase && m.m_sub = sub
-             && (m.m_val = 0 || m.m_val = 1)
-             && ((not decided_only) || m.m_decided) ->
-          votes.(m.m_val) <- votes.(m.m_val) + 1
-      | Some _ | None -> ())
-    inbox;
-  votes
+  let c0, c1 = Ba_sim.Plane.vote_counts inbox ~phase ~sub:(sub_code sub) ~decided_only in
+  [| c0; c1 |]
 
 let flip_sum cfg ~phase inbox =
-  let sum = ref 0 in
-  Array.iteri
-    (fun v m ->
-      if is_flipper cfg ~phase v then
-        match m with
-        | Some { m_phase; m_sub; m_flip = Some f; _ }
-          when m_phase = phase && m_sub = coin_sub cfg && (f = 1 || f = -1) ->
-            sum := !sum + f
-        | Some _ | None -> ())
-    inbox;
-  !sum
+  Ba_sim.Plane.signed_sum inbox ~phase ~sub:(sub_code (coin_sub cfg))
+    ~members:(fun v -> is_flipper cfg ~phase v)
 
 let coin_value cfg ctx ~phase ~inbox =
   match cfg.cfg_coin with
@@ -180,6 +170,7 @@ let make cfg : (state, msg) Ba_sim.Protocol.t =
     output = (fun st -> st.output);
     halted = (fun st -> st.halted);
     msg_bits;
+    codec = Some msg_code;
     inspect =
       (fun st ->
         Some

@@ -85,6 +85,10 @@ val phase_of_round : config -> round:int -> int * sub
     piggybacked, [RC] in the extra-round ablation). *)
 val coin_sub : config -> sub
 
+(** The protocol's {!Ba_sim.Plane.code} packing (its [codec] field),
+    exported so tests can build planes and check kernel equivalence. *)
+val msg_code : msg -> int
+
 (** Accessors used by tests. *)
 val state_val : state -> int
 

@@ -75,7 +75,7 @@ let e11_alpha ?(quick = false) ~seed () =
          rows)
     ()
 
-let e11_coin_round ?policy ?(quick = false) ~seed () =
+let e11_coin_round ?policy ?(domains = 1) ?(quick = false) ~seed () =
   let n = if quick then 40 else 64 in
   let t = Ba_core.Params.max_tolerated n in
   let trials = if quick then 8 else 20 in
@@ -92,7 +92,7 @@ let e11_coin_round ?policy ?(quick = false) ~seed () =
             ~fail_fast:false
             ~trials
             ~seed:(seed_for ~seed ("e11b", run.run_protocol))
-            ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
+            ~run:(fun ~seed ~trial:_ -> run.exec ~domains ~record:true ~inputs ~seed ())
             ()
         in
         (coin_round, run, stats))
@@ -144,11 +144,11 @@ let e11_coin_round ?policy ?(quick = false) ~seed () =
          rows)
     ()
 
-let e11 ?policy ?(quick = false) ~seed () =
+let e11 ?policy ?(domains = 1) ?(quick = false) ~seed () =
   (* Both design-choice ablations as one registered experiment (DESIGN.md §5
      row E11); the per-ablation runners stay available via the facade. *)
   let a = e11_alpha ~quick ~seed () in
-  let b = e11_coin_round ?policy ~quick ~seed () in
+  let b = e11_coin_round ?policy ~domains ~quick ~seed () in
   let prefix p metrics = List.map (fun (k, v) -> (p ^ "_" ^ k, v)) metrics in
   Report.make ~id:"E11"
     ~title:"Ablations: committee-count constant alpha; coin piggyback vs extra round"
@@ -164,7 +164,7 @@ let e11 ?policy ?(quick = false) ~seed () =
 (* E14 — crash faults vs Byzantine faults                              *)
 (* ------------------------------------------------------------------ *)
 
-let e14 ?policy ?(quick = false) ~seed () =
+let e14 ?policy ?(domains = 1) ?(quick = false) ~seed () =
   (* The BJB lower bound already holds for adaptive crash faults; measure
      how much weaker the crash-only killer is in practice (deletions cost
      ~|X|+1 per coin vs the Byzantine ~|X|/2+1). *)
@@ -176,7 +176,7 @@ let e14 ?policy ?(quick = false) ~seed () =
     let run = Setups.make ~protocol:(Setups.Las_vegas { alpha = 2.0 }) ~adversary ~n ~t in
     Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ?policy ~trials
       ~seed:(seed_for ~seed ("e14", Setups.adversary_name adversary))
-      ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
+      ~run:(fun ~seed ~trial:_ -> run.exec ~domains ~record:true ~inputs ~seed ())
       ()
   in
   let byz = measure Setups.Committee_killer in
@@ -308,14 +308,14 @@ let experiments =
       title = "ablations: alpha and coin-round placement";
       claim = "Ablations (design choices)";
       tags = [ Ba_harness.Registry.Ablation ];
-      run = (fun ~policy ~quick ~seed -> e11 ~policy ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e11 ~policy ~domains ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E14";
       title = "crash vs byzantine fault models";
       claim = "Fault-model ladder (BJB model)";
       tags = [ Ba_harness.Registry.Ablation; Ba_harness.Registry.Robustness ];
-      run = (fun ~policy ~quick ~seed -> e14 ~policy ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e14 ~policy ~domains ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E15";
       title = "termination-realization ablation";
       claim = "Termination realization (DESIGN.md 4.2)";
       tags = [ Ba_harness.Registry.Ablation; Ba_harness.Registry.Robustness ];
-      run = (fun ~policy:_ ~quick ~seed -> e15 ~quick ~seed ()) } ]
+      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e15 ~quick ~seed ()) } ]

@@ -8,13 +8,13 @@
 
 val e11_alpha : ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
 
-val e11_coin_round : ?policy:Ba_harness.Supervisor.policy -> ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
+val e11_coin_round : ?policy:Ba_harness.Supervisor.policy -> ?domains:int -> ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
 
 (** Combined E11 report: both ablations, metrics prefixed [alpha_]/[coin_],
     verdict is the worst of the two. *)
-val e11 : ?policy:Ba_harness.Supervisor.policy -> ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
+val e11 : ?policy:Ba_harness.Supervisor.policy -> ?domains:int -> ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
 
-val e14 : ?policy:Ba_harness.Supervisor.policy -> ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
+val e14 : ?policy:Ba_harness.Supervisor.policy -> ?domains:int -> ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
 
 val e15 : ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
 

@@ -6,7 +6,7 @@ module Report = Ba_harness.Report
 (* E17 — the asynchronous contrast (Section 1.3)                       *)
 (* ------------------------------------------------------------------ *)
 
-let e17 ?policy ?(quick = false) ~seed () =
+let e17 ?policy ?(domains = 1) ?(quick = false) ~seed () =
   (* The paper's Section 1.3: under the same full-information adaptive
      adversary, asynchrony is much harder — Ben-Or/Bracha are exponential,
      the best known polynomial bound (Huang-Pettie-Zhu) is O(n^4). Measure
@@ -50,7 +50,7 @@ let e17 ?policy ?(quick = false) ~seed () =
             let stats =
               Ba_harness.Experiment.monte_carlo ?policy ~trials
                 ~seed:(seed_for ~seed ("e17-sync", n))
-                ~run:(fun ~seed ~trial:_ -> run.exec ~record:false ~inputs ~seed ())
+                ~run:(fun ~seed ~trial:_ -> run.exec ~domains ~record:false ~inputs ~seed ())
                 ()
             in
             stats.rounds
@@ -111,4 +111,4 @@ let experiments =
       title = "asynchronous contrast (Ben-Or vs Algorithm 3)";
       claim = "Async contrast (Sec. 1.3)";
       tags = [ Ba_harness.Registry.Async ];
-      run = (fun ~policy ~quick ~seed -> e17 ~policy ~quick ~seed ()) } ]
+      run = (fun ~policy ~domains ~quick ~seed -> e17 ~policy ~domains ~quick ~seed ()) } ]

@@ -2,7 +2,7 @@
     classic async Ben-Or under an adversarial scheduler + splitter vs
     synchronous Algorithm 3 at the same [(n, t)]. *)
 
-val e17 : ?policy:Ba_harness.Supervisor.policy -> ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
+val e17 : ?policy:Ba_harness.Supervisor.policy -> ?domains:int -> ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
 
 (** Registry descriptor for E17. *)
 val experiments : Ba_harness.Registry.descriptor list

@@ -6,7 +6,7 @@ module Report = Ba_harness.Report
 (* E6 — validity & agreement matrix                                    *)
 (* ------------------------------------------------------------------ *)
 
-let e6 ?(quick = false) ~seed () =
+let e6 ?(domains = 1) ?(quick = false) ~seed () =
   let trials = if quick then 4 else 10 in
   let combos =
     let skel p = (p, [ Setups.Silent; Setups.Static_crash; Setups.Staggered_crash 2;
@@ -44,7 +44,7 @@ let e6 ?(quick = false) ~seed () =
                       ~seed:(seed_for ~seed ("e6", run.run_protocol, run.run_adversary))
                       ~trial
                   in
-                  let o = run.exec ~record:true ~inputs ~seed:s () in
+                  let o = run.exec ~domains ~record:true ~inputs ~seed:s () in
                   let violations =
                     Ba_trace.Checker.standard ?rounds_per_phase:run.rounds_per_phase o
                   in
@@ -84,7 +84,7 @@ let e6 ?(quick = false) ~seed () =
 (* E7 — agreement aggregate                                            *)
 (* ------------------------------------------------------------------ *)
 
-let e7 ?policy ?(quick = false) ~seed () =
+let e7 ?policy ?(domains = 1) ?(quick = false) ~seed () =
   (* The "agreement always holds" claim as its own aggregate: Monte-Carlo
      sweeps with fail_fast off, counting agreement/validity failures across
      protocol x adversary pairs instead of aborting on the first one. *)
@@ -106,7 +106,7 @@ let e7 ?policy ?(quick = false) ~seed () =
           Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ?policy
             ~fail_fast:false ~trials
             ~seed:(seed_for ~seed ("e7", run.run_protocol, run.run_adversary))
-            ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
+            ~run:(fun ~seed ~trial:_ -> run.exec ~domains ~record:true ~inputs ~seed ())
             ()
         in
         (run, stats))
@@ -155,7 +155,7 @@ let e7 ?policy ?(quick = false) ~seed () =
 (* E10 — baseline ladder                                               *)
 (* ------------------------------------------------------------------ *)
 
-let e10 ?policy ?(quick = false) ~seed () =
+let e10 ?policy ?(domains = 1) ?(quick = false) ~seed () =
   let trials = if quick then 5 else 12 in
   let entries =
     [ (Setups.Eig, 7, 2, Setups.Static_crash, "deterministic, n>3t, t+1 rounds, exp. messages");
@@ -174,7 +174,7 @@ let e10 ?policy ?(quick = false) ~seed () =
         let stats =
           Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ?policy ~trials
             ~seed:(seed_for ~seed ("e10", run.run_protocol))
-            ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
+            ~run:(fun ~seed ~trial:_ -> run.exec ~domains ~record:true ~inputs ~seed ())
             ()
         in
         (proto, run, n, t, note, stats))
@@ -389,24 +389,24 @@ let experiments =
       title = "validity/agreement matrix";
       claim = "Validity (all protocols x adversaries)";
       tags = [ Ba_harness.Registry.Robustness ];
-      run = (fun ~policy:_ ~quick ~seed -> e6 ~quick ~seed ()) };
+      run = (fun ~policy:_ ~domains ~quick ~seed -> e6 ~domains ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E7";
       title = "agreement aggregate (fail-fast off)";
       claim = "Agreement (whp)";
       tags = [ Ba_harness.Registry.Robustness ];
-      run = (fun ~policy ~quick ~seed -> e7 ~policy ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e7 ~policy ~domains ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E10";
       title = "baseline ladder";
       claim = "Baseline positioning";
       tags = [ Ba_harness.Registry.Baseline ];
-      run = (fun ~policy ~quick ~seed -> e10 ~policy ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e10 ~policy ~domains ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E12";
       title = "sampling-majority contrast baseline";
       claim = "Related work (Sec. 1.3): sampling dynamics";
       tags = [ Ba_harness.Registry.Baseline ];
-      run = (fun ~policy:_ ~quick ~seed -> e12 ~quick ~seed ()) };
+      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e12 ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E16";
       title = "elected vs predetermined committees";
       claim = "Static vs adaptive (introduction)";
       tags = [ Ba_harness.Registry.Coin; Ba_harness.Registry.Baseline ];
-      run = (fun ~policy:_ ~quick ~seed -> e16 ~quick ~seed ()) } ]
+      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e16 ~quick ~seed ()) } ]

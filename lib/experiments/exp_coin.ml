@@ -158,9 +158,9 @@ let experiments =
       title = "Theorem 3: common coin, all nodes flipping";
       claim = "Theorem 3";
       tags = [ Ba_harness.Registry.Coin ];
-      run = (fun ~policy:_ ~quick ~seed -> e1 ~quick ~seed ()) };
+      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e1 ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E2";
       title = "Corollary 1: designated-committee coin";
       claim = "Corollary 1";
       tags = [ Ba_harness.Registry.Coin ];
-      run = (fun ~policy:_ ~quick ~seed -> e2 ~quick ~seed ()) } ]
+      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e2 ~quick ~seed ()) } ]

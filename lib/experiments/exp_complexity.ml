@@ -103,7 +103,7 @@ let e4 ?quick ~seed () =
 (* E8 — message complexity                                             *)
 (* ------------------------------------------------------------------ *)
 
-let e8 ?policy ?(quick = false) ~seed () =
+let e8 ?policy ?(domains = 1) ?(quick = false) ~seed () =
   (* Engine-metered messages and bits at moderate n; the paper's claim is
      O(min{n t^2 log n, n^2 t / log n}) vs Chor-Coan's O(n^2 t / log n). *)
   let n = if quick then 64 else 128 in
@@ -122,7 +122,7 @@ let e8 ?policy ?(quick = false) ~seed () =
             let stats =
               Ba_harness.Experiment.monte_carlo ?rounds_per_phase:run.rounds_per_phase ?policy ~trials
                 ~seed:(seed_for ~seed ("e8", Setups.protocol_name proto, t))
-                ~run:(fun ~seed ~trial:_ -> run.exec ~record:true ~inputs ~seed ())
+                ~run:(fun ~seed ~trial:_ -> run.exec ~domains ~record:true ~inputs ~seed ())
                 ()
             in
             (t, run.run_protocol, stats))
@@ -186,9 +186,9 @@ let experiments =
       title = "crossover vs Chor-Coan";
       claim = "Theorem 2 vs Chor-Coan";
       tags = [ Ba_harness.Registry.Scaling; Ba_harness.Registry.Complexity ];
-      run = (fun ~policy:_ ~quick ~seed -> e4 ~quick ~seed ()) };
+      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e4 ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E8";
       title = "message complexity";
       claim = "Message complexity";
       tags = [ Ba_harness.Registry.Complexity ];
-      run = (fun ~policy ~quick ~seed -> e8 ~policy ~quick ~seed ()) } ]
+      run = (fun ~policy ~domains ~quick ~seed -> e8 ~policy ~domains ~quick ~seed ()) } ]

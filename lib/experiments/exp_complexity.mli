@@ -6,7 +6,7 @@
 
 val e4 : ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
 
-val e8 : ?policy:Ba_harness.Supervisor.policy -> ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
+val e8 : ?policy:Ba_harness.Supervisor.policy -> ?domains:int -> ?quick:bool -> seed:int64 -> unit -> Ba_harness.Report.t
 
 (** Registry descriptors for E4 and E8. *)
 val experiments : Ba_harness.Registry.descriptor list

@@ -16,7 +16,7 @@ let e18_budget ~n ~t spec =
   let p = spec.Setups.fs_drop +. spec.Setups.fs_corrupt in
   max 0 (t - int_of_float (ceil (p *. float_of_int n)))
 
-let e18 ?policy ?(quick = false) ~seed () =
+let e18 ?policy ?(domains = 1) ?(quick = false) ~seed () =
   let n = if quick then 40 else 64 in
   let t = Ba_core.Params.max_tolerated n in
   let trials = if quick then 5 else 12 in
@@ -47,7 +47,7 @@ let e18 ?policy ?(quick = false) ~seed () =
                 ~trials
                 ~seed:(seed_for ~seed ("e18", run.run_protocol, label))
                 ~run:(fun ~seed ~trial:_ ->
-                  let o = run.exec ~record:true ~inputs ~seed () in
+                  let o = run.exec ~domains ~record:true ~inputs ~seed () in
                   Ba_stats.Summary.add_int faults_seen
                     (Ba_sim.Metrics.fault_events o.Ba_sim.Engine.metrics);
                   o)
@@ -152,7 +152,7 @@ let e19_waves ~t ~wave_len ~waves =
             { Ba_sim.Faults.s_node = (j * g) + i; s_from = lo; s_until = lo + wave_len }))
       (List.init waves Fun.id) )
 
-let e19 ?policy ?(quick = false) ~seed () =
+let e19 ?policy ?(domains = 1) ?(quick = false) ~seed () =
   let n = if quick then 40 else 64 in
   let t = Ba_core.Params.max_tolerated n in
   let trials = if quick then 6 else 15 in
@@ -180,7 +180,7 @@ let e19 ?policy ?(quick = false) ~seed () =
             ~trials
             ~seed:(seed_for ~seed ("e19", label))
             ~run:(fun ~seed ~trial:_ ->
-              let o = run.exec ~record:true ~inputs ~seed () in
+              let o = run.exec ~domains ~record:true ~inputs ~seed () in
               Ba_stats.Summary.add_int silenced
                 (Ba_sim.Metrics.crash_silences o.Ba_sim.Engine.metrics);
               o)
@@ -249,9 +249,9 @@ let experiments =
       title = "link faults counted against t";
       claim = "Robustness: link faults within the t budget";
       tags = [ Ba_harness.Registry.Robustness ];
-      run = (fun ~policy ~quick ~seed -> e18 ~policy ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e18 ~policy ~domains ~quick ~seed ()) };
     { Ba_harness.Registry.id = "E19";
       title = "crash-recovery gauntlet (Lemma 4 window)";
       claim = "Robustness: crash-recovery (Lemma 4 window)";
       tags = [ Ba_harness.Registry.Robustness ];
-      run = (fun ~policy ~quick ~seed -> e19 ~policy ~quick ~seed ()) } ]
+      run = (fun ~policy ~domains ~quick ~seed -> e19 ~policy ~domains ~quick ~seed ()) } ]

@@ -47,5 +47,5 @@ let registry =
 
 let all ?(policy = Ba_harness.Supervisor.default) ?(quick = false) ~seed () =
   List.map
-    (fun (d : Ba_harness.Registry.descriptor) -> d.run ~policy ~quick ~seed)
+    (fun (d : Ba_harness.Registry.descriptor) -> d.run ~policy ~domains:1 ~quick ~seed)
     (Ba_harness.Registry.all registry)

@@ -1,0 +1,157 @@
+type metric = {
+  m_name : string;
+  m_ns : float;
+  m_tolerance : float option;
+  m_note : float option;
+}
+
+type doc = {
+  schema_version : int;
+  calibration : string option;
+  default_tolerance : float;
+  metrics : metric list;
+}
+
+let schema_version = 1
+
+let default_tolerance = 3.0
+
+let validate_doc d =
+  if d.schema_version <> schema_version then
+    invalid_arg (Printf.sprintf "Micro: schema_version must be %d" schema_version);
+  if not (Float.is_finite d.default_tolerance) || d.default_tolerance < 1.0 then
+    invalid_arg "Micro: default_tolerance must be finite and >= 1";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if m.m_name = "" then invalid_arg "Micro: empty metric name";
+      if Hashtbl.mem seen m.m_name then
+        invalid_arg (Printf.sprintf "Micro: duplicate metric %S" m.m_name);
+      Hashtbl.add seen m.m_name ();
+      if not (Float.is_finite m.m_ns) || m.m_ns <= 0.0 then
+        invalid_arg (Printf.sprintf "Micro: metric %S needs a finite positive ns_per_call" m.m_name);
+      match m.m_tolerance with
+      | Some f when (not (Float.is_finite f)) || f < 1.0 ->
+          invalid_arg (Printf.sprintf "Micro: metric %S tolerance must be >= 1" m.m_name)
+      | Some _ | None -> ())
+    d.metrics;
+  (match d.calibration with
+  | Some c when not (List.exists (fun m -> m.m_name = c) d.metrics) ->
+      invalid_arg (Printf.sprintf "Micro: calibration metric %S is not in the document" c)
+  | Some _ | None -> ());
+  d
+
+let make ?calibration ?(tolerance = default_tolerance) metrics =
+  validate_doc
+    { schema_version;
+      calibration;
+      default_tolerance = tolerance;
+      metrics =
+        List.map (fun (name, ns) -> { m_name = name; m_ns = ns; m_tolerance = None; m_note = None })
+          metrics }
+
+let to_json d =
+  let metric m =
+    Json.Obj
+      ([ ("name", Json.String m.m_name); ("ns_per_call", Json.Float m.m_ns) ]
+      @ (match m.m_tolerance with Some f -> [ ("tolerance", Json.Float f) ] | None -> [])
+      @ match m.m_note with Some f -> [ ("pre_batching_ns", Json.Float f) ] | None -> [])
+  in
+  Json.Obj
+    ([ ("schema_version", Json.Int d.schema_version);
+       ("suite", Json.String "adaptive_ba_micro") ]
+    @ (match d.calibration with Some c -> [ ("calibration", Json.String c) ] | None -> [])
+    @ [ ("default_tolerance", Json.Float d.default_tolerance);
+        ("metrics", Json.List (List.map metric d.metrics)) ])
+
+let of_json j =
+  let str field o = Option.bind (Json.member field o) Json.to_str in
+  let num field o = Option.bind (Json.member field o) Json.to_float in
+  match Json.member "schema_version" j with
+  | Some (Json.Int v) when v = schema_version -> (
+      if str "suite" j <> Some "adaptive_ba_micro" then
+        Error "\"suite\" must be \"adaptive_ba_micro\""
+      else
+        match Option.bind (Json.member "metrics" j) Json.to_list with
+        | None -> Error "missing \"metrics\" array"
+        | Some entries -> (
+            let metric_of e =
+              match (str "name" e, num "ns_per_call" e) with
+              | Some name, Some ns ->
+                  Ok { m_name = name; m_ns = ns; m_tolerance = num "tolerance" e;
+                       m_note = num "pre_batching_ns" e }
+              | None, _ -> Error "metric entry missing string \"name\""
+              | _, None -> Error "metric entry missing numeric \"ns_per_call\""
+            in
+            let rec all acc = function
+              | [] -> Ok (List.rev acc)
+              | e :: rest -> ( match metric_of e with Ok m -> all (m :: acc) rest | Error _ as e -> e)
+            in
+            match all [] entries with
+            | Error _ as e -> e
+            | Ok metrics -> (
+                let doc =
+                  { schema_version;
+                    calibration = str "calibration" j;
+                    default_tolerance =
+                      Option.value (num "default_tolerance" j) ~default:default_tolerance;
+                    metrics }
+                in
+                match validate_doc doc with
+                | d -> Ok d
+                | exception Invalid_argument msg -> Error msg)))
+  | Some (Json.Int v) -> Error (Printf.sprintf "unsupported schema_version %d (want %d)" v schema_version)
+  | Some _ -> Error "\"schema_version\" is not an integer"
+  | None -> Error "missing \"schema_version\""
+
+type verdict = {
+  v_name : string;
+  v_baseline : float;
+  v_current : float;
+  v_ratio : float;
+  v_limit : float;
+  v_regressed : bool;
+}
+
+let find doc name = List.find_opt (fun m -> m.m_name = name) doc.metrics
+
+(* Normalize by the shared calibration metric when both documents carry one:
+   absolute ns/call is machine-dependent, the ratio to a fixed CPU-bound
+   primitive mostly is not. *)
+let compare_docs ?default_tolerance ~baseline ~current () =
+  let scale doc =
+    match baseline.calibration with
+    | None -> Ok 1.0
+    | Some c -> (
+        match find doc c with
+        | Some m -> Ok m.m_ns
+        | None -> Error (Printf.sprintf "calibration metric %S missing" c))
+  in
+  match (scale baseline, scale current) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok sb, Ok sc ->
+      let verdicts =
+        List.filter_map
+          (fun b ->
+            if Some b.m_name = baseline.calibration then None
+            else
+              match find current b.m_name with
+              | None ->
+                  Some
+                    { v_name = b.m_name; v_baseline = b.m_ns; v_current = nan; v_ratio = infinity;
+                      v_limit = 0.0; v_regressed = true }
+              | Some c ->
+                  let base = b.m_ns /. sb and cur = c.m_ns /. sc in
+                  let limit =
+                    match (default_tolerance, b.m_tolerance) with
+                    | _, Some f -> f
+                    | Some f, None -> f
+                    | None, None -> baseline.default_tolerance
+                  in
+                  let ratio = cur /. base in
+                  Some
+                    { v_name = b.m_name; v_baseline = base; v_current = cur; v_ratio = ratio;
+                      v_limit = limit; v_regressed = not (ratio <= limit) })
+          baseline.metrics
+      in
+      Ok verdicts

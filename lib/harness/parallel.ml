@@ -1,5 +1,27 @@
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
+let delivery_sharder ~domains =
+  if domains < 1 then invalid_arg "Parallel.delivery_sharder: domains < 1";
+  { Ba_sim.Engine.s_shards = domains;
+    s_run =
+      (fun thunks ->
+        match Array.length thunks with
+        | 0 -> ()
+        | 1 -> thunks.(0) ()
+        | k ->
+            let handles = Array.init (k - 1) (fun i -> Domain.spawn thunks.(i + 1)) in
+            let joined = ref false in
+            (* First shard on the calling domain; every spawned domain is
+               joined even if it (or a spawned thunk) raises. *)
+            Fun.protect
+              ~finally:(fun () ->
+                if not !joined then
+                  Array.iter (fun h -> try Domain.join h with _ -> ()) handles)
+              (fun () ->
+                thunks.(0) ();
+                Array.iter Domain.join handles;
+                joined := true)) }
+
 type partial = {
   p_rounds : Ba_stats.Summary.t;
   p_phases : Ba_stats.Summary.t;

@@ -39,3 +39,13 @@ val monte_carlo :
 
 (** [default_domains ()] — [min 8 (Domain.recommended_domain_count ())]. *)
 val default_domains : unit -> int
+
+(** [delivery_sharder ~domains] — a domain-backed {!Ba_sim.Engine.sharder}
+    for within-round delivery: shard thunks [1..] run on fresh domains, the
+    first on the calling domain, all joined before returning (even on an
+    exception). Engine outcomes are byte-identical at any [domains] (see
+    {!Ba_sim.Engine.sharder}); this only changes wall-clock. Domains are
+    spawned per round — worthwhile for large [n], pure overhead for small
+    runs, which is why it is opt-in ([--domains] on the CLIs).
+    @raise Invalid_argument if [domains < 1]. *)
+val delivery_sharder : domains:int -> Ba_sim.Engine.sharder

@@ -20,7 +20,7 @@ type descriptor = {
   title : string;
   claim : string;
   tags : tag list;
-  run : policy:Supervisor.policy -> quick:bool -> seed:int64 -> Report.t;
+  run : policy:Supervisor.policy -> domains:int -> quick:bool -> seed:int64 -> Report.t;
 }
 
 type t = descriptor list

@@ -22,11 +22,13 @@ type descriptor = {
   title : string;
   claim : string;  (** paper reference, e.g. "Theorem 2 (shape)" *)
   tags : tag list;
-  run : policy:Supervisor.policy -> quick:bool -> seed:int64 -> Report.t;
+  run : policy:Supervisor.policy -> domains:int -> quick:bool -> seed:int64 -> Report.t;
       (** [policy] supervises the experiment's Monte-Carlo trials — drivers
           pass a [keep_going] policy with a sink to collect trial failures
           instead of aborting; pass {!Supervisor.default} for the legacy
-          abort-on-crash behaviour *)
+          abort-on-crash behaviour. [domains] shards within-round delivery
+          ({!Ba_sim.Engine.sharder}); pass 1 for the serial engine — reports
+          are byte-identical either way, only wall-clock changes. *)
 }
 
 type t

@@ -19,15 +19,20 @@ type outcome = {
   records : round_record list;
 }
 
+type sharder = { s_shards : int; s_run : (unit -> unit) array -> unit }
+
+let sequential = { s_shards = 1; s_run = (fun thunks -> Array.iter (fun f -> f ()) thunks) }
+
 let validate ~n ~t ~inputs =
   if t < 0 || t >= n then invalid_arg "Engine.run: need 0 <= t < n";
   if Array.length inputs <> n then invalid_arg "Engine.run: inputs length <> n";
   Array.iter (fun b -> if b <> 0 && b <> 1 then invalid_arg "Engine.run: inputs must be 0/1") inputs
 
-let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults
+let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = sequential)
     ~(protocol : ('state, 'msg) Protocol.t) ~(adversary : ('state, 'msg) Adversary.t) ~n ~t
     ~inputs ~seed () =
   validate ~n ~t ~inputs;
+  if sharder.s_shards < 1 then invalid_arg "Engine.run: sharder must offer at least one shard";
   let max_rounds =
     match max_rounds with Some m -> m | None -> Protocol.default_round_cap ~n
   in
@@ -52,6 +57,10 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults
     | Some _ | None -> ()
   in
   let records = ref [] in
+  let codec = protocol.codec in
+  (* One packed-code slab for the whole run, repacked in place each benign
+     broadcast round (DESIGN.md section 10). *)
+  let slab = Array.make (max n 1) Plane.absent in
   let live v = (not corrupted.(v)) && not halted.(v) in
   let all_honest_halted () =
     let stop = ref true in
@@ -110,33 +119,100 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults
           honest_msgs.(v) <- None
         end)
       action.corrupt;
-    (* 4. Delivery + 5. recv for each live honest node. *)
+    (* 4. Delivery + 5. recv for each live honest node. Three modes, all
+       observably identical to per-link delivery (same metrics, same RNG
+       draw order — the determinism proof obligation of DESIGN.md §10):
+
+       - benign broadcast (no fault instance, no corrupted node): every
+         live recipient's inbox is the same array, so one shared plane is
+         packed once and recv fans out over it — optionally sharded across
+         domains, each shard on its own cache view;
+       - Byzantine senders, no link faults: per-recipient copy of the
+         honest slab patched by [byz_msg] (corrupted senders ascending,
+         recipients ascending — the draw order of the old per-link loop);
+       - link faults: the old exact per-link loop, [Faults.deliver] on
+         every (src, dst) pair in the original order, as index-level edits
+         on the copied slab. *)
     let new_states = Array.copy states in
-    for u = 0 to n - 1 do
-      if live u then begin
-        let inbox =
-          Array.init n (fun v ->
-              let raw, byzantine =
-                if corrupted.(v) then (action.byz_msg ~src:v ~dst:u, true)
-                else (honest_msgs.(v), false)
-              in
-              (* Benign link faults apply to honest and Byzantine payloads
-                 alike; self-delivery is exempt (a node always hears itself
-                 unless silenced above). *)
-              let m =
-                match faults with
-                | Some inst when v <> u ->
-                    Faults.deliver inst ~metrics ~round:r ~src:v ~dst:u raw
-                | Some _ | None -> raw
-              in
-              (match m with
-              | Some payload when v <> u -> meter payload ~byzantine
-              | Some _ | None -> ());
-              m)
-        in
-        new_states.(u) <- protocol.recv (ctx_of u) states.(u) ~round:r ~inbox
-      end
+    let corrupted_now = ref [] in
+    for v = n - 1 downto 0 do
+      if corrupted.(v) then corrupted_now := v :: !corrupted_now
     done;
+    (match (faults, !corrupted_now) with
+    | None, [] ->
+        let live_recipients = ref 0 in
+        for v = 0 to n - 1 do
+          if live v then incr live_recipients
+        done;
+        for v = 0 to n - 1 do
+          match honest_msgs.(v) with
+          | Some payload ->
+              let copies = !live_recipients - if live v then 1 else 0 in
+              if copies > 0 then begin
+                let bits = protocol.msg_bits payload in
+                Metrics.record_broadcast metrics ~bits ~copies ~byzantine:false;
+                match congest_limit_bits with
+                | Some limit when bits > limit ->
+                    Metrics.record_congest_violations metrics copies
+                | Some _ | None -> ()
+              end
+          | None -> ()
+        done;
+        let plane = Plane.shared ?encode:codec ~slab honest_msgs in
+        let deliver_range plane lo hi =
+          for u = lo to hi do
+            if live u then
+              new_states.(u) <- protocol.recv (ctx_of u) states.(u) ~round:r ~inbox:plane
+          done
+        in
+        if sharder.s_shards > 1 && n > 1 then begin
+          let shards = min sharder.s_shards n in
+          let chunk = (n + shards - 1) / shards in
+          let thunks =
+            Array.init shards (fun i ->
+                let lo = i * chunk and hi = min (n - 1) (((i + 1) * chunk) - 1) in
+                let view = Plane.shard_view plane in
+                fun () -> deliver_range view lo hi)
+          in
+          sharder.s_run thunks
+        end
+        else deliver_range plane 0 (n - 1)
+    | None, cs ->
+        for u = 0 to n - 1 do
+          if live u then begin
+            let data = Array.copy honest_msgs in
+            List.iter (fun v -> data.(v) <- action.byz_msg ~src:v ~dst:u) cs;
+            for v = 0 to n - 1 do
+              if v <> u then
+                match data.(v) with
+                | Some payload -> meter payload ~byzantine:corrupted.(v)
+                | None -> ()
+            done;
+            new_states.(u) <-
+              protocol.recv (ctx_of u) states.(u) ~round:r ~inbox:(Plane.of_array ?encode:codec data)
+          end
+        done
+    | Some inst, _ ->
+        for u = 0 to n - 1 do
+          if live u then begin
+            let data = Array.copy honest_msgs in
+            for v = 0 to n - 1 do
+              if v <> u then begin
+                let raw, byzantine =
+                  if corrupted.(v) then (action.byz_msg ~src:v ~dst:u, true) else (data.(v), false)
+                in
+                (* Benign link faults apply to honest and Byzantine payloads
+                   alike; self-delivery is exempt (a node always hears itself
+                   unless silenced above). *)
+                let m = Faults.deliver inst ~metrics ~round:r ~src:v ~dst:u raw in
+                (match m with Some payload -> meter payload ~byzantine | None -> ());
+                data.(v) <- m
+              end
+            done;
+            new_states.(u) <-
+              protocol.recv (ctx_of u) states.(u) ~round:r ~inbox:(Plane.of_array ?encode:codec data)
+          end
+        done);
     Array.blit new_states 0 states 0 n;
     for v = 0 to n - 1 do
       if (not corrupted.(v)) && (not halted.(v)) && protocol.halted states.(v) then

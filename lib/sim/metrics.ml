@@ -21,6 +21,15 @@ let record_message m ~bits ~byzantine =
   m.bits <- m.bits + bits;
   if bits > m.max_msg_bits then m.max_msg_bits <- bits
 
+let record_broadcast m ~bits ~copies ~byzantine =
+  if copies < 0 then invalid_arg "Metrics.record_broadcast: copies < 0";
+  if copies > 0 then begin
+    if byzantine then m.byz_msgs <- m.byz_msgs + copies
+    else m.honest_msgs <- m.honest_msgs + copies;
+    m.bits <- m.bits + (bits * copies);
+    if bits > m.max_msg_bits then m.max_msg_bits <- bits
+  end
+
 let record_round m = m.rounds <- m.rounds + 1
 
 let rounds m = m.rounds
@@ -30,6 +39,10 @@ let byzantine_messages m = m.byz_msgs
 let bits m = m.bits
 let max_bits_per_message m = m.max_msg_bits
 let record_congest_violation m = m.congest_violations <- m.congest_violations + 1
+
+let record_congest_violations m k =
+  if k < 0 then invalid_arg "Metrics.record_congest_violations: k < 0";
+  m.congest_violations <- m.congest_violations + k
 let congest_violations m = m.congest_violations
 let record_link_drop m = m.link_drops <- m.link_drops + 1
 let record_link_duplicate m = m.link_duplicates <- m.link_duplicates + 1

@@ -14,6 +14,14 @@ val create : unit -> t
     message of [bits] payload bits; [byzantine] marks sender corruption. *)
 val record_message : t -> bits:int -> byzantine:bool -> unit
 
+(** [record_broadcast m ~bits ~copies ~byzantine] counts one broadcast of a
+    [bits]-bit payload delivered to [copies] recipients — arithmetically
+    identical to [copies] calls of {!record_message} (the batched plane's
+    benign fast path meters whole broadcasts at once). A zero-copy
+    broadcast records nothing, matching per-link metering.
+    @raise Invalid_argument if [copies < 0]. *)
+val record_broadcast : t -> bits:int -> copies:int -> byzantine:bool -> unit
+
 (** [record_round m] counts one synchronous round. *)
 val record_round : t -> unit
 
@@ -37,6 +45,10 @@ val max_bits_per_message : t -> int
 (** [record_congest_violation m] / [congest_violations m] — messages whose
     payload exceeded the engine's configured CONGEST limit. *)
 val record_congest_violation : t -> unit
+
+(** [record_congest_violations m k] — batched form: [k] violating deliveries
+    at once. @raise Invalid_argument if [k < 0]. *)
+val record_congest_violations : t -> int -> unit
 
 val congest_violations : t -> int
 

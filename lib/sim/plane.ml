@@ -1,0 +1,142 @@
+(* Batched message plane (DESIGN.md section 10).
+
+   One round's deliveries, as seen by a recipient. Two representations:
+
+   - shared: in a benign broadcast round every live recipient sees the same
+     inbox, so the engine hands all of them one plane over the honest
+     broadcast slab, with payloads packed into a reusable int-code array and
+     aggregation results memoized — the round costs O(n) instead of O(n^2)
+     for protocols whose recv is a tally;
+   - solo: rounds touched by Byzantine senders or link faults get a
+     per-recipient plane over a patched copy of the slab (codes derived on
+     the fly, nothing shared), reproducing the per-link semantics exactly.
+
+   The cache is keyed by plain ints (never closures — lint D005 bans
+   physical equality, and structural equality on closures is meaningless),
+   which imposes the documented requirement that a [signed_sum] membership
+   predicate is determined by its (phase, sub) key for a given plane. *)
+
+let absent = -1
+let opaque = -2
+
+(* Code layout (non-negative values only):
+     bits 0-1  vote        0 | 1 | 2 = not a countable vote
+     bit  2    decided
+     bits 3-4  sub-round   protocol-defined, 0..3
+     bits 5-6  flip        0 = none | 1 = +1 | 2 = -1
+     bits 7+   phase
+   Negative codes: [absent] (no message) and [opaque] (a payload whose
+   phase no in-range query can ever match, e.g. a Byzantine header). *)
+
+let max_phase = 1 lsl 44
+
+let code ~phase ~sub ~decided ~vote ~flip =
+  if phase < 0 || phase > max_phase then opaque
+  else begin
+    if sub < 0 || sub > 3 then invalid_arg "Plane.code: sub out of range";
+    let v = if vote = 0 || vote = 1 then vote else 2 in
+    let f = match flip with Some 1 -> 1 | Some (-1) -> 2 | Some _ | None -> 0 in
+    (phase lsl 7) lor (f lsl 5) lor (sub lsl 3) lor ((if decided then 1 else 0) lsl 2) lor v
+  end
+
+type cache_entry = {
+  ck_kind : int; (* 0 = vote_counts, 1 = signed_sum *)
+  ck_phase : int;
+  ck_sub : int;
+  ck_flag : int; (* decided_only for vote_counts; 0 for signed_sum *)
+  cr_a : int;
+  cr_b : int;
+}
+
+type 'msg t = {
+  p_data : 'msg option array;
+  p_codes : int array option; (* packed slab; present only on shared planes *)
+  p_encode : ('msg -> int) option;
+  mutable p_cache : cache_entry list;
+}
+
+let of_array ?encode data = { p_data = data; p_codes = None; p_encode = encode; p_cache = [] }
+
+let shared ?encode ~slab data =
+  let codes =
+    match encode with
+    | None -> None
+    | Some f ->
+        let n = Array.length data in
+        let slab = if Array.length slab >= n then slab else Array.make n absent in
+        for i = 0 to n - 1 do
+          slab.(i) <- (match data.(i) with None -> absent | Some m -> f m)
+        done;
+        Some slab
+  in
+  { p_data = data; p_codes = codes; p_encode = encode; p_cache = [] }
+
+let shard_view t = { t with p_cache = [] }
+
+let length t = Array.length t.p_data
+let get t v = t.p_data.(v)
+let iteri f t = Array.iteri f t.p_data
+let to_array t = Array.copy t.p_data
+
+let code_at t i =
+  match t.p_codes with
+  | Some codes -> codes.(i)
+  | None -> (
+      match t.p_data.(i) with
+      | None -> absent
+      | Some m -> (
+          match t.p_encode with
+          | Some f -> f m
+          | None -> invalid_arg "Plane: tally kernel on a plane without a codec"))
+
+let find_cache t ~kind ~phase ~sub ~flag =
+  List.find_opt
+    (fun e -> e.ck_kind = kind && e.ck_phase = phase && e.ck_sub = sub && e.ck_flag = flag)
+    t.p_cache
+
+let memoize t ~kind ~phase ~sub ~flag compute =
+  match t.p_codes with
+  | None -> compute () (* solo plane: consumed by one recv, nothing to share *)
+  | Some _ -> (
+      match find_cache t ~kind ~phase ~sub ~flag with
+      | Some e -> (e.cr_a, e.cr_b)
+      | None ->
+          let ((a, b) as r) = compute () in
+          t.p_cache <-
+            { ck_kind = kind; ck_phase = phase; ck_sub = sub; ck_flag = flag; cr_a = a; cr_b = b }
+            :: t.p_cache;
+          r)
+
+let vote_counts_scan t ~phase ~sub ~decided_only =
+  let c0 = ref 0 and c1 = ref 0 in
+  for i = 0 to Array.length t.p_data - 1 do
+    let c = code_at t i in
+    if c >= 0 && c lsr 7 = phase && (c lsr 3) land 3 = sub then begin
+      let v = c land 3 in
+      if v < 2 && ((not decided_only) || (c lsr 2) land 1 = 1) then
+        if v = 0 then incr c0 else incr c1
+    end
+  done;
+  (!c0, !c1)
+
+let vote_counts t ~phase ~sub ~decided_only =
+  memoize t ~kind:0 ~phase ~sub
+    ~flag:(if decided_only then 1 else 0)
+    (fun () -> vote_counts_scan t ~phase ~sub ~decided_only)
+
+let signed_sum_scan t ~phase ~sub ~members =
+  let sum = ref 0 in
+  for i = 0 to Array.length t.p_data - 1 do
+    if members i then begin
+      let c = code_at t i in
+      if c >= 0 && c lsr 7 = phase && (c lsr 3) land 3 = sub then
+        match (c lsr 5) land 3 with 1 -> incr sum | 2 -> decr sum | _ -> ()
+    end
+  done;
+  !sum
+
+let signed_sum t ~phase ~sub ~members =
+  let sum, _ =
+    memoize t ~kind:1 ~phase ~sub ~flag:0 (fun () -> (signed_sum_scan t ~phase ~sub ~members, 0))
+  in
+  sum

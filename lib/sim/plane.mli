@@ -1,0 +1,85 @@
+(** Batched message plane: one round's deliveries as seen by a recipient
+    (DESIGN.md section 10).
+
+    In a benign broadcast round every live recipient's inbox is identical,
+    so the engine builds a single {e shared} plane over the honest broadcast
+    slab: payloads are packed once into a reusable flat [int] code array and
+    the dominant aggregations ({!vote_counts}, {!signed_sum}) are memoized
+    across recipients — an all-to-all round costs O(n) instead of O(n^2)
+    for tally-style protocols. Rounds touched by Byzantine senders or link
+    faults fall back to per-recipient {e solo} planes over patched copies of
+    the slab, preserving per-link delivery semantics (and RNG draw order)
+    exactly.
+
+    A protocol opts into the packed kernels by providing a
+    [Protocol.t.codec] built from {!code}; protocols with payloads that
+    don't fit the vote/flip shape (e.g. EIG subtrees) leave the codec
+    [None] and read boxed payloads through {!get} / {!iteri}. *)
+
+type 'msg t
+
+(** {1 Packed codes} *)
+
+(** Slot code for "no message" ([-1]). Codes are non-negative for real
+    payloads; see {!code}. *)
+val absent : int
+
+(** Slot code for a payload no in-range query can match, e.g. a Byzantine
+    header with an absurd phase ([-2]). *)
+val opaque : int
+
+(** [code ~phase ~sub ~decided ~vote ~flip] packs one payload header.
+    Layout: bits 0-1 vote (0, 1, or 2 = not a countable vote — any other
+    [vote] input normalizes to 2), bit 2 decided, bits 3-4 sub-round, bits
+    5-6 flip ([Some 1] / [Some (-1)] / anything else = none), bits 7+
+    phase. A [phase] outside [0, 2^44] yields {!opaque} (adversarial
+    headers must still encode).
+    @raise Invalid_argument if [sub] is outside [0, 3] — sub-round ids are
+    protocol constants, never attacker-controlled. *)
+val code : phase:int -> sub:int -> decided:bool -> vote:int -> flip:int option -> int
+
+(** {1 Construction (engine side)} *)
+
+(** [of_array ?encode data] — a solo plane owning [data] (not copied).
+    Kernels derive codes on the fly through [encode]. *)
+val of_array : ?encode:('msg -> int) -> 'msg option array -> 'msg t
+
+(** [shared ?encode ~slab data] — a shared plane: codes are packed into
+    [slab] (reused across rounds; reallocated only if too short) and kernel
+    results are memoized. The caller must not mutate [data] or [slab] while
+    any recipient can still read the plane. *)
+val shared : ?encode:('msg -> int) -> slab:int array -> 'msg option array -> 'msg t
+
+(** [shard_view t] — a view sharing [t]'s payloads and codes but with its
+    own memo cache, so concurrent recipients on different domains never
+    touch the same mutable cell. *)
+val shard_view : 'msg t -> 'msg t
+
+(** {1 Boxed access (protocol side)} *)
+
+val length : _ t -> int
+
+(** [get t v] is the message received from node [v] ([None] if silent,
+    halted, or dropped); [get t me] is the node's own broadcast. *)
+val get : 'msg t -> int -> 'msg option
+
+val iteri : (int -> 'msg option -> unit) -> 'msg t -> unit
+
+val to_array : 'msg t -> 'msg option array
+
+(** {1 Tally kernels}
+
+    Both raise [Invalid_argument] on a plane without a codec. *)
+
+(** [vote_counts t ~phase ~sub ~decided_only] — [(zeros, ones)] over slots
+    whose code matches [phase] and [sub] and carries a countable vote,
+    restricted to decided senders when [decided_only]. *)
+val vote_counts : 'msg t -> phase:int -> sub:int -> decided_only:bool -> int * int
+
+(** [signed_sum t ~phase ~sub ~members] — sum of [±1] flips over slots [v]
+    with [members v] whose code matches [phase] and [sub]. On a shared
+    plane the result is memoized under the [(phase, sub)] key, so for a
+    given plane all callers passing equal [(phase, sub)] must pass an
+    equivalent [members] predicate (true of the round-synchronous protocols
+    here: membership is a function of the phase). *)
+val signed_sum : 'msg t -> phase:int -> sub:int -> members:(int -> bool) -> int

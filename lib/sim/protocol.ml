@@ -11,10 +11,11 @@ type ('state, 'msg) t = {
   name : string;
   init : ctx -> input:int -> 'state;
   send : ctx -> 'state -> round:int -> 'msg option;
-  recv : ctx -> 'state -> round:int -> inbox:'msg option array -> 'state;
+  recv : ctx -> 'state -> round:int -> inbox:'msg Plane.t -> 'state;
   output : 'state -> int option;
   halted : 'state -> bool;
   msg_bits : 'msg -> int;
+  codec : ('msg -> int) option;
   inspect : 'state -> node_view option;
 }
 

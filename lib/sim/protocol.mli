@@ -32,12 +32,19 @@ type ('state, 'msg) t = {
   init : ctx -> input:int -> 'state;
   send : ctx -> 'state -> round:int -> 'msg option;
       (** broadcast payload for this round; [None] = silent this round *)
-  recv : ctx -> 'state -> round:int -> inbox:'msg option array -> 'state;
-      (** [inbox.(v)] is the message received from node [v] (None if silent
-          or halted); [inbox.(me)] is the node's own broadcast. *)
+  recv : ctx -> 'state -> round:int -> inbox:'msg Plane.t -> 'state;
+      (** [Plane.get inbox v] is the message received from node [v] (None if
+          silent or halted); slot [me] is the node's own broadcast. The
+          plane is only valid for the duration of the call — in benign
+          rounds it is shared between recipients (and possibly domains), so
+          [recv] must not capture it or mutate anything reachable from it. *)
   output : 'state -> int option;  (** the decided value, once decided *)
   halted : 'state -> bool;  (** node has left the protocol *)
   msg_bits : 'msg -> int;  (** payload size for CONGEST accounting *)
+  codec : ('msg -> int) option;
+      (** packs a payload header into a {!Plane.code} int, enabling the
+          shared plane's O(n)-per-round tally kernels; [None] for payloads
+          that don't fit the vote/flip shape (kernels then unavailable) *)
   inspect : 'state -> node_view option;  (** checker hook *)
 }
 

@@ -19,7 +19,7 @@ let registry_cases =
   List.map
     (fun (d : Ba_harness.Registry.descriptor) ->
       Alcotest.test_case d.id `Slow (fun () ->
-          let r = d.run ~policy:Ba_harness.Supervisor.default ~quick:true ~seed in
+          let r = d.run ~policy:Ba_harness.Supervisor.default ~domains:1 ~quick:true ~seed in
           Alcotest.(check string) "report id matches descriptor" d.id r.id;
           check_report r))
     (Ba_harness.Registry.all registry)

@@ -115,7 +115,7 @@ let dummy id = {
   title = "t";
   claim = "c";
   tags = [ Registry.Coin ];
-  run = (fun ~policy:_ ~quick:_ ~seed:_ -> sample_report);
+  run = (fun ~policy:_ ~domains:_ ~quick:_ ~seed:_ -> sample_report);
 }
 
 let test_registry_duplicates () =
@@ -150,7 +150,7 @@ let test_suite_json_deterministic () =
       | Some d -> d
       | None -> Alcotest.fail "E13 not registered"
     in
-    let report = d.Registry.run ~policy:Ba_harness.Supervisor.default ~quick:true ~seed:11L in
+    let report = d.Registry.run ~policy:Ba_harness.Supervisor.default ~domains:1 ~quick:true ~seed:11L in
     Json.to_string ~pretty:true
       (Registry.suite_json ~seed:11L ~profile:"quick" ~entries:[ (d, report, Some 0.0) ])
   in

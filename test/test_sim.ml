@@ -16,11 +16,12 @@ let echo ~lifetime : (echo_state, int * int) Ba_sim.Protocol.t =
     send = (fun ctx _st ~round -> Some (round, ctx.Ba_sim.Protocol.me));
     recv =
       (fun _ctx st ~round ~inbox ->
-        let st = { st with seen = (round, Array.copy inbox) :: st.seen } in
+        let st = { st with seen = (round, Ba_sim.Plane.to_array inbox) :: st.seen } in
         if round >= st.lifetime then { st with done_ = true } else st);
     output = (fun st -> if st.done_ then Some st.input else None);
     halted = (fun st -> st.done_);
     msg_bits = (fun _ -> 8);
+    codec = None;
     inspect = (fun _ -> None) }
 
 let run ?(adversary = Ba_sim.Adversary.silent) ?(n = 5) ?(t = 1) ?(lifetime = 3)
@@ -54,10 +55,11 @@ let test_self_delivery () =
       send = (fun ctx () ~round -> Some (round, ctx.Ba_sim.Protocol.me));
       recv =
         (fun ctx () ~round:_ ~inbox ->
-          if ctx.Ba_sim.Protocol.me = 2 then captured := Some (Array.copy inbox));
+          if ctx.Ba_sim.Protocol.me = 2 then captured := Some (Ba_sim.Plane.to_array inbox));
       output = (fun () -> Some 0);
       halted = (fun () -> true);
       msg_bits = (fun _ -> 1);
+      codec = None;
       inspect = (fun () -> None) }
   in
   ignore

@@ -17,11 +17,15 @@ let ctx ~n ~t ~me ~seed = { Ba_sim.Protocol.n; t; me; rng = Ba_prng.Rng.create s
 let msg ?(flip = None) ~phase ~sub ~v ~decided () =
   Some { Skeleton.m_phase = phase; m_sub = sub; m_val = v; m_decided = decided; m_flip = flip }
 
+(* Wrap a raw slot array as the plane recv now takes, with the protocol's
+   codec so these tests also exercise the packed tally kernels. *)
+let plane a = Ba_sim.Plane.of_array ~encode:Skeleton.msg_code a
+
 (* Build an inbox of n slots from a list of messages (rest empty). *)
 let inbox ~n msgs =
   let a = Array.make n None in
   List.iteri (fun i m -> a.(i) <- m) msgs;
-  a
+  plane a
 
 let test_phase_of_round_piggyback () =
   let c = cfg () in
@@ -142,18 +146,18 @@ let test_flipper_coin_sum () =
   ib.(3) <- mk_flip 1;
   ib.(5) <- mk_flip (-1);
   (* non-designated: ignored *)
-  let st = proto.recv context st0 ~round:2 ~inbox:ib in
+  let st = proto.recv context st0 ~round:2 ~inbox:(plane ib) in
   Alcotest.(check int) "coin = sign(+2)" 1 (Skeleton.state_val st);
   (* Now majority negative. *)
   ib.(0) <- mk_flip (-1);
   ib.(1) <- mk_flip (-1);
-  let st = proto.recv context st0 ~round:2 ~inbox:ib in
+  let st = proto.recv context st0 ~round:2 ~inbox:(plane ib) in
   Alcotest.(check int) "coin = sign(-2)" 0 (Skeleton.state_val st);
   (* Invalid flip magnitudes ignored. *)
   ib.(0) <- mk_flip 3;
   ib.(1) <- mk_flip 0;
   (* remaining valid: -1 (node 2), +1 (node 3) -> sum 0 -> 1. *)
-  let st = proto.recv context st0 ~round:2 ~inbox:ib in
+  let st = proto.recv context st0 ~round:2 ~inbox:(plane ib) in
   Alcotest.(check int) "invalid flips dropped, tie -> 1" 1 (Skeleton.state_val st)
 
 let test_dealer_coin () =
@@ -252,7 +256,7 @@ let test_extra_round_coin () =
   let ib = Array.make n None in
   ib.(0) <- msg ~flip:(Some (-1)) ~phase:1 ~sub:Skeleton.RC ~v:0 ~decided:false ();
   ib.(1) <- msg ~flip:(Some (-1)) ~phase:1 ~sub:Skeleton.RC ~v:0 ~decided:false ();
-  let st = proto.recv context st ~round:3 ~inbox:ib in
+  let st = proto.recv context st ~round:3 ~inbox:(plane ib) in
   Alcotest.(check int) "coin resolved in RC" 0 (Skeleton.state_val st);
   (* Flipper nodes attach flips in RC sends. *)
   let fctx = ctx ~n ~t ~me:1 ~seed:31L in
@@ -316,7 +320,7 @@ let prop_recv_total =
       let context = ctx ~n ~t ~me:0 ~seed:1L in
       let ib = Array.make n None in
       Array.iteri (fun i m -> if i < n then ib.(i) <- m) partial_inbox;
-      let st = proto.recv context (proto.init context ~input:0) ~round ~inbox:ib in
+      let st = proto.recv context (proto.init context ~input:0) ~round ~inbox:(plane ib) in
       let v = Skeleton.state_val st in
       v = 0 || v = 1)
 
@@ -380,7 +384,7 @@ let prop_r1_matches_reference =
       let proto = Skeleton.make c in
       let context = ctx ~n ~t ~me:0 ~seed:1L in
       let st0 = proto.init context ~input:0 in
-      let st = proto.recv context st0 ~round:1 ~inbox:ib in
+      let st = proto.recv context st0 ~round:1 ~inbox:(plane ib) in
       let rv, rdecided = Reference.r1 ~n ~t ~phase:1 ib 0 in
       Skeleton.state_val st = rv && Skeleton.state_decided st = rdecided)
 
@@ -393,7 +397,7 @@ let prop_r2_matches_reference =
       let proto = Skeleton.make c in
       let context = ctx ~n ~t ~me:0 ~seed:1L in
       let st0 = proto.init context ~input:0 in
-      let st = proto.recv context st0 ~round:2 ~inbox:ib in
+      let st = proto.recv context st0 ~round:2 ~inbox:(plane ib) in
       let rv, rdecided, rfinished, coin_needed = Reference.r2 ~n ~t ~phase:1 ib 0 in
       let expected_val = if coin_needed then 1 (* dealer always 1 *) else rv in
       Skeleton.state_val st = expected_val
