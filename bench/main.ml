@@ -1,7 +1,7 @@
 (* Benchmark harness.
 
    Two parts:
-   1. the registered experiment suite (E1-E19, Experiments.registry): the
+   1. the registered experiment suite (E1-E20, Experiments.registry): the
       paper is a theory result, so its claims are regenerated empirically —
       tables and figures on stdout, optionally a schema-versioned JSON
       suite document (see DESIGN.md section 5 / EXPERIMENTS.md);
@@ -99,6 +99,24 @@ let make_micro_tests () =
            seed := Int64.add !seed 1L;
            (run.exec ~max_rounds:8 ~record:false ~inputs ~seed:!seed ()).Ba_sim.Engine.rounds))
   in
+  (* The asynchronous plane's hot path: one capped Ben-Or run through the
+     unified substrate — scheduler pop, fault application, per-message
+     metering and delivery (DESIGN.md section 11). *)
+  let engine_async_step =
+    let n = 16 and t = 3 in
+    let arun =
+      Ba_experiments.Setups.make_async ~protocol:Ba_experiments.Setups.Async_ben_or
+        ~scheduler:Ba_experiments.Setups.Random_sched ~n ~t ()
+    in
+    let inputs = Array.init n (fun i -> i mod 2) in
+    let seed = ref 0L in
+    Test.make ~name:"engine/async-step"
+      (Staged.stage (fun () ->
+           seed := Int64.add !seed 1L;
+           Ba_sim.Run.span_units
+             (arun.Ba_experiments.Setups.arun_exec ~max_steps:2048 ~inputs ~seed:!seed ())
+               .Ba_sim.Run.span))
+  in
   let model =
     let rng = Ba_prng.Rng.create 11L in
     Test.make ~name:"model/alg3-n2^24-t16384"
@@ -106,7 +124,8 @@ let make_micro_tests () =
            (Ba_experiments.Fast_model.alg3 rng ~n:(1 lsl 24) ~t:16384 ~budget:16384 ())
              .Ba_experiments.Fast_model.rounds))
   in
-  [ prng_bits; prng_int; coin_sum; coin_trial; engine_silent; engine_killer; engine_round; model ]
+  [ prng_bits; prng_int; coin_sum; coin_trial; engine_silent; engine_killer; engine_round;
+    engine_async_step; model ]
 
 (* Returns the measured (name, ns/call) pairs, sorted by name. *)
 let run_micro ~quota_ms =

@@ -51,6 +51,7 @@ type outcome = {
   outputs : int option array;
   corrupted : bool array;
   corruptions_used : int;
+  metrics : Ba_sim.Metrics.t;
 }
 
 (* In-flight store: insertion-ordered queue realized as a Hashtbl plus a
@@ -64,30 +65,53 @@ let validate ~n ~t ~inputs =
     (fun b -> if b <> 0 && b <> 1 then invalid_arg "Async_engine.run: inputs must be 0/1")
     inputs
 
-let run ?max_steps ?max_delay ~(protocol : ('state, 'msg) protocol)
+let run ?max_steps ?max_delay ?faults ?trace ~(protocol : ('state, 'msg) protocol)
     ~(adversary : ('state, 'msg) adversary) ~n ~t ~inputs ~seed () =
   validate ~n ~t ~inputs;
   let max_steps = Option.value max_steps ~default:(5000 * n) in
   let max_delay = Option.value max_delay ~default:(8 * n) in
+  let faults =
+    match faults with
+    | Some plan when not (Ba_sim.Faults.is_none plan) ->
+        Some (Ba_sim.Faults.instantiate plan ~n ~seed)
+    | Some _ | None -> None
+  in
   let master = Ba_prng.Rng.create seed in
   let node_rngs = Ba_prng.Rng.split_n master n in
   let ctx_of v = { n; t; me = v; rng = node_rngs.(v) } in
   let corrupted = Array.make n false in
   let corruptions_used = ref 0 in
+  let metrics = Ba_sim.Metrics.create () in
+  let emit e = match trace with Some f -> f e | None -> () in
   let in_flight : (int, 'msg flight) Hashtbl.t = Hashtbl.create 1024 in
   let next_id = ref 0 in
   let step = ref 0 in
   let deliveries = ref 0 in
   let enqueue ~src sends =
-    if not corrupted.(src) then
+    if not corrupted.(src) then begin
+      (* Crash-recovery silence, step-indexed: a silenced sender's outgoing
+         messages are suppressed at enqueue time (it keeps receiving and
+         stepping, like the synchronous realization). *)
+      let silent =
+        match faults with
+        | Some inst -> Ba_sim.Faults.silenced inst ~node:src ~round:!step
+        | None -> false
+      in
       List.iter
         (fun { to_; payload } ->
-          if to_ >= 0 && to_ < n then begin
-            Hashtbl.replace in_flight !next_id
-              { birth = !step; f_src = src; f_dst = to_; f_msg = payload };
-            incr next_id
-          end)
+          if to_ >= 0 && to_ < n then
+            if silent then begin
+              Ba_sim.Metrics.record_crash_silence metrics;
+              emit (Ba_sim.Run.Fault
+                      { index = !step; kind = Ba_sim.Run.Silence; src; dst = to_ })
+            end
+            else begin
+              Hashtbl.replace in_flight !next_id
+                { birth = !step; f_src = src; f_dst = to_; f_msg = payload };
+              incr next_id
+            end)
         sends
+    end
   in
   let states = Array.make n None in
   for v = 0 to n - 1 do
@@ -104,16 +128,51 @@ let run ?max_steps ?max_delay ~(protocol : ('state, 'msg) protocol)
     !ok
   in
   let deliver ~src ~dst msg =
-    if (not corrupted.(dst)) && dst >= 0 && dst < n then begin
-      incr deliveries;
-      let st, sends = protocol.on_message (ctx_of dst) (state_of dst) ~src msg in
-      states.(dst) <- Some st;
-      enqueue ~src:dst sends
+    if dst >= 0 && dst < n && not corrupted.(dst) then begin
+      (* Link faults apply at delivery time, in scheduler order — the one
+         deterministic total order an async run has — so the fault stream
+         replays bit-for-bit from (seed, plan). *)
+      let payload =
+        match faults with
+        | Some inst when src <> dst ->
+            let d = Ba_sim.Faults.apply_async inst ~metrics ~src ~dst msg in
+            (match d.Ba_sim.Faults.d_payload with
+            | None ->
+                emit (Ba_sim.Run.Fault
+                        { index = !step; kind = Ba_sim.Run.Drop; src; dst })
+            | Some m ->
+                if d.Ba_sim.Faults.d_mutated then
+                  emit (Ba_sim.Run.Fault
+                          { index = !step; kind = Ba_sim.Run.Corrupt_payload; src; dst });
+                if d.Ba_sim.Faults.d_duplicate then begin
+                  (* The copy becomes a fresh scheduler-visible message the
+                     adversary orders like any other. *)
+                  Hashtbl.replace in_flight !next_id
+                    { birth = !step; f_src = src; f_dst = dst; f_msg = m };
+                  incr next_id;
+                  emit (Ba_sim.Run.Fault
+                          { index = !step; kind = Ba_sim.Run.Duplicate; src; dst })
+                end);
+            d.Ba_sim.Faults.d_payload
+        | Some _ | None -> Some msg
+      in
+      match payload with
+      | None -> ()
+      | Some msg ->
+          incr deliveries;
+          let bits = protocol.msg_bits msg in
+          Ba_sim.Metrics.record_message metrics ~bits ~byzantine:corrupted.(src);
+          emit (Ba_sim.Run.Deliver
+                  { index = !step; src; dst; bits; byzantine = corrupted.(src) });
+          let st, sends = protocol.on_message (ctx_of dst) (state_of dst) ~src msg in
+          states.(dst) <- Some st;
+          enqueue ~src:dst sends
     end
   in
   let completed = ref (all_decided ()) in
   while (not !completed) && !step < max_steps do
     incr step;
+    emit (Ba_sim.Run.Tick { index = !step });
     (* Build the adversary's view: pending sorted oldest-first. *)
     let pending =
       Hashtbl.fold (* lint: allow D004 -- result is sorted by id below *)
@@ -142,6 +201,7 @@ let run ?max_steps ?max_delay ~(protocol : ('state, 'msg) protocol)
         if v >= 0 && v < n && (not corrupted.(v)) && !corruptions_used < t then begin
           corrupted.(v) <- true;
           incr corruptions_used;
+          emit (Ba_sim.Run.Corrupt { index = !step; node = v });
           let doomed =
             (* lint: allow D004 -- order-insensitive: every collected id is removed *)
             Hashtbl.fold (fun id f acc -> if f.f_src = v then id :: acc else acc) in_flight []
@@ -208,33 +268,26 @@ let run ?max_steps ?max_delay ~(protocol : ('state, 'msg) protocol)
     outputs =
       Array.init n (fun v -> if corrupted.(v) then None else protocol.output (state_of v));
     corrupted = Array.copy corrupted;
-    corruptions_used = !corruptions_used }
+    corruptions_used = !corruptions_used;
+    metrics }
 
-let honest_outputs o =
-  let acc = ref [] in
-  for v = o.n - 1 downto 0 do
-    if not o.corrupted.(v) then
-      match o.outputs.(v) with Some b -> acc := (v, b) :: !acc | None -> ()
-  done;
-  !acc
+(* Projection into the engine-agnostic substrate (Ba_sim.Run). Arrays are
+   shared, not copied: an outcome is immutable once returned. *)
+let to_run o =
+  { Ba_sim.Run.protocol_name = o.protocol_name;
+    adversary_name = o.adversary_name;
+    n = o.n;
+    t = o.t;
+    inputs = o.inputs;
+    span = Ba_sim.Run.Steps o.steps;
+    completed = o.completed;
+    outputs = o.outputs;
+    corrupted = o.corrupted;
+    corruptions_used = o.corruptions_used;
+    metrics = o.metrics }
 
-let agreement_holds o =
-  let all_decided =
-    Array.for_all Fun.id
-      (Array.init o.n (fun v -> o.corrupted.(v) || o.outputs.(v) <> None))
-  in
-  match honest_outputs o with
-  | [] -> all_decided
-  | (_, b0) :: rest -> all_decided && List.for_all (fun (_, b) -> b = b0) rest
+let honest_outputs o = Ba_sim.Run.honest_outputs (to_run o)
 
-let validity_holds o =
-  let honest_inputs = ref [] in
-  for v = 0 to o.n - 1 do
-    if not o.corrupted.(v) then honest_inputs := o.inputs.(v) :: !honest_inputs
-  done;
-  match !honest_inputs with
-  | [] -> true
-  | b :: rest ->
-      if List.for_all (fun x -> x = b) rest then
-        List.for_all (fun (_, out) -> out = b) (honest_outputs o)
-      else true
+let agreement_holds o = Ba_sim.Run.agreement_holds (to_run o)
+
+let validity_holds o = Ba_sim.Run.validity_holds (to_run o)

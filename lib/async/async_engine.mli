@@ -81,21 +81,40 @@ type outcome = {
   t : int;
   inputs : int array;
   steps : int;  (** scheduler steps executed *)
-  deliveries : int;  (** messages delivered *)
+  deliveries : int;  (** messages delivered (equals [Metrics.messages metrics]) *)
   completed : bool;
   outputs : int option array;
   corrupted : bool array;
   corruptions_used : int;
+  metrics : Ba_sim.Metrics.t;
+      (** unified cost accounting: every delivery is metered through
+          [Metrics.record_message] with the protocol's [msg_bits], and every
+          injected link fault through the [record_link_*] counters — the same
+          metering path as the synchronous engine *)
 }
 
 (** [run ~protocol ~adversary ~n ~t ~inputs ~seed ()] — executes until all
     honest nodes decide or [max_steps] (default [5000 * n]).
     [max_delay] (default [8 * n]) is the bounded-delay fairness horizon.
+
+    @param faults a benign fault-injection plan ([Ba_sim.Faults]), applied
+    with the same salted seed-derived stream as the synchronous engine:
+    drop/corrupt/duplicate are drawn at delivery time in scheduler order
+    (the run's one deterministic total order), a duplicate becomes a fresh
+    scheduler-visible pending message, and silence windows — indexed by
+    scheduler step here — suppress a sender's messages at enqueue time.
+    Every event is metered. Omitting the plan (or passing [Faults.none]) is
+    the exact fault-free engine.
+    @param trace unified substrate trace hook ([Ba_sim.Run.trace]): [Tick]
+    per scheduler step, [Corrupt] per corruption, [Deliver] per delivered
+    message, [Fault] per injected link fault.
     @raise Invalid_argument on the same conditions as the synchronous
     engine. *)
 val run :
   ?max_steps:int ->
   ?max_delay:int ->
+  ?faults:'msg Ba_sim.Faults.plan ->
+  ?trace:Ba_sim.Run.trace ->
   protocol:('state, 'msg) protocol ->
   adversary:('state, 'msg) adversary ->
   n:int ->
@@ -104,6 +123,16 @@ val run :
   seed:int64 ->
   unit ->
   outcome
+
+(** [to_run o] projects an asynchronous outcome into the engine-agnostic
+    substrate record ([Ba_sim.Run.outcome]), with
+    [span = Run.Steps o.steps]. Arrays are shared, not copied. *)
+val to_run : outcome -> Ba_sim.Run.outcome
+
+(** [honest_outputs o] — decided values of honest nodes, [(node, value)]
+    in node order; equal to [Run.honest_outputs (to_run o)], as are the
+    two predicates below. *)
+val honest_outputs : outcome -> (int * int) list
 
 val agreement_holds : outcome -> bool
 

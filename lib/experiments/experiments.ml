@@ -29,6 +29,7 @@ let e16_election_vs_adaptive ?quick ~seed () = Exp_baselines.e16 ?quick ~seed ()
 let e17_async_contrast ?quick ~seed () = Exp_async.e17 ?quick ~seed ()
 let e18_link_faults ?quick ~seed () = Exp_robustness.e18 ?quick ~seed ()
 let e19_crash_recovery ?quick ~seed () = Exp_robustness.e19 ?quick ~seed ()
+let e20_async_faults ?quick ~seed () = Exp_async.e20 ?quick ~seed ~domains:1 ()
 
 let registry =
   let num (d : Ba_harness.Registry.descriptor) =

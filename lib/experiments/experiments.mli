@@ -1,4 +1,4 @@
-(** The paper's claims as runnable experiments (E1–E19 in DESIGN.md §5).
+(** The paper's claims as runnable experiments (E1–E20 in DESIGN.md §5).
 
     This is a thin compatibility facade: the experiments themselves live in
     the per-claim modules ({!Exp_coin}, {!Exp_scaling}, {!Exp_complexity},
@@ -100,7 +100,12 @@ val e18_link_faults : ?quick:bool -> seed:int64 -> unit -> report
     Lemma 4 termination window enforced. *)
 val e19_crash_recovery : ?quick:bool -> seed:int64 -> unit -> report
 
-(** The full E1–E19 registry, in numeric id order. The single source of
+(** E20 — async robustness: Ben-Or and Bracha RBC under benign link faults
+    injected into scheduler-visible delivery (the asynchronous mirror of
+    E18), audited through the unified substrate checkers. *)
+val e20_async_faults : ?quick:bool -> seed:int64 -> unit -> report
+
+(** The full E1–E20 registry, in numeric id order. The single source of
     truth for every driver ([ba_sweep], [bench]) and for the DESIGN.md §5
     coverage test. *)
 val registry : Ba_harness.Registry.t

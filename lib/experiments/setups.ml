@@ -296,3 +296,148 @@ let make_faulty ~faults ~protocol ~adversary ~n ~t =
 let make_capped ~faults ~limit ~protocol ~adversary ~n ~t =
   if limit < 0 then invalid_arg "Setups.make_capped: limit must be >= 0";
   make_impl ~faults:(Some faults) ~cap:(Some limit) ~protocol ~adversary ~n ~t
+
+(* ------------------------------------------------------------------ *)
+(* Asynchronous setups (unified run substrate)                         *)
+(* ------------------------------------------------------------------ *)
+
+type async_protocol_kind = Async_ben_or | Async_bracha of { broadcaster : int }
+
+type async_scheduler_kind =
+  | Fifo_sched
+  | Random_sched
+  | Delayer_sched of int list
+  | Balancer_sched
+  | Splitter_sched
+
+let async_protocol_name = function
+  | Async_ben_or -> "ben-or"
+  | Async_bracha { broadcaster } -> Printf.sprintf "rbc-b%d" broadcaster
+
+let async_scheduler_name = function
+  | Fifo_sched -> "fifo"
+  | Random_sched -> "random"
+  | Delayer_sched _ -> "delayer"
+  | Balancer_sched -> "balancer"
+  | Splitter_sched -> "splitter"
+
+let all_async_protocol_names = [ "ben-or"; "rbc" ]
+
+let all_async_scheduler_names = [ "fifo"; "random"; "delayer"; "balancer"; "splitter" ]
+
+let parse_async_protocol s =
+  match s with
+  | "ben-or" -> Ok Async_ben_or
+  | "rbc" -> Ok (Async_bracha { broadcaster = 0 })
+  | _ ->
+      Error
+        (Printf.sprintf "unknown async protocol %S; expected one of: %s" s
+           (String.concat ", " all_async_protocol_names))
+
+let parse_async_scheduler s =
+  match s with
+  | "fifo" -> Ok Fifo_sched
+  | "random" -> Ok Random_sched
+  | "delayer" -> Ok (Delayer_sched [ 0 ])
+  | "balancer" -> Ok Balancer_sched
+  | "splitter" -> Ok Splitter_sched
+  | _ ->
+      Error
+        (Printf.sprintf "unknown async scheduler %S; expected one of: %s" s
+           (String.concat ", " all_async_scheduler_names))
+
+(* Benign payload corruption for Ben-Or messages, through the classify /
+   mk_* introspection surface: flip the vote (R/P/D); a [?] P-vote becomes
+   a random definite vote. *)
+let mutate_ben_or rng m =
+  match Ba_async.Ben_or_async.classify m with
+  | `R (round, v) -> Ba_async.Ben_or_async.mk_r ~round ~v:(1 - v)
+  | `P (round, v) ->
+      let v = if v = 2 then Ba_prng.Rng.int rng 2 else 1 - v in
+      Ba_async.Ben_or_async.mk_p ~round ~v
+  | `D v -> Ba_async.Ben_or_async.mk_d ~v:(1 - v)
+
+let mutate_bracha _rng (m : Ba_async.Bracha_rbc.msg) =
+  match m with
+  | Ba_async.Bracha_rbc.Init v -> Ba_async.Bracha_rbc.Init (1 - v)
+  | Ba_async.Bracha_rbc.Echo v -> Ba_async.Bracha_rbc.Echo (1 - v)
+  | Ba_async.Bracha_rbc.Ready v -> Ba_async.Bracha_rbc.Ready (1 - v)
+
+let async_fault_plan ~mutate = function
+  | None -> None
+  | Some s ->
+      Some
+        (Ba_sim.Faults.make ~drop:s.fs_drop ~duplicate:s.fs_duplicate ~corrupt:s.fs_corrupt
+           ?mutate:(if s.fs_corrupt > 0.0 then Some mutate else None)
+           ~silences:s.fs_silences ())
+
+type async_run = {
+  arun_protocol : string;
+  arun_scheduler : string;
+  arun_exec :
+    ?max_steps:int ->
+    ?max_delay:int ->
+    ?trace:Ba_sim.Run.trace ->
+    inputs:int array ->
+    seed:int64 ->
+    unit ->
+    Ba_sim.Run.outcome;
+}
+
+(* The scheduler RNG derivation: one stream per exec call, mixed from the
+   run seed — the derivation E17 has always used, so its trials replay
+   byte-identically through this path. *)
+let scheduler_rng seed = Ba_prng.Rng.create (Ba_prng.Splitmix64.mix seed)
+
+let make_async ?faults ~protocol ~scheduler ~n ~t () =
+  (match scheduler with
+  | Delayer_sched victims ->
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n then
+            invalid_arg (Printf.sprintf "Setups.make_async: delayer victim %d outside [0,%d)" v n))
+        victims
+  | (Balancer_sched | Splitter_sched) when protocol <> Async_ben_or ->
+      invalid_arg "Setups.make_async: balancer/splitter schedulers target ben-or"
+  | Fifo_sched | Random_sched | Balancer_sched | Splitter_sched -> ());
+  let arun_scheduler = async_scheduler_name scheduler in
+  match protocol with
+  | Async_ben_or ->
+      let p = Ba_async.Ben_or_async.make ~n ~t in
+      let plan = async_fault_plan ~mutate:mutate_ben_or faults in
+      { arun_protocol = async_protocol_name protocol;
+        arun_scheduler;
+        arun_exec =
+          (fun ?max_steps ?max_delay ?trace ~inputs ~seed () ->
+            let rng = scheduler_rng seed in
+            let adversary =
+              match scheduler with
+              | Fifo_sched -> Ba_async.Async_engine.fifo
+              | Random_sched -> Ba_async.Async_adv.random_scheduler ~rng
+              | Delayer_sched victims -> Ba_async.Async_adv.delayer ~victims
+              | Balancer_sched -> Ba_async.Async_adv.ben_or_balancer ~rng
+              | Splitter_sched -> Ba_async.Async_adv.ben_or_splitter ~rng
+            in
+            Ba_async.Async_engine.to_run
+              (Ba_async.Async_engine.run ?max_steps ?max_delay ?faults:plan ?trace ~protocol:p
+                 ~adversary ~n ~t ~inputs ~seed ())) }
+  | Async_bracha { broadcaster } ->
+      if broadcaster < 0 || broadcaster >= n then
+        invalid_arg (Printf.sprintf "Setups.make_async: broadcaster %d outside [0,%d)" broadcaster n);
+      let p = Ba_async.Bracha_rbc.make ~broadcaster in
+      let plan = async_fault_plan ~mutate:mutate_bracha faults in
+      { arun_protocol = async_protocol_name protocol;
+        arun_scheduler;
+        arun_exec =
+          (fun ?max_steps ?max_delay ?trace ~inputs ~seed () ->
+            let rng = scheduler_rng seed in
+            let adversary =
+              match scheduler with
+              | Fifo_sched -> Ba_async.Async_engine.fifo
+              | Random_sched -> Ba_async.Async_adv.random_scheduler ~rng
+              | Delayer_sched victims -> Ba_async.Async_adv.delayer ~victims
+              | Balancer_sched | Splitter_sched -> assert false (* rejected above *)
+            in
+            Ba_async.Async_engine.to_run
+              (Ba_async.Async_engine.run ?max_steps ?max_delay ?faults:plan ?trace ~protocol:p
+                 ~adversary ~n ~t ~inputs ~seed ())) }

@@ -116,3 +116,73 @@ val make_capped :
   n:int ->
   t:int ->
   run
+
+(** {1 Asynchronous setups}
+
+    The asynchronous mirror of {!make}: one constructor pairing an async
+    protocol with a scheduling adversary, whose runner returns the unified
+    substrate outcome ({!Ba_sim.Run.outcome}) directly — the message type
+    is existentially hidden inside the closure, so harness code
+    ([Experiment.monte_carlo_view ~view:Fun.id], {!Ba_harness.Supervisor})
+    consumes async setups with zero engine-specific plumbing. *)
+
+type async_protocol_kind =
+  | Async_ben_or  (** Ben-Or binary consensus ([n > 5t]) *)
+  | Async_bracha of { broadcaster : int }  (** Bracha reliable broadcast ([n > 3t]) *)
+
+type async_scheduler_kind =
+  | Fifo_sched  (** oldest pending message first *)
+  | Random_sched  (** uniformly random pending message *)
+  | Delayer_sched of int list  (** starve the victims' inbound messages *)
+  | Balancer_sched  (** Ben-Or-aware vote balancer (Ben-Or only) *)
+  | Splitter_sched  (** Ben-Or-aware vote splitter (Ben-Or only) *)
+
+val async_protocol_name : async_protocol_kind -> string
+
+val async_scheduler_name : async_scheduler_kind -> string
+
+(** CLI-facing parsers; [Error] carries the list of valid names. ["rbc"]
+    parses to [Async_bracha { broadcaster = 0 }]; ["delayer"] to
+    [Delayer_sched [0]]. *)
+val parse_async_protocol : string -> (async_protocol_kind, string) result
+
+val parse_async_scheduler : string -> (async_scheduler_kind, string) result
+
+val all_async_protocol_names : string list
+
+val all_async_scheduler_names : string list
+
+type async_run = {
+  arun_protocol : string;
+  arun_scheduler : string;
+  arun_exec :
+    ?max_steps:int ->
+    ?max_delay:int ->
+    ?trace:Ba_sim.Run.trace ->
+    inputs:int array ->
+    seed:int64 ->
+    unit ->
+    Ba_sim.Run.outcome;
+      (** One run: the engine seed is [seed]; the scheduler's RNG stream is
+          [Rng.create (Splitmix64.mix seed)] (the derivation E17 has always
+          used, kept byte-stable). The outcome's span is
+          [Ba_sim.Run.Steps _]. *)
+}
+
+(** [make_async ?faults ~protocol ~scheduler ~n ~t ()] — builds the pair.
+    When [faults] is given, link faults are threaded into scheduler-visible
+    delivery ({!Ba_sim.Faults.apply_async}); payload corruption uses a
+    protocol-specific benign mutator (vote flips via the Ben-Or
+    classify/mk_* surface; constructor-value flips for Bracha).
+    @raise Invalid_argument for incompatible pairs
+    ([Balancer_sched]/[Splitter_sched] against Bracha), an out-of-range
+    broadcaster or delayer victim, out-of-range [n]/[t], or a malformed
+    {!fault_spec}. *)
+val make_async :
+  ?faults:fault_spec ->
+  protocol:async_protocol_kind ->
+  scheduler:async_scheduler_kind ->
+  n:int ->
+  t:int ->
+  unit ->
+  async_run

@@ -16,13 +16,17 @@ let trial_seed = Supervisor.trial_seed
 
 let max_kept_violations = 32
 
-let monte_carlo ?rounds_per_phase ?check ?(fail_fast = true) ?(policy = Supervisor.default)
-    ~trials ~seed ~run () =
+(* Engine-agnostic core: [view] projects the run closure's native outcome
+   into the substrate record, and everything aggregated comes from that
+   projection — so the synchronous wrapper below and async callers share
+   one loop (and one set of supervised-failure semantics). *)
+let monte_carlo_view ?rounds_per_phase ?check ?(fail_fast = true)
+    ?(policy = Supervisor.default) ~view ~trials ~seed ~run () =
   if trials <= 0 then invalid_arg "Experiment.monte_carlo: trials <= 0";
   let check =
     match check with
     | Some f -> f
-    | None -> fun o -> Ba_trace.Checker.standard ?rounds_per_phase o
+    | None -> fun o -> Ba_trace.Checker.standard_run (view o)
   in
   let rounds = Ba_stats.Summary.create ()
   and phases = Ba_stats.Summary.create ()
@@ -33,22 +37,24 @@ let monte_carlo ?rounds_per_phase ?check ?(fail_fast = true) ?(policy = Supervis
   let violations = ref [] and violation_count = ref 0 in
   let failures = ref [] in
   for trial = 0 to trials - 1 do
-    match Supervisor.run_trial ~policy ~seed ~trial ~run with
+    match Supervisor.run_trial ~policy ~seed ~trial ~view ~run with
     | Error f ->
         if not policy.keep_going then Supervisor.raise_failure f;
         failures := f :: !failures
     | Ok o ->
-        Ba_stats.Summary.add_int rounds o.Ba_sim.Engine.rounds;
+        let ro = view o in
+        Ba_stats.Summary.add_int rounds (Ba_sim.Run.span_units ro.Ba_sim.Run.span);
         (match rounds_per_phase with
         | Some rpp when rpp > 0 ->
-            Ba_stats.Summary.add phases (float_of_int o.rounds /. float_of_int rpp)
+            Ba_stats.Summary.add phases
+              (float_of_int (Ba_sim.Run.span_units ro.Ba_sim.Run.span) /. float_of_int rpp)
         | Some _ | None -> ());
-        Ba_stats.Summary.add_int messages (Ba_sim.Metrics.messages o.metrics);
-        Ba_stats.Summary.add_int bits (Ba_sim.Metrics.bits o.metrics);
-        Ba_stats.Summary.add_int corruptions o.corruptions_used;
-        if not (Ba_sim.Engine.agreement_holds o) then incr agreement_failures;
-        if not (Ba_sim.Engine.validity_holds o) then incr validity_failures;
-        if not o.completed then incr incomplete;
+        Ba_stats.Summary.add_int messages (Ba_sim.Metrics.messages ro.Ba_sim.Run.metrics);
+        Ba_stats.Summary.add_int bits (Ba_sim.Metrics.bits ro.Ba_sim.Run.metrics);
+        Ba_stats.Summary.add_int corruptions ro.Ba_sim.Run.corruptions_used;
+        if not (Ba_sim.Run.agreement_holds ro) then incr agreement_failures;
+        if not (Ba_sim.Run.validity_holds ro) then incr validity_failures;
+        if not ro.Ba_sim.Run.completed then incr incomplete;
         let vs = check o in
         if vs <> [] then begin
           incr violation_count;
@@ -75,5 +81,17 @@ let monte_carlo ?rounds_per_phase ?check ?(fail_fast = true) ?(policy = Supervis
     incomplete = !incomplete;
     violations = !violations;
     failures }
+
+let monte_carlo ?rounds_per_phase ?check ?fail_fast ?policy ~trials ~seed ~run () =
+  (* The synchronous default checker keeps the record-level lemma checks
+     (decided coherence, frozen finishers, termination gap) on top of the
+     substrate-level audit. *)
+  let check =
+    match check with
+    | Some f -> f
+    | None -> fun o -> Ba_trace.Checker.standard ?rounds_per_phase o
+  in
+  monte_carlo_view ?rounds_per_phase ~check ?fail_fast ?policy ~view:Ba_sim.Engine.to_run
+    ~trials ~seed ~run ()
 
 let sweep xs f = List.map (fun x -> (x, f x)) xs

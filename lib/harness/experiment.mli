@@ -47,6 +47,28 @@ val monte_carlo :
   unit ->
   stats
 
+(** [monte_carlo_view ~view ~trials ~seed ~run ()] — the engine-agnostic
+    core: [run] may return any native outcome type and [view] projects it
+    into the substrate record ({!Ba_sim.Run.outcome}); every aggregate in
+    {!stats} is computed from that projection (the [rounds] summary holds
+    the span in its native unit — scheduler steps for async outcomes). The
+    default [check] is [Ba_trace.Checker.standard_run] composed with
+    [view]. {!monte_carlo} is this function at [view = Ba_sim.Engine.to_run]
+    with the synchronous record-level checks restored as the default
+    checker. Async callers pass [view = Ba_async.Async_engine.to_run] (or
+    [Fun.id] for closures that already return substrate outcomes). *)
+val monte_carlo_view :
+  ?rounds_per_phase:int ->
+  ?check:('o -> Ba_trace.Checker.violation list) ->
+  ?fail_fast:bool ->
+  ?policy:Supervisor.policy ->
+  view:('o -> Ba_sim.Run.outcome) ->
+  trials:int ->
+  seed:int64 ->
+  run:(seed:int64 -> trial:int -> 'o) ->
+  unit ->
+  stats
+
 (** [trial_seed ~seed ~trial] — the derived per-trial seed (exposed so tests
     can reproduce a single trial of an experiment); an alias of
     {!Supervisor.trial_seed}, which owns the derivation. *)

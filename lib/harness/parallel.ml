@@ -48,41 +48,43 @@ let empty_partial () =
     p_violations = [];
     p_failures = [] }
 
-let run_chunk ~rounds_per_phase ~check ~policy ~seed ~run ~lo ~hi =
+let run_chunk ~rounds_per_phase ~check ~policy ~view ~seed ~run ~lo ~hi =
   let acc = empty_partial () in
   for trial = lo to hi - 1 do
-    match Supervisor.run_trial ~policy ~seed ~trial ~run with
+    match Supervisor.run_trial ~policy ~seed ~trial ~view ~run with
     | Error f ->
         (* Even without [keep_going] the chunk finishes: the merge step on
            the main domain raises after every domain is joined, so a
            poisoned trial never leaks domains. *)
         acc.p_failures <- f :: acc.p_failures
     | Ok o ->
-        Ba_stats.Summary.add_int acc.p_rounds o.Ba_sim.Engine.rounds;
+        let ro = view o in
+        Ba_stats.Summary.add_int acc.p_rounds (Ba_sim.Run.span_units ro.Ba_sim.Run.span);
         (match rounds_per_phase with
         | Some rpp when rpp > 0 ->
-            Ba_stats.Summary.add acc.p_phases (float_of_int o.rounds /. float_of_int rpp)
+            Ba_stats.Summary.add acc.p_phases
+              (float_of_int (Ba_sim.Run.span_units ro.Ba_sim.Run.span) /. float_of_int rpp)
         | Some _ | None -> ());
-        Ba_stats.Summary.add_int acc.p_messages (Ba_sim.Metrics.messages o.metrics);
-        Ba_stats.Summary.add_int acc.p_bits (Ba_sim.Metrics.bits o.metrics);
-        Ba_stats.Summary.add_int acc.p_corruptions o.corruptions_used;
-        if not (Ba_sim.Engine.agreement_holds o) then
+        Ba_stats.Summary.add_int acc.p_messages (Ba_sim.Metrics.messages ro.Ba_sim.Run.metrics);
+        Ba_stats.Summary.add_int acc.p_bits (Ba_sim.Metrics.bits ro.Ba_sim.Run.metrics);
+        Ba_stats.Summary.add_int acc.p_corruptions ro.Ba_sim.Run.corruptions_used;
+        if not (Ba_sim.Run.agreement_holds ro) then
           acc.p_agreement_failures <- acc.p_agreement_failures + 1;
-        if not (Ba_sim.Engine.validity_holds o) then
+        if not (Ba_sim.Run.validity_holds ro) then
           acc.p_validity_failures <- acc.p_validity_failures + 1;
-        if not o.completed then acc.p_incomplete <- acc.p_incomplete + 1;
+        if not ro.Ba_sim.Run.completed then acc.p_incomplete <- acc.p_incomplete + 1;
         let vs = check o in
         if vs <> [] then acc.p_violations <- (trial, vs) :: acc.p_violations
   done;
   acc
 
-let monte_carlo ?domains ?rounds_per_phase ?check ?(fail_fast = true)
-    ?(policy = Supervisor.default) ~trials ~seed ~run () =
+let monte_carlo_view ?domains ?rounds_per_phase ?check ?(fail_fast = true)
+    ?(policy = Supervisor.default) ~view ~trials ~seed ~run () =
   if trials <= 0 then invalid_arg "Parallel.monte_carlo: trials <= 0";
   let check =
     match check with
     | Some f -> f
-    | None -> fun o -> Ba_trace.Checker.standard ?rounds_per_phase o
+    | None -> fun o -> Ba_trace.Checker.standard_run (view o)
   in
   let domains = max 1 (min trials (Option.value domains ~default:(default_domains ()))) in
   let chunk = (trials + domains - 1) / domains in
@@ -103,7 +105,7 @@ let monte_carlo ?domains ?rounds_per_phase ?check ?(fail_fast = true)
             (fun (lo, hi) ->
               Domain.spawn (fun () ->
                   Printexc.record_backtrace record_bt;
-                  run_chunk ~rounds_per_phase ~check ~policy ~seed ~run ~lo ~hi))
+                  run_chunk ~rounds_per_phase ~check ~policy ~view ~seed ~run ~lo ~hi))
             rest
         in
         (* The first chunk runs on the current domain. If it (or an early
@@ -119,7 +121,9 @@ let monte_carlo ?domains ?rounds_per_phase ?check ?(fail_fast = true)
                 (fun h -> try ignore (Domain.join h : partial) with _ -> ())
                 handles)
           (fun () ->
-            let first = run_chunk ~rounds_per_phase ~check ~policy ~seed ~run ~lo:lo0 ~hi:hi0 in
+            let first =
+              run_chunk ~rounds_per_phase ~check ~policy ~view ~seed ~run ~lo:lo0 ~hi:hi0
+            in
             let rest = List.map Domain.join handles in
             joined := true;
             first :: rest)
@@ -177,3 +181,14 @@ let monte_carlo ?domains ?rounds_per_phase ?check ?(fail_fast = true)
     incomplete = merged.p_incomplete;
     violations = List.concat_map snd violations_sorted;
     failures = failures_sorted }
+
+let monte_carlo ?domains ?rounds_per_phase ?check ?fail_fast ?policy ~trials ~seed ~run () =
+  (* Synchronous default checker: substrate-level audit plus the
+     record-level lemma checks, exactly like the serial runner. *)
+  let check =
+    match check with
+    | Some f -> f
+    | None -> fun o -> Ba_trace.Checker.standard ?rounds_per_phase o
+  in
+  monte_carlo_view ?domains ?rounds_per_phase ~check ?fail_fast ?policy
+    ~view:Ba_sim.Engine.to_run ~trials ~seed ~run ()

@@ -37,6 +37,25 @@ val monte_carlo :
   unit ->
   Experiment.stats
 
+(** [monte_carlo_view ~view ...] — the engine-agnostic core, mirroring
+    {!Experiment.monte_carlo_view}: [run] may return any native outcome and
+    [view] projects it into {!Ba_sim.Run.outcome}. Failure records and
+    aggregates are domain-count independent exactly as for the synchronous
+    wrapper (which is this function at [view = Ba_sim.Engine.to_run] with
+    the record-level default checker). *)
+val monte_carlo_view :
+  ?domains:int ->
+  ?rounds_per_phase:int ->
+  ?check:('o -> Ba_trace.Checker.violation list) ->
+  ?fail_fast:bool ->
+  ?policy:Supervisor.policy ->
+  view:('o -> Ba_sim.Run.outcome) ->
+  trials:int ->
+  seed:int64 ->
+  run:(seed:int64 -> trial:int -> 'o) ->
+  unit ->
+  Experiment.stats
+
 (** [default_domains ()] — [min 8 (Domain.recommended_domain_count ())]. *)
 val default_domains : unit -> int
 

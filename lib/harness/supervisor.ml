@@ -59,7 +59,19 @@ let supervised ?round_cap ?(retries = 0) ?sink () =
   | Some _ | None -> ());
   { round_cap; retries; keep_going = true; failure_sink = sink }
 
-let run_trial ~policy ~seed ~trial ~run =
+(* The watchdog compares the outcome's simulated span against the cap in
+   its native unit: rounds for the synchronous engine (historical message
+   preserved verbatim), scheduler steps for the asynchronous one. *)
+let cap_error (ro : Ba_sim.Run.outcome) ~cap =
+  match ro.span with
+  | Ba_sim.Run.Rounds r ->
+      Printf.sprintf "round budget exceeded: %d simulated rounds > cap %d (completed=%b)" r
+        cap ro.completed
+  | Ba_sim.Run.Steps s ->
+      Printf.sprintf "step budget exceeded: %d scheduler steps > cap %d (completed=%b)" s cap
+        ro.completed
+
+let run_trial ~policy ~seed ~trial ~view ~run =
   let attempts = policy.retries + 1 in
   let mk ~attempt ~kind ~error ~backtrace =
     { f_trial = trial;
@@ -73,17 +85,14 @@ let run_trial ~policy ~seed ~trial ~run =
     let s = retry_seed ~seed ~trial ~attempt in
     let result =
       match run ~seed:s ~trial with
-      | (o : Ba_sim.Engine.outcome) -> (
+      | o -> (
           match policy.round_cap with
-          | Some cap when o.rounds > cap ->
-              Error
-                (mk ~attempt ~kind:Round_cap
-                   ~error:
-                     (Printf.sprintf
-                        "round budget exceeded: %d simulated rounds > cap %d (completed=%b)"
-                        o.rounds cap o.completed)
-                   ~backtrace:"")
-          | Some _ | None -> Ok o)
+          | Some cap ->
+              let ro = view o in
+              if Ba_sim.Run.span_units ro.Ba_sim.Run.span > cap then
+                Error (mk ~attempt ~kind:Round_cap ~error:(cap_error ro ~cap) ~backtrace:"")
+              else Ok o
+          | None -> Ok o)
       | exception exn ->
           let backtrace = Printexc.get_backtrace () in
           Error (mk ~attempt ~kind:Crash ~error:(Printexc.to_string exn) ~backtrace)

@@ -29,8 +29,8 @@ let validate ~n ~t ~inputs =
   Array.iter (fun b -> if b <> 0 && b <> 1 then invalid_arg "Engine.run: inputs must be 0/1") inputs
 
 let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = sequential)
-    ~(protocol : ('state, 'msg) Protocol.t) ~(adversary : ('state, 'msg) Adversary.t) ~n ~t
-    ~inputs ~seed () =
+    ?trace ~(protocol : ('state, 'msg) Protocol.t) ~(adversary : ('state, 'msg) Adversary.t)
+    ~n ~t ~inputs ~seed () =
   validate ~n ~t ~inputs;
   if sharder.s_shards < 1 then invalid_arg "Engine.run: sharder must offer at least one shard";
   let max_rounds =
@@ -71,10 +71,12 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = se
   in
   let round = ref 0 in
   let completed = ref (all_honest_halted ()) in
+  let emit e = match trace with Some f -> f e | None -> () in
   while (not !completed) && !round < max_rounds do
     incr round;
     let r = !round in
     Metrics.record_round metrics;
+    emit (Run.Tick { index = r });
     (* 1. Honest nodes commit their round broadcasts. *)
     let honest_msgs =
       Array.init n (fun v -> if live v then protocol.send (ctx_of v) states.(v) ~round:r else None)
@@ -113,6 +115,7 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = se
         if v >= 0 && v < n && (not corrupted.(v)) && !corruptions_used < t then begin
           corrupted.(v) <- true;
           incr corruptions_used;
+          emit (Run.Corrupt { index = r; node = v });
           new_corruptions := v :: !new_corruptions;
           (* Rushing adaptivity: the just-produced honest broadcast of a
              newly corrupted node never reaches anyone. *)
@@ -245,36 +248,25 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = se
     metrics;
     records = List.rev !records }
 
-let honest_outputs o =
-  let acc = ref [] in
-  for v = o.n - 1 downto 0 do
-    if not o.corrupted.(v) then
-      match o.outputs.(v) with Some b -> acc := (v, b) :: !acc | None -> ()
-  done;
-  !acc
+(* Projection into the engine-agnostic substrate. The arrays are shared,
+   not copied: an outcome is immutable once returned. *)
+let to_run o =
+  { Run.protocol_name = o.protocol_name;
+    adversary_name = o.adversary_name;
+    n = o.n;
+    t = o.t;
+    inputs = o.inputs;
+    span = Run.Rounds o.rounds;
+    completed = o.completed;
+    outputs = o.outputs;
+    corrupted = o.corrupted;
+    corruptions_used = o.corruptions_used;
+    metrics = o.metrics }
 
-let all_honest_decided o =
-  let ok = ref true in
-  for v = 0 to o.n - 1 do
-    if (not o.corrupted.(v)) && o.outputs.(v) = None then ok := false
-  done;
-  !ok
+let honest_outputs o = Run.honest_outputs (to_run o)
 
-let agreement_holds o =
-  match honest_outputs o with
-  | [] -> all_honest_decided o (* no honest node at all: vacuous *)
-  | (_, first) :: rest -> all_honest_decided o && List.for_all (fun (_, b) -> b = first) rest
+let all_honest_decided o = Run.all_honest_decided (to_run o)
 
-let validity_holds o =
-  (* Inputs of finally-honest nodes only: the adaptive adversary absorbs
-     corrupted nodes into its own camp retroactively. *)
-  let honest_inputs = ref [] in
-  for v = 0 to o.n - 1 do
-    if not o.corrupted.(v) then honest_inputs := o.inputs.(v) :: !honest_inputs
-  done;
-  match !honest_inputs with
-  | [] -> true
-  | b :: rest ->
-      if List.for_all (fun x -> x = b) rest then
-        List.for_all (fun (_, out) -> out = b) (honest_outputs o)
-      else true
+let agreement_holds o = Run.agreement_holds (to_run o)
+
+let validity_holds o = Run.validity_holds (to_run o)

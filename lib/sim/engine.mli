@@ -70,6 +70,11 @@ type outcome = {
     engine.
     @param sharder how to fan benign-round delivery out over domains
     (default {!sequential}); any shard count yields byte-identical outcomes.
+    @param trace unified substrate trace hook ({!Run.trace}); the
+    synchronous engine emits round-granularity events only ([Run.Tick] per
+    round, [Run.Corrupt] per corruption — per-message events would defeat
+    the batched delivery plane of DESIGN.md §10). Omitting it costs
+    nothing on the hot path.
     @param inputs binary inputs, one per node (length [n]).
     @raise Invalid_argument if [inputs] has the wrong length, if any input is
     not 0/1, if [t < 0] or [t >= n], if the fault plan names a node [>= n],
@@ -80,6 +85,7 @@ val run :
   ?congest_limit_bits:int ->
   ?faults:'msg Faults.plan ->
   ?sharder:sharder ->
+  ?trace:Run.trace ->
   protocol:('state, 'msg) Protocol.t ->
   adversary:('state, 'msg) Adversary.t ->
   n:int ->
@@ -89,8 +95,15 @@ val run :
   unit ->
   outcome
 
+(** [to_run o] projects a synchronous outcome into the engine-agnostic
+    substrate record ({!Run.outcome}), with [span = Run.Rounds o.rounds].
+    Arrays are shared, not copied. The per-round [records] do not project —
+    record-level checks stay on the native outcome. *)
+val to_run : outcome -> Run.outcome
+
 (** [honest_outputs o] — the decided values of honest nodes (those with an
-    output), as a list of [(node, value)]. *)
+    output), as a list of [(node, value)]. Equal to
+    [Run.honest_outputs (to_run o)], as are the three predicates below. *)
 val honest_outputs : outcome -> (int * int) list
 
 (** [agreement_holds o] — no two honest nodes output different values, and

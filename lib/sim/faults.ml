@@ -112,3 +112,37 @@ let deliver inst ~metrics ~round ~src ~dst payload =
         Some m
     | None, None -> None
   end
+
+type 'msg delivery = { d_payload : 'msg option; d_mutated : bool; d_duplicate : bool }
+
+(* Async plane application: same plan, same salted stream, but no round
+   structure — the duplicate buffer does not apply. A duplicate is instead
+   reported to the caller, which re-enqueues the copy as a fresh
+   scheduler-visible message (metered here, at queue time, since delivery
+   of the copy is then indistinguishable from any other delivery). Draw
+   order matches [deliver]: drop, then corrupt, then duplicate. *)
+let apply_async inst ~metrics ~src ~dst payload =
+  if src = dst then { d_payload = Some payload; d_mutated = false; d_duplicate = false }
+  else begin
+    let p = inst.plan in
+    if p.drop > 0.0 && Ba_prng.Rng.bernoulli inst.rng p.drop then begin
+      Metrics.record_link_drop metrics;
+      { d_payload = None; d_mutated = false; d_duplicate = false }
+    end
+    else begin
+      let m, mutated =
+        if p.corrupt > 0.0 && Ba_prng.Rng.bernoulli inst.rng p.corrupt then (
+          match p.mutate with
+          | Some f ->
+              Metrics.record_link_corruption metrics;
+              (f inst.rng payload, true)
+          | None -> (payload, false))
+        else (payload, false)
+      in
+      let duplicate =
+        p.duplicate > 0.0 && Ba_prng.Rng.bernoulli inst.rng p.duplicate
+      in
+      if duplicate then Metrics.record_link_duplicate metrics;
+      { d_payload = Some m; d_mutated = mutated; d_duplicate = duplicate }
+    end
+  end

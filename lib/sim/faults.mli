@@ -87,3 +87,37 @@ val deliver :
   dst:int ->
   'msg option ->
   'msg option
+
+(** {1 Asynchronous plane}
+
+    The async engine has no lockstep rounds, so the synchronous duplicate
+    buffer ("re-deliver next round if the link is idle") has no analogue.
+    Instead {!apply_async} reports the fault decisions and the engine turns
+    a duplicate into a {e fresh scheduler-visible pending message} — the
+    adversarial scheduler sees and orders the copy like any other message.
+    Silence windows reuse {!silenced} with the scheduler step as the
+    "round": a silenced sender's messages are suppressed at enqueue time
+    (and metered as crash silences) while the window covers the current
+    step. The PRNG stream is the same salted per-run stream as the
+    synchronous plane, so a faulty async run replays bit-for-bit from
+    [(seed, plan)]. *)
+
+(** Outcome of pushing one async delivery through the fault model. *)
+type 'msg delivery = {
+  d_payload : 'msg option;  (** [None] iff the message was dropped *)
+  d_mutated : bool;  (** payload was rewritten by the plan's [mutate] *)
+  d_duplicate : bool;  (** caller must re-enqueue a copy of [d_payload] *)
+}
+
+(** [apply_async inst ~metrics ~src ~dst payload] — draw drop, corrupt and
+    duplicate decisions (in that order, matching {!deliver}) for one async
+    delivery, metering every injected event. Self-delivery is exempt. Must
+    be called in the deterministic delivery order chosen by the scheduler
+    loop so the stream is reproducible. *)
+val apply_async :
+  'msg instance ->
+  metrics:Metrics.t ->
+  src:int ->
+  dst:int ->
+  'msg ->
+  'msg delivery

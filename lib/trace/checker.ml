@@ -4,8 +4,13 @@ let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.check v.detail
 
 let fail check fmt = Format.kasprintf (fun detail -> [ { check; detail } ]) fmt
 
-let agreement (o : Ba_sim.Engine.outcome) =
-  match Ba_sim.Engine.honest_outputs o with
+(* Substrate-level checks: typed on the engine-agnostic Ba_sim.Run.outcome
+   so both the synchronous and the asynchronous plane audit through one
+   code path. The sync-typed wrappers below preserve their historical
+   message text exactly. *)
+
+let agreement_run (o : Ba_sim.Run.outcome) =
+  match Ba_sim.Run.honest_outputs o with
   | [] -> []
   | (v0, b0) :: rest -> (
       match List.find_opt (fun (_, b) -> b <> b0) rest with
@@ -13,8 +18,8 @@ let agreement (o : Ba_sim.Engine.outcome) =
           fail "agreement" "node %d output %d but node %d output %d" v0 b0 v b
       | None -> [])
 
-let validity (o : Ba_sim.Engine.outcome) =
-  if Ba_sim.Engine.validity_holds o then []
+let validity_run (o : Ba_sim.Run.outcome) =
+  if Ba_sim.Run.validity_holds o then []
   else begin
     let b = ref None in
     Array.iteri (fun v x -> if (not o.corrupted.(v)) && !b = None then b := Some x) o.inputs;
@@ -22,37 +27,26 @@ let validity (o : Ba_sim.Engine.outcome) =
       (match !b with Some x -> string_of_int x | None -> "?")
   end
 
-let completion (o : Ba_sim.Engine.outcome) =
-  if not o.completed then fail "completion" "hit the round cap after %d rounds" o.rounds
-  else if not (Ba_sim.Engine.all_honest_decided o) then
+let completion_run (o : Ba_sim.Run.outcome) =
+  if not o.completed then
+    (match o.span with
+    | Ba_sim.Run.Rounds r -> fail "completion" "hit the round cap after %d rounds" r
+    | Ba_sim.Run.Steps s -> fail "completion" "hit the step cap after %d scheduler steps" s)
+  else if not (Ba_sim.Run.all_honest_decided o) then
     fail "completion" "some honest node halted without an output"
   else []
 
-let corruption_budget (o : Ba_sim.Engine.outcome) =
+let corruption_budget_run (o : Ba_sim.Run.outcome) =
   let count = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 o.corrupted in
-  (* Accumulate in report order (budget, count coherence, then per-round
-     double corruptions chronologically) so the violation list is stable
-     across runs and directly comparable in regression tests. *)
   let violations = ref [] in
   let push vs = violations := List.rev_append vs !violations in
   if count > o.t then
     push (fail "corruption-budget" "%d corrupted > budget t=%d" count o.t);
   if o.corruptions_used <> count then
     push (fail "corruption-budget" "used=%d but %d nodes marked corrupted" o.corruptions_used count);
-  (* Each node corrupted at most once across records. *)
-  let seen = Hashtbl.create 16 in
-  List.iter
-    (fun (r : Ba_sim.Engine.round_record) ->
-      List.iter
-        (fun v ->
-          if Hashtbl.mem seen v then
-            push (fail "corruption-budget" "node %d corrupted twice (round %d)" v r.rr_round)
-          else Hashtbl.add seen v ())
-        r.rr_new_corruptions)
-    o.records;
   List.rev !violations
 
-let benign_faults (o : Ba_sim.Engine.outcome) =
+let benign_faults_run (o : Ba_sim.Run.outcome) =
   let m = o.metrics in
   let events = Ba_sim.Metrics.fault_events m in
   if events > 0 then
@@ -66,12 +60,47 @@ let benign_faults (o : Ba_sim.Engine.outcome) =
       (Ba_sim.Metrics.crash_silences m)
   else []
 
-let congest (o : Ba_sim.Engine.outcome) =
+let congest_run (o : Ba_sim.Run.outcome) =
   let v = Ba_sim.Metrics.congest_violations o.metrics in
   if v > 0 then
     fail "congest" "%d payloads exceeded the configured CONGEST limit (max seen: %d bits)" v
       (Ba_sim.Metrics.max_bits_per_message o.metrics)
   else []
+
+let standard_run ?(allow_faults = false) (o : Ba_sim.Run.outcome) =
+  agreement_run o @ validity_run o @ completion_run o @ corruption_budget_run o
+  @ congest_run o
+  @ if allow_faults then [] else benign_faults_run o
+
+let agreement (o : Ba_sim.Engine.outcome) = agreement_run (Ba_sim.Engine.to_run o)
+
+let validity (o : Ba_sim.Engine.outcome) = validity_run (Ba_sim.Engine.to_run o)
+
+let completion (o : Ba_sim.Engine.outcome) = completion_run (Ba_sim.Engine.to_run o)
+
+let corruption_budget (o : Ba_sim.Engine.outcome) =
+  (* Accumulate in report order (budget, count coherence, then per-round
+     double corruptions chronologically) so the violation list is stable
+     across runs and directly comparable in regression tests. *)
+  let violations = ref [] in
+  let push vs = violations := List.rev_append vs !violations in
+  push (corruption_budget_run (Ba_sim.Engine.to_run o));
+  (* Each node corrupted at most once across records. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Ba_sim.Engine.round_record) ->
+      List.iter
+        (fun v ->
+          if Hashtbl.mem seen v then
+            push (fail "corruption-budget" "node %d corrupted twice (round %d)" v r.rr_round)
+          else Hashtbl.add seen v ())
+        r.rr_new_corruptions)
+    o.records;
+  List.rev !violations
+
+let benign_faults (o : Ba_sim.Engine.outcome) = benign_faults_run (Ba_sim.Engine.to_run o)
+
+let congest (o : Ba_sim.Engine.outcome) = congest_run (Ba_sim.Engine.to_run o)
 
 let decided_coherence (o : Ba_sim.Engine.outcome) =
   let violations = ref [] in

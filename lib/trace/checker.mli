@@ -20,7 +20,36 @@ type violation = { check : string; detail : string }
 
 val pp_violation : Format.formatter -> violation -> unit
 
-(** Outcome-level checks (no records needed). *)
+(** {1 Substrate-level checks}
+
+    Typed on the engine-agnostic {!Ba_sim.Run.outcome}, so synchronous and
+    asynchronous executions audit through one code path: project a native
+    outcome with [Engine.to_run] / [Async_engine.to_run] (or use the
+    sync-typed wrappers below, which preserve their historical message
+    text). The completion check words its violation in the span's native
+    unit (round cap vs. scheduler-step cap). *)
+
+val agreement_run : Ba_sim.Run.outcome -> violation list
+
+val validity_run : Ba_sim.Run.outcome -> violation list
+
+val completion_run : Ba_sim.Run.outcome -> violation list
+
+(** Budget and double-count coherence only; the per-record "corrupted
+    twice" audit stays on the synchronous {!corruption_budget}. *)
+val corruption_budget_run : Ba_sim.Run.outcome -> violation list
+
+val benign_faults_run : Ba_sim.Run.outcome -> violation list
+
+val congest_run : Ba_sim.Run.outcome -> violation list
+
+(** [standard_run ?allow_faults ro] — every substrate-level check:
+    agreement, validity, completion, corruption budget, congest, and
+    (unless [allow_faults]) the benign-fault audit. This is the default
+    audit for supervised async trials. *)
+val standard_run : ?allow_faults:bool -> Ba_sim.Run.outcome -> violation list
+
+(** {1 Outcome-level checks (synchronous engine)} (no records needed). *)
 
 val agreement : Ba_sim.Engine.outcome -> violation list
 

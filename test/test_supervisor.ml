@@ -40,7 +40,7 @@ let test_seed_derivation () =
 (* ---------------- run_trial barrier & watchdog ---------------- *)
 
 let test_run_trial_ok () =
-  match Supervisor.run_trial ~policy:Supervisor.default ~seed:3L ~trial:0 ~run:(runner ()) with
+  match Supervisor.run_trial ~policy:Supervisor.default ~seed:3L ~trial:0 ~view:Ba_sim.Engine.to_run ~run:(runner ()) with
   | Ok o -> Alcotest.(check bool) "real outcome" true (o.Ba_sim.Engine.rounds > 0)
   | Error f -> Alcotest.failf "unexpected failure: %s" (Supervisor.failure_message f)
 
@@ -49,7 +49,7 @@ let crash_run ~seed:_ ~trial:_ : Ba_sim.Engine.outcome = failwith "poisoned tria
 let test_run_trial_crash_record () =
   let go () =
     Supervisor.run_trial ~policy:(Supervisor.supervised ~retries:2 ()) ~seed:3L ~trial:7
-      ~run:crash_run
+      ~view:Ba_sim.Engine.to_run ~run:crash_run
   in
   match (go (), go ()) with
   | Error a, Error b ->
@@ -73,13 +73,16 @@ let test_retry_recovers () =
     if seed = Supervisor.trial_seed ~seed:5L ~trial then failwith "transient"
     else real ~seed ~trial
   in
-  (match Supervisor.run_trial ~policy:(Supervisor.supervised ()) ~seed:5L ~trial:1 ~run:flaky with
+  (match
+     Supervisor.run_trial ~policy:(Supervisor.supervised ()) ~seed:5L ~trial:1
+       ~view:Ba_sim.Engine.to_run ~run:flaky
+   with
   | Error f ->
       Alcotest.(check int) "no retries: one attempt" 1 f.Supervisor.f_attempts
   | Ok _ -> Alcotest.fail "expected the first attempt to fail");
   match
     Supervisor.run_trial ~policy:(Supervisor.supervised ~retries:1 ()) ~seed:5L ~trial:1
-      ~run:flaky
+      ~view:Ba_sim.Engine.to_run ~run:flaky
   with
   | Ok _ -> ()
   | Error f -> Alcotest.failf "retry did not recover: %s" (Supervisor.failure_message f)
@@ -90,7 +93,7 @@ let test_watchdog_round_cap () =
   match
     Supervisor.run_trial
       ~policy:(Supervisor.supervised ~round_cap:1 ~retries:1 ())
-      ~seed:3L ~trial:0 ~run:(runner ())
+      ~seed:3L ~trial:0 ~view:Ba_sim.Engine.to_run ~run:(runner ())
   with
   | Error f ->
       Alcotest.(check bool) "kind is round_cap" true
