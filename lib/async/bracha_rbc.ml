@@ -7,7 +7,9 @@ let deliver_threshold ~t = (2 * t) + 1
 type state = {
   broadcaster : int;
   echo_sent : bool;
+  echo_val : int option;  (* the value this node echoed, once echo_sent *)
   ready_sent : bool;
+  ready_val : int option;  (* the value this node readied, once ready_sent *)
   echoes : (int, int) Hashtbl.t;  (* src -> echoed value (first only) *)
   readies : (int, int) Hashtbl.t;
   delivered : int option;
@@ -17,6 +19,60 @@ let count tbl v =
   (* lint: allow D004 -- commutative count, order-insensitive *)
   Hashtbl.fold (fun _ x acc -> if x = v then acc + 1 else acc) tbl 0
 
+(* The first-message tables are mutable and [on_message] updates them in
+   place, so explorers branching over delivery orders must copy before
+   stepping. *)
+let clone_state st =
+  { st with echoes = Hashtbl.copy st.echoes; readies = Hashtbl.copy st.readies }
+
+let dump_tbl tbl =
+  (* lint: allow D004 -- entries are sorted before use *)
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let encode_state st =
+  let dump tbl =
+    dump_tbl tbl
+    |> List.map (fun (k, v) -> Printf.sprintf "%d:%d" k v)
+    |> String.concat ","
+  in
+  let opt = function None -> "." | Some v -> string_of_int v in
+  Printf.sprintf "e%b%sr%b%sd%sE[%s]R[%s]" st.echo_sent (opt st.echo_val) st.ready_sent
+    (opt st.ready_val) (opt st.delivered) (dump st.echoes) (dump st.readies)
+
+type probe = {
+  p_echo_sent : bool;
+  p_echo_val : int option;
+  p_ready_sent : bool;
+  p_ready_val : int option;
+  p_delivered : int option;
+  p_echoes : (int * int) list;
+  p_readies : (int * int) list;
+}
+
+let probe st =
+  { p_echo_sent = st.echo_sent;
+    p_echo_val = st.echo_val;
+    p_ready_sent = st.ready_sent;
+    p_ready_val = st.ready_val;
+    p_delivered = st.delivered;
+    p_echoes = dump_tbl st.echoes;
+    p_readies = dump_tbl st.readies }
+
+let inert st = st.delivered <> None && st.echo_sent && st.ready_sent
+
+(* Effect paths, used to decide when a delivery is observationally dead:
+   Init feeds only [echo_sent]; the echo table feeds only [maybe_ready],
+   which is gated on [not ready_sent]; the ready table feeds [maybe_ready]
+   and the (permanent) [delivered]. *)
+let redundant st ~src msg =
+  match msg with
+  | Init v -> st.echo_sent || src <> st.broadcaster || not (v = 0 || v = 1)
+  | Echo v -> st.ready_sent || Hashtbl.mem st.echoes src || not (v = 0 || v = 1)
+  | Ready v ->
+      (st.ready_sent && st.delivered <> None)
+      || Hashtbl.mem st.readies src
+      || not (v = 0 || v = 1)
+
 let make ~broadcaster : (state, msg) Async_engine.protocol =
   { Async_engine.name = Printf.sprintf "bracha-rbc-%d" broadcaster;
     init =
@@ -24,7 +80,9 @@ let make ~broadcaster : (state, msg) Async_engine.protocol =
         let st =
           { broadcaster;
             echo_sent = false;
+            echo_val = None;
             ready_sent = false;
+            ready_val = None;
             echoes = Hashtbl.create 16;
             readies = Hashtbl.create 16;
             delivered = None }
@@ -39,14 +97,14 @@ let make ~broadcaster : (state, msg) Async_engine.protocol =
         let st = ref st in
         let maybe_ready v =
           if not !st.ready_sent then begin
-            st := { !st with ready_sent = true };
+            st := { !st with ready_sent = true; ready_val = Some v };
             sends := Async_engine.broadcast ~n (Ready v) @ !sends
           end
         in
         (match msg with
         | Init v when src = broadcaster && (v = 0 || v = 1) ->
             if not !st.echo_sent then begin
-              st := { !st with echo_sent = true };
+              st := { !st with echo_sent = true; echo_val = Some v };
               sends := Async_engine.broadcast ~n (Echo v) @ !sends
             end
         | Init _ -> ()

@@ -31,6 +31,48 @@ type state
     The protocol's [output] is the delivered value. *)
 val make : broadcaster:int -> (state, msg) Async_engine.protocol
 
+(** [clone_state st] — deep copy of the mutable first-message tables.
+    [on_message] mutates the state it is given, so exhaustive explorers
+    ([Ba_verify.Exhaust]) branching over delivery orders must clone before
+    stepping a node. *)
+val clone_state : state -> state
+
+(** [encode_state st] — injective textual encoding (tables rendered in
+    sorted key order), used to memoize explored global states. *)
+val encode_state : state -> string
+
+(** Read-only structural view of a node's state, for the exhaustive
+    explorer's order-sensitivity analysis ([Ba_verify.Exhaust]): the flags,
+    the values this node echoed/readied (once sent), and the first-message
+    tables as sorted [(src, value)] lists. *)
+type probe = {
+  p_echo_sent : bool;
+  p_echo_val : int option;
+  p_ready_sent : bool;
+  p_ready_val : int option;
+  p_delivered : int option;
+  p_echoes : (int * int) list;
+  p_readies : (int * int) list;
+}
+
+val probe : state -> probe
+
+(** [inert st] — the node has delivered and sent both its echo and its
+    ready: every flag it can ever set is set, so no future delivery changes
+    its output or makes it send. Explorers may quotient inert nodes down to
+    their output and discard deliveries addressed to them. *)
+val inert : state -> bool
+
+(** [redundant st ~src msg] — delivering [msg] from [src] now (or ever
+    after: the enabling flags are permanent) cannot affect the node's
+    observable behavior — its output or any future send — so an explorer
+    checking the stable properties (consistency, validity) can consume the
+    message eagerly without branching. Beyond literal no-ops (first-message
+    accounting is permanent), this exploits the effect paths: echoes only
+    feed the ready trigger (dead once [ready_sent]), readies only feed that
+    trigger and the permanent [delivered]. *)
+val redundant : state -> src:int -> msg -> bool
+
 (** Thresholds, exposed for tests: [echo_threshold ~n ~t = ⌈(n+t+1)/2⌉],
     [ready_support ~t = t+1], [deliver_threshold ~t = 2t+1]. *)
 val echo_threshold : n:int -> t:int -> int

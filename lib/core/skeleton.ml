@@ -47,6 +47,15 @@ let state_val st = st.val_
 let state_decided st = st.decided
 let state_finished st = st.finish_countdown <> None || st.halted
 
+let state_certified st = if st.finish_countdown <> None then Some st.val_ else None
+
+let state_encode st =
+  Printf.sprintf "v%dd%bc%sa%bh%bo%sp%d" st.val_ st.decided
+    (match st.finish_countdown with None -> "." | Some k -> string_of_int k)
+    st.awaiting_coin st.halted
+    (match st.output with None -> "." | Some v -> string_of_int v)
+    st.phase
+
 let ilog2 n =
   let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
   go 0 n

@@ -95,3 +95,16 @@ val state_val : state -> int
 val state_decided : state -> bool
 
 val state_finished : state -> bool
+
+(** [state_certified st] — [Some v] iff the node finished through the
+    protocol's own Case-1 rule (its finish countdown is running or ran out),
+    as opposed to being cut off by the phase cap. The exhaustive checker's
+    agreement property is conditioned on a certified finisher existing:
+    a Las-Vegas run truncated at the cap with nobody certified is allowed
+    to halt with split values, but one certified finish obligates every
+    honest output to match it. *)
+val state_certified : state -> int option
+
+(** [state_encode st] — injective textual encoding of the full node state,
+    used by [Ba_verify.Exhaust] to memoize explored global states. *)
+val state_encode : state -> string

@@ -173,7 +173,7 @@ let parse_string cur =
             if cur.pos + 4 > String.length cur.src then fail cur "truncated \\u escape";
             let hex = String.sub cur.src cur.pos 4 in
             let code =
-              try int_of_string ("0x" ^ hex) with _ -> fail cur "invalid \\u escape"
+              try int_of_string ("0x" ^ hex) with Failure _ -> fail cur "invalid \\u escape"
             in
             cur.pos <- cur.pos + 4;
             add_utf8 buf code;

@@ -16,6 +16,7 @@ let delivery_sharder ~domains =
             Fun.protect
               ~finally:(fun () ->
                 if not !joined then
+                  (* lint: allow D008 -- teardown join must not mask the primary raise *)
                   Array.iter (fun h -> try Domain.join h with _ -> ()) handles)
               (fun () ->
                 thunks.(0) ();
@@ -118,6 +119,7 @@ let monte_carlo_view ?domains ?rounds_per_phase ?check ?(fail_fast = true)
           ~finally:(fun () ->
             if not !joined then
               List.iter
+                (* lint: allow D008 -- teardown join must not mask the primary raise *)
                 (fun h -> try ignore (Domain.join h : partial) with _ -> ())
                 handles)
           (fun () ->

@@ -93,6 +93,7 @@ let run_trial ~policy ~seed ~trial ~view ~run =
                 Error (mk ~attempt ~kind:Round_cap ~error:(cap_error ro ~cap) ~backtrace:"")
               else Ok o
           | None -> Ok o)
+      (* lint: allow D008 -- crash isolation is the module's purpose *)
       | exception exn ->
           let backtrace = Printexc.get_backtrace () in
           Error (mk ~attempt ~kind:Crash ~error:(Printexc.to_string exn) ~backtrace)

@@ -1,0 +1,100 @@
+(* The off-by-one mutant (see .mli). The structure deliberately shadows
+   lib/core/skeleton.ml line for line so that the single seeded difference
+   -- the R1 threshold [n - t - 1] -- is the only behavioral delta. *)
+
+type state = {
+  val_ : int;
+  decided : bool;
+  finish_countdown : int option;
+  halted : bool;
+  output : int option;
+  phase : int;
+}
+
+let state_certified st = if st.finish_countdown <> None then Some st.val_ else None
+
+let state_encode st =
+  Printf.sprintf "v%dd%bc%sh%bo%sp%d" st.val_ st.decided
+    (match st.finish_countdown with None -> "." | Some k -> string_of_int k)
+    st.halted
+    (match st.output with None -> "." | Some v -> string_of_int v)
+    st.phase
+
+let phase_of_round ~round =
+  let phase = ((round - 1) / 2) + 1 in
+  let sub = if (round - 1) mod 2 = 0 then Ba_core.Skeleton.R1 else Ba_core.Skeleton.R2 in
+  (phase, sub)
+
+let sub_code = function Ba_core.Skeleton.R1 -> 0 | R2 -> 1 | RC -> 2
+
+let tally ~phase ~sub ~decided_only inbox =
+  let c0, c1 = Ba_sim.Plane.vote_counts inbox ~phase ~sub:(sub_code sub) ~decided_only in
+  [| c0; c1 |]
+
+(* `Extra_phase with `Piggyback: a finisher broadcasts the frozen value for
+   one more whole phase (two recv steps). *)
+let finish_steps = 2
+
+let make ~phases ~dealer : (state, Ba_core.Skeleton.msg) Ba_sim.Protocol.t =
+  if phases < 1 then invalid_arg "Mutant.make: need at least one phase";
+  let init _ctx ~input =
+    { val_ = input; decided = false; finish_countdown = None; halted = false;
+      output = None; phase = 0 }
+  in
+  let send _ctx st ~round =
+    let phase, sub = phase_of_round ~round in
+    Some
+      { Ba_core.Skeleton.m_phase = phase; m_sub = sub; m_val = st.val_;
+        m_decided = st.decided; m_flip = None }
+  in
+  let recv ctx st ~round ~inbox =
+    let n = ctx.Ba_sim.Protocol.n and t = ctx.Ba_sim.Protocol.t in
+    let phase, sub = phase_of_round ~round in
+    let st = { st with phase } in
+    match st.finish_countdown with
+    | Some k ->
+        if k <= 1 then { st with halted = true; output = Some st.val_; finish_countdown = Some 0 }
+        else { st with finish_countdown = Some (k - 1) }
+    | None ->
+        let st =
+          match sub with
+          | R1 ->
+              let votes = tally ~phase ~sub:R1 ~decided_only:false inbox in
+              (* THE SEEDED BUG: the skeleton requires n - t identical
+                 votes; one fewer lets t Byzantine equivocators split the
+                 honest nodes between two decided values. *)
+              if votes.(0) >= n - t - 1 then { st with val_ = 0; decided = true }
+              else if votes.(1) >= n - t - 1 then { st with val_ = 1; decided = true }
+              else { st with decided = false }
+          | R2 | RC ->
+              let dvotes = tally ~phase ~sub:R2 ~decided_only:true inbox in
+              let case1 b = dvotes.(b) >= n - t and case2 b = dvotes.(b) >= t + 1 in
+              if case1 0 || case1 1 then begin
+                let b = if case1 0 then 0 else 1 in
+                { st with val_ = b; decided = true; finish_countdown = Some finish_steps }
+              end
+              else if case2 0 || case2 1 then begin
+                let b = if case2 0 then 0 else 1 in
+                { st with val_ = b; decided = true }
+              end
+              else { st with val_ = dealer phase land 1; decided = false }
+        in
+        if phase >= phases && sub = R2 && st.finish_countdown = None then
+          { st with halted = true; output = Some st.val_ }
+        else st
+  in
+  { Ba_sim.Protocol.name = "rabin-broken";
+    init;
+    send;
+    recv;
+    output = (fun st -> st.output);
+    halted = (fun st -> st.halted);
+    msg_bits = (fun m -> 4 + (match m.Ba_core.Skeleton.m_flip with Some _ -> 2 | None -> 0));
+    codec = Some Ba_core.Skeleton.msg_code;
+    inspect =
+      (fun st ->
+        Some
+          { Ba_sim.Protocol.nv_phase = st.phase;
+            nv_val = st.val_;
+            nv_decided = st.decided;
+            nv_finished = st.finish_countdown <> None || st.halted }) }

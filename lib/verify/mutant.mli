@@ -1,0 +1,28 @@
+(** Deliberately broken Rabin-skeleton variant: the mutation harness.
+
+    A reimplementation of the piggyback-coin dealer phase machine
+    ([Ba_core.Skeleton] with [Dealer] coin, [`Piggyback], [`Extra_phase])
+    whose round-1 threshold is off by one: a node decides [b] on
+    [votes b >= n - t - 1] instead of [n - t]. With [n = 4], [t = 1] the
+    adversary equivocates one node's round-1 vote and splits the honest
+    nodes between two "decided" values, breaking Lemma 3's coherence and
+    ultimately agreement — a violation {!Exhaust} must find, proving the
+    exhaustive checker has teeth. Everything else (message format, tallies,
+    round-2 cases, termination) matches the skeleton bit for bit, so the
+    counterexample replays through the unmodified [Ba_sim.Engine].
+
+    The mutant reuses {!Ba_core.Skeleton.msg} and its plane codec, so the
+    equivocation alphabet of the explorer applies unchanged. *)
+
+type state
+
+(** [make ~phases ~dealer] — the broken protocol, [phases] phases, halting
+    at the cap like a non-cycle skeleton config. [dealer] is the shared
+    phase -> bit coin (same closure for all nodes). *)
+val make :
+  phases:int -> dealer:(int -> int) -> (state, Ba_core.Skeleton.msg) Ba_sim.Protocol.t
+
+(** Explorer hooks, mirroring [Skeleton.state_certified]/[state_encode]. *)
+val state_certified : state -> int option
+
+val state_encode : state -> string

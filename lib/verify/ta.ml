@@ -1,0 +1,287 @@
+type expr =
+  | Const of int
+  | Param of string
+  | Shared of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of int * expr
+
+type cmp = Ge | Gt
+
+type guard = True | Cmp of cmp * expr * expr | All of guard list
+
+type update = { u_shared : string; u_delta : int }
+
+type kind = Det | Coin of { coin : int; value : int }
+
+type rule = {
+  r_from : string;
+  r_to : string;
+  r_guard : guard;
+  r_updates : update list;
+  r_kind : kind;
+}
+
+type automaton = {
+  ta_name : string;
+  ta_comment : string list;
+  ta_params : string list;
+  ta_shared : string list;
+  ta_locations : string list;
+  ta_initial : string list;
+  ta_assumptions : guard list;
+  ta_rules : rule list;
+  ta_specs : (string * string) list;
+}
+
+type error = { e_where : string; e_what : string }
+
+let pp_error fmt e = Format.fprintf fmt "%s: %s" e.e_where e.e_what
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+(* Sign analysis for monotonicity: for each shared counter occurrence,
+   track whether its coefficient is positive or negative in the expression
+   (Sub flips, Mul by a negative flips). *)
+let rec shared_signs ~sign acc = function
+  | Const _ | Param _ -> acc
+  | Shared s -> (s, sign) :: acc
+  | Add (a, b) -> shared_signs ~sign (shared_signs ~sign acc a) b
+  | Sub (a, b) -> shared_signs ~sign:(-sign) (shared_signs ~sign acc a) b
+  | Mul (k, e) ->
+      if k = 0 then acc else shared_signs ~sign:(if k > 0 then sign else -sign) acc e
+
+let rec guard_cmps = function
+  | True -> []
+  | Cmp (c, l, r) -> [ (c, l, r) ]
+  | All gs -> List.concat_map guard_cmps gs
+
+(* A guard is monotone iff in every comparison [l >= r] / [l > r] shared
+   counters appear with positive sign in [l] and never in [r]: counters only
+   grow, so the inequality can only become (and then stay) true. *)
+let monotone_violations guard =
+  List.concat_map
+    (fun (_, l, r) ->
+      let bad_left =
+        List.filter_map (fun (s, sign) -> if sign < 0 then Some s else None)
+          (shared_signs ~sign:1 [] l)
+      and bad_right = List.map fst (shared_signs ~sign:1 [] r) in
+      List.map (fun s -> "counter " ^ s ^ " with negative coefficient on the lower side")
+        bad_left
+      @ List.map (fun s -> "counter " ^ s ^ " bounded from above (upper guard)") bad_right)
+    (guard_cmps guard)
+
+let rec guard_names acc = function
+  | True -> acc
+  | Cmp (_, l, r) ->
+      let names ~acc e =
+        List.fold_left (fun acc (s, _) -> s :: acc) acc (shared_signs ~sign:1 [] e)
+      in
+      names ~acc:(names ~acc l) r
+  | All gs -> List.fold_left guard_names acc gs
+
+let rec guard_params acc = function
+  | Const _ | Shared _ -> acc
+  | Param p -> p :: acc
+  | Add (a, b) | Sub (a, b) -> guard_params (guard_params acc a) b
+  | Mul (_, e) -> guard_params acc e
+
+let rec guard_param_names acc = function
+  | True -> acc
+  | Cmp (_, l, r) -> guard_params (guard_params acc l) r
+  | All gs -> List.fold_left guard_param_names acc gs
+
+let validate a =
+  let errs = ref [] in
+  let err e_where fmt = Format.kasprintf (fun e_what -> errs := { e_where; e_what } :: !errs) fmt in
+  let dup what names =
+    let sorted = List.sort compare names in
+    let rec go = function
+      | x :: (y :: _ as rest) ->
+          if x = y then err what "duplicate name %S" x;
+          go rest
+      | _ -> ()
+    in
+    go sorted
+  in
+  List.iter
+    (fun (what, names) ->
+      dup what names;
+      List.iter (fun n -> if n = "" then err what "empty name") names)
+    [ ("params", a.ta_params); ("shared", a.ta_shared); ("locations", a.ta_locations) ];
+  List.iter
+    (fun l ->
+      if not (List.mem l a.ta_locations) then err "inits" "initial location %S not declared" l)
+    a.ta_initial;
+  if a.ta_initial = [] then err "inits" "no initial location";
+  let check_guard where g =
+    List.iter (fun what -> err where "non-monotone guard: %s" what) (monotone_violations g);
+    List.iter
+      (fun s -> if not (List.mem s a.ta_shared) then err where "undeclared counter %S" s)
+      (guard_names [] g);
+    List.iter
+      (fun p -> if not (List.mem p a.ta_params) then err where "undeclared parameter %S" p)
+      (guard_param_names [] g)
+  in
+  List.iteri (fun i g -> check_guard (Printf.sprintf "assumption %d" i) g) a.ta_assumptions;
+  List.iteri
+    (fun i r ->
+      let where = Printf.sprintf "rule %d (%s -> %s)" i r.r_from r.r_to in
+      if not (List.mem r.r_from a.ta_locations) then err where "unknown source %S" r.r_from;
+      if not (List.mem r.r_to a.ta_locations) then err where "unknown target %S" r.r_to;
+      check_guard where r.r_guard;
+      List.iter
+        (fun u ->
+          if not (List.mem u.u_shared a.ta_shared) then
+            err where "update of undeclared counter %S" u.u_shared;
+          if u.u_delta <= 0 then
+            err where "counter %s update delta %d is not a positive increment" u.u_shared
+              u.u_delta)
+        r.r_updates)
+    a.ta_rules;
+  (* Counter bound: the control graph must be acyclic, so each traversal
+     fires each incrementing rule at most once. Kahn's algorithm over
+     location names. *)
+  let indeg = List.map (fun l -> (l, ref 0)) a.ta_locations in
+  let find l = List.assoc_opt l indeg in
+  List.iter
+    (fun r -> match find r.r_to with Some d -> incr d | None -> ())
+    a.ta_rules;
+  let queue = ref (List.filter (fun l -> match find l with Some d -> !d = 0 | None -> false)
+                     a.ta_locations)
+  in
+  let removed = ref 0 in
+  while !queue <> [] do
+    match !queue with
+    | [] -> ()
+    | l :: rest ->
+        queue := rest;
+        incr removed;
+        List.iter
+          (fun r ->
+            if r.r_from = l then
+              match find r.r_to with
+              | Some d ->
+                  decr d;
+                  if !d = 0 then queue := r.r_to :: !queue
+              | None -> ())
+          a.ta_rules
+  done;
+  if !removed < List.length a.ta_locations then
+    err "counter-bound" "control graph has a cycle: a traversal could increment a counter %s"
+      "unboundedly";
+  (* Coin branches: group rules by coin id. *)
+  let coin_ids =
+    List.sort_uniq compare
+      (List.filter_map (fun r -> match r.r_kind with Coin { coin; _ } -> Some coin | Det -> None)
+         a.ta_rules)
+  in
+  List.iter
+    (fun c ->
+      let arms =
+        List.filter (fun r -> match r.r_kind with Coin { coin; _ } -> coin = c | Det -> false)
+          a.ta_rules
+      in
+      let where = Printf.sprintf "coin %d" c in
+      (match arms with
+      | [ x; y ] ->
+          if x.r_from <> y.r_from then err where "arms leave different locations";
+          if x.r_guard <> y.r_guard then err where "arms carry different guards";
+          if x.r_to = y.r_to then err where "arms share one target";
+          let values =
+            List.sort compare
+              (List.map (fun r -> match r.r_kind with Coin { value; _ } -> value | Det -> -1)
+                 arms)
+          in
+          if values <> [ 0; 1 ] then err where "arm values do not cover {0, 1}"
+      | arms -> err where "%d arms (need exactly 2)" (List.length arms));
+      List.iter
+        (fun r -> if r.r_updates <> [] then err where "coin arm carries counter updates")
+        arms)
+    coin_ids;
+  List.rev !errs
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+
+let rec pp_expr fmt = function
+  | Const k -> Format.fprintf fmt "%d" k
+  | Param p | Shared p -> Format.pp_print_string fmt p
+  | Add (a, b) -> Format.fprintf fmt "%a + %a" pp_expr a pp_expr b
+  | Sub (a, ((Const _ | Param _ | Shared _) as b)) ->
+      Format.fprintf fmt "%a - %a" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf fmt "%a - (%a)" pp_expr a pp_expr b
+  | Mul (k, ((Const _ | Param _ | Shared _) as e)) ->
+      Format.fprintf fmt "%d * %a" k pp_expr e
+  | Mul (k, e) -> Format.fprintf fmt "%d * (%a)" k pp_expr e
+
+let rec pp_guard fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | Cmp (c, l, r) ->
+      Format.fprintf fmt "%a %s %a" pp_expr l (match c with Ge -> ">=" | Gt -> ">") pp_expr r
+  | All [] -> Format.pp_print_string fmt "true"
+  | All [ g ] -> pp_guard fmt g
+  | All gs ->
+      Format.pp_print_string fmt
+        (String.concat " && " (List.map (Format.asprintf "(%a)" pp_guard) gs))
+
+let to_string a =
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* A "*/" inside a comment line would close the C-style comment early and
+     leak the rest as (invalid) .ta source. *)
+  let sanitize line =
+    let b = Buffer.create (String.length line) in
+    String.iteri
+      (fun i c ->
+        if c = '/' && i > 0 && line.[i - 1] = '*' then Buffer.add_string b " /"
+        else Buffer.add_char b c)
+      line;
+    Buffer.contents b
+  in
+  List.iter (fun line -> out "/* %s */\n" (sanitize line)) a.ta_comment;
+  out "thresholdAutomaton %s {\n" a.ta_name;
+  out "  local pc;\n";
+  out "  shared %s;\n" (String.concat ", " a.ta_shared);
+  out "  parameters %s;\n\n" (String.concat ", " a.ta_params);
+  out "  assumptions (%d) {\n" (List.length a.ta_assumptions);
+  List.iter (fun g -> out "    %s;\n" (Format.asprintf "%a" pp_guard g)) a.ta_assumptions;
+  out "  }\n\n";
+  out "  locations (%d) {\n" (List.length a.ta_locations);
+  List.iteri (fun i l -> out "    %s: [%d];\n" l i) a.ta_locations;
+  out "  }\n\n";
+  out "  inits (%d) {\n" (List.length a.ta_initial + 1);
+  out "    (%s) == N - F;\n" (String.concat " + " a.ta_initial);
+  List.iter
+    (fun l -> if not (List.mem l a.ta_initial) then out "    %s == 0;\n" l)
+    a.ta_locations;
+  List.iter (fun s -> out "    %s == 0;\n" s) a.ta_shared;
+  out "  }\n\n";
+  out "  rules (%d) {\n" (List.length a.ta_rules);
+  List.iteri
+    (fun i r ->
+      let label =
+        match r.r_kind with
+        | Det -> ""
+        | Coin { coin; value } -> Printf.sprintf " /* coin %d = %d */" coin value
+      in
+      let updates =
+        match r.r_updates with
+        | [] -> "unchanged;"
+        | us ->
+            String.concat " "
+              (List.map
+                 (fun u -> Printf.sprintf "%s' == %s + %d;" u.u_shared u.u_shared u.u_delta)
+                 us)
+      in
+      out "  %d: %s -> %s%s\n      when (%s)\n      do { %s };\n" i r.r_from r.r_to label
+        (Format.asprintf "%a" pp_guard r.r_guard)
+        updates)
+    a.ta_rules;
+  out "  }\n\n";
+  out "  specifications (%d) {\n" (List.length a.ta_specs);
+  List.iter (fun (name, body) -> out "    %s: %s;\n" name body) a.ta_specs;
+  out "  }\n";
+  out "}\n";
+  Buffer.contents buf

@@ -1,4 +1,4 @@
-(* ba_lint: every rule D001-D007 is demonstrated by a fixture that trips
+(* ba_lint: every rule D001-D008 is demonstrated by a fixture that trips
    exactly that rule, suppression pragmas silence them, and the real lib/
    tree self-scans clean (the same invariant `dune build @lint` enforces). *)
 
@@ -82,6 +82,38 @@ let test_parse_error () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected a parse error"
 
+let test_d008_scoping_and_shapes () =
+  (* Catch-alls are a lib/-only rule (bin CLIs may funnel anything into a
+     usage error); a [when] guard or a specific constructor is fine. *)
+  let src = "let f x = try int_of_string x with _ -> 0\n" in
+  Alcotest.(check (list string)) "lib catch-all flagged" [ "D008" ]
+    (codes (scan_src ~path:"lib/x.ml" src));
+  Alcotest.(check (list string)) "bin catch-all allowed" []
+    (codes (scan_src ~path:"bin/x.ml" src));
+  let src = "let f x = try int_of_string x with Failure _ -> 0\n" in
+  Alcotest.(check (list string)) "specific constructor fine" []
+    (codes (scan_src ~path:"lib/x.ml" src));
+  let src = "let f x = try int_of_string x with e when e = Not_found -> 0\n" in
+  Alcotest.(check (list string)) "guarded handler fine" []
+    (codes (scan_src ~path:"lib/x.ml" src));
+  let src = "let f x = match int_of_string x with v -> v | exception _ -> 0\n" in
+  Alcotest.(check (list string)) "match-exception catch-all flagged" [ "D008" ]
+    (codes (scan_src ~path:"lib/x.ml" src))
+
+let test_report_order_file_line_rule () =
+  (* Two findings on one line whose column order disagrees with the rule
+     order: the report must sort by (file, line, rule, col), so D004 at the
+     later column still precedes D005. *)
+  let src = "let f t = ignore (ignore == ignore); Hashtbl.iter (fun _ () -> ()) t\n" in
+  let vs = scan_src ~path:"lib/x.ml" src in
+  Alcotest.(check (list string)) "rule before column" [ "D004"; "D005" ] (codes vs);
+  let json = Format.asprintf "%a" Ba_lint_rules.report_json vs in
+  let idx needle =
+    let rec go i = if String.sub json i (String.length needle) = needle then i else go (i + 1) in
+    go 0
+  in
+  Alcotest.(check bool) "json preserves the order" true (idx "D004" < idx "D005")
+
 let test_d006_needs_scan_flag () =
   let vs = scan_src ~path:"lib/x.ml" ~mli_exists:false "let a = 1\n" in
   Alcotest.(check (list string)) "missing mli flagged" [ "D006" ] (codes vs);
@@ -143,7 +175,9 @@ let () =
          Alcotest.test_case "D006 missing mli" `Quick
            (check_fixture "lib/d006_missing_mli.ml" [ "D006" ]);
          Alcotest.test_case "D007 bare domains" `Quick
-           (check_fixture "lib/d007_domain.ml" [ "D007"; "D007" ]) ]);
+           (check_fixture "lib/d007_domain.ml" [ "D007"; "D007" ]);
+         Alcotest.test_case "D008 catch-all handlers" `Quick
+           (check_fixture "lib/d008_catchall.ml" [ "D008"; "D008"; "D008" ]) ]);
       ("scoping & pragmas",
        [ Alcotest.test_case "suppression pragmas" `Quick test_suppression;
          Alcotest.test_case "lib/prng exemption" `Quick test_prng_exemption;
@@ -158,8 +192,11 @@ let () =
          Alcotest.test_case "nested module toplevel" `Quick test_nested_module_toplevel;
          Alcotest.test_case "parse error surfaces" `Quick test_parse_error;
          Alcotest.test_case "D007 outside lib" `Quick test_d007_outside_lib;
-         Alcotest.test_case "D006 scoping" `Quick test_d006_needs_scan_flag ]);
+         Alcotest.test_case "D006 scoping" `Quick test_d006_needs_scan_flag;
+         Alcotest.test_case "D008 scoping & shapes" `Quick test_d008_scoping_and_shapes ]);
       ("reports",
        [ Alcotest.test_case "text & json reporters" `Quick test_reporters;
-         Alcotest.test_case "deterministic order" `Quick test_deterministic_report_order ]);
+         Alcotest.test_case "deterministic order" `Quick test_deterministic_report_order;
+         Alcotest.test_case "(file, line, rule) order" `Quick
+           test_report_order_file_line_rule ]);
       ("self-scan", [ Alcotest.test_case "lib/ is clean" `Quick test_self_scan_lib_clean ]) ]

@@ -12,7 +12,7 @@ let usage () =
   List.iter
     (fun c ->
       Printf.printf "  %s  %s\n" (Ba_lint_rules.code_name c) (Ba_lint_rules.describe c))
-    [ Ba_lint_rules.D001; D002; D003; D004; D005; D006; D007 ];
+    [ Ba_lint_rules.D001; D002; D003; D004; D005; D006; D007; D008 ];
   print_string
     "\nExit status: 0 clean, 1 violations found, 2 parse/IO errors.\n\
      Reports go to stdout (one 'file:line:col: [CODE] message' per finding,\n\

@@ -1,7 +1,7 @@
 (* Determinism & domain-safety rules over the Parsetree. See the .mli and
    DESIGN.md §8 for the catalog and rationale. *)
 
-type code = D001 | D002 | D003 | D004 | D005 | D006 | D007
+type code = D001 | D002 | D003 | D004 | D005 | D006 | D007 | D008
 
 let code_name = function
   | D001 -> "D001"
@@ -11,6 +11,7 @@ let code_name = function
   | D005 -> "D005"
   | D006 -> "D006"
   | D007 -> "D007"
+  | D008 -> "D008"
 
 let code_of_string = function
   | "D001" -> Some D001
@@ -20,6 +21,7 @@ let code_of_string = function
   | "D005" -> Some D005
   | "D006" -> Some D006
   | "D007" -> Some D007
+  | "D008" -> Some D008
   | _ -> None
 
 let describe = function
@@ -31,6 +33,8 @@ let describe = function
   | D006 -> "library module without an interface (.mli)"
   | D007 ->
       "bare Domain.spawn/Domain.join outside lib/harness: spawn only via the supervised runners"
+  | D008 ->
+      "catch-all exception handler in lib/: swallows control exceptions and real bugs alike"
 
 type violation = {
   v_file : string;
@@ -40,10 +44,13 @@ type violation = {
   v_message : string;
 }
 
+(* Report order is (file, line, rule, col): the rule code is the third key
+   so that two findings on one line group by rule in the JSON output
+   regardless of which column each anchor landed on. *)
 let compare_violation a b =
   compare
-    (a.v_file, a.v_line, a.v_col, code_name a.v_code)
-    (b.v_file, b.v_line, b.v_col, code_name b.v_code)
+    (a.v_file, a.v_line, code_name a.v_code, a.v_col)
+    (b.v_file, b.v_line, code_name b.v_code, b.v_col)
 
 (* ------------------------------------------------------------------ *)
 (* Path scoping: which rule set applies is decided by the path's
@@ -175,6 +182,27 @@ let scan ~ctx structure =
           add loc D002 (name ^ " reads the wall clock; library results must be a pure function of the seed")
       | None -> ()
   in
+  (* D008: a [try] case whose pattern matches every exception. An alias or
+     or-pattern is a catch-all iff a branch is; a [when] guard narrows the
+     case, so guarded handlers pass. *)
+  let rec catch_all_pat (p : Parsetree.pattern) =
+    match p.ppat_desc with
+    | Ppat_any | Ppat_var _ -> true
+    | Ppat_alias (p', _) | Ppat_constraint (p', _) -> catch_all_pat p'
+    | Ppat_or (a, b) -> catch_all_pat a || catch_all_pat b
+    | _ -> false
+  in
+  let check_try (cases : Parsetree.case list) =
+    if ctx.c_lib then
+      List.iter
+        (fun (c : Parsetree.case) ->
+          if c.pc_guard = None && catch_all_pat c.pc_lhs then
+            add c.pc_lhs.ppat_loc D008
+              "catch-all handler (try ... with _ ->) silently swallows Stack_overflow, \
+               control exceptions, and genuine bugs; match the specific exceptions the \
+               guarded expression can raise")
+        cases
+  in
   (* D001/D002/D004/D005: every identifier and module path in the file. *)
   let super = Ast_iterator.default_iterator in
   let it =
@@ -183,6 +211,16 @@ let scan ~ctx structure =
         (fun self e ->
           (match e.pexp_desc with
           | Pexp_ident { txt; _ } -> check_ident e.pexp_loc txt
+          | Pexp_try (_, cases) -> check_try cases
+          | Pexp_match (_, cases) ->
+              (* [match ... with exception _ ->] is the same hazard. *)
+              check_try
+                (List.filter_map
+                   (fun (c : Parsetree.case) ->
+                     match c.pc_lhs.ppat_desc with
+                     | Ppat_exception p -> Some { c with pc_lhs = p }
+                     | _ -> None)
+                   cases)
           | _ -> ());
           super.expr self e);
       module_expr =

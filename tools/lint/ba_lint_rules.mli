@@ -28,13 +28,19 @@
       — ad-hoc domains leak on exceptions; all fan-out goes through the
       supervised runners ([Ba_harness.Parallel]/[Ba_harness.Supervisor]),
       which always join via [Fun.protect].
+    - {b D008} no catch-all exception handlers ([try ... with _ ->], an
+      unguarded variable pattern, or [match ... with exception _ ->]) in
+      [lib/] — they swallow [Stack_overflow], the explorers' control
+      exceptions ([Exhaust]'s budget/found signals), and genuine bugs
+      alike; match the specific exceptions the guarded expression can
+      raise, or suppress at teardown sites that must not throw.
 
     A violation is suppressed by a pragma comment on the same line or the
     line directly above it: [(* lint: allow D004 — commutative count *)].
     Codes are matched textually, so the pragma also works from within a
     string literal — keep pragmas out of string constants. *)
 
-type code = D001 | D002 | D003 | D004 | D005 | D006 | D007
+type code = D001 | D002 | D003 | D004 | D005 | D006 | D007 | D008
 
 val code_name : code -> string
 
@@ -52,7 +58,8 @@ type violation = {
   v_message : string;
 }
 
-(** Order by (file, line, col, code) — the stable report order. *)
+(** Order by (file, line, code, col) — the stable report order ([--json]
+    emits findings in exactly this order). *)
 val compare_violation : violation -> violation -> int
 
 (** [scan_source ~path ?mli_exists source] parses [source] (attributed to

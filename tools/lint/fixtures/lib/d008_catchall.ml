@@ -1,0 +1,18 @@
+(* Fixture: D008 — catch-all exception handlers. *)
+
+let wildcard x = try int_of_string x with _ -> 0
+
+let variable x = try int_of_string x with _e -> 0
+
+let via_match x = match int_of_string x with v -> v | exception _ -> 0
+
+(* Specific constructors are fine. *)
+let specific x = try int_of_string x with Failure _ -> 0
+
+(* A [when] guard narrows the case. *)
+let guarded x = try int_of_string x with e when e = Not_found -> 0
+
+(* Suppressable at teardown sites that must not throw. *)
+let suppressed x =
+  (* lint: allow D008 -- fixture: cleanup must not raise *)
+  try int_of_string x with _ -> 0

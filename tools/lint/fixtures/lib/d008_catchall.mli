@@ -1,0 +1,11 @@
+val wildcard : string -> int
+
+val variable : string -> int
+
+val via_match : string -> int
+
+val specific : string -> int
+
+val guarded : string -> int
+
+val suppressed : string -> int

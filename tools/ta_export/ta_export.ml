@@ -1,0 +1,284 @@
+(* ta_export — compile the Rabin-skeleton round structure into threshold
+   automata (lib/verify/ta.ml) and emit deterministic ByMC-compatible .ta
+   text (DESIGN.md §12).
+
+   The automata themselves are declarative models (Ta_model); what this
+   pass *compiles* is the evidence that they still describe the code. It
+   parses lib/core/skeleton.ml with compiler-libs (the same Parsetree
+   infrastructure as tools/lint) and checks, before emitting anything:
+
+   - guard extraction: every threshold comparison in the source — a
+     [tally]-bound counter vector indexed and compared with [>=] — is
+     extracted as (sub-round, decided_only, rhs shape) and the multiset
+     must equal Ta_model.source_guards. Add or change a threshold in
+     skeleton.ml and the export fails until the TA model follows.
+   - seed purity: Rng draws appear only inside the [send] / [coin_value]
+     bindings (the flipper's sign and the private-coin fallback) — the
+     guard logic the TA abstracts must be deterministic in the inbox.
+   - determinism lint: the source must be clean under the D001/D002
+     rules (no ambient randomness, no wall-clock), reusing
+     Ba_lint_rules.scan_source.
+   - structural validation: every automaton passes Ta.validate (guard
+     monotonicity, counter bound via acyclicity, coin-branch shape).
+
+   Usage:
+     ta_export --source lib/core/skeleton.ml --check
+     ta_export --source lib/core/skeleton.ml --emit rabin_dealer   # .ta on stdout
+     ta_export --list
+
+   Exit status: 0 ok, 2 any check failed (extraction mismatch, seed
+   impurity, lint finding, validation error, parse/IO error). *)
+
+let allow_rng_bindings = [ "send"; "coin_value" ]
+
+(* ------------------------------------------------------------------ *)
+(* Guard extraction over the Parsetree                                 *)
+
+type extracted = {
+  x_guards : Ba_verify.Ta_model.source_guard list;
+  x_rng_leaks : (int * string) list;  (* (line, ident) outside the allowlist *)
+}
+
+let lid_flat (lid : Longident.t Location.loc) = Longident.flatten lid.txt
+
+let sub_of_construct = function "R1" -> Some `R1 | "R2" -> Some `R2 | _ -> None
+
+(* [tally ~phase ~sub:R1 ~decided_only:false inbox] — the labelled
+   arguments carry exactly the classification the TA counters need. *)
+let tally_app (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident "tally"; _ }; _ }, args) ->
+      let labelled name =
+        List.find_map
+          (function
+            | (Asttypes.Labelled l, (arg : Parsetree.expression)) when l = name -> Some arg
+            | _ -> None)
+          args
+      in
+      let sub =
+        match labelled "sub" with
+        | Some { pexp_desc = Pexp_construct (c, None); _ } ->
+            sub_of_construct (String.concat "." (lid_flat c))
+        | _ -> None
+      in
+      let decided_only =
+        match labelled "decided_only" with
+        | Some { pexp_desc = Pexp_construct ({ txt = Lident b; _ }, None); _ } ->
+            bool_of_string_opt b
+        | _ -> None
+      in
+      (match (sub, decided_only) with
+      | Some sub, Some d -> Some (sub, d)
+      | _ -> None)
+  | _ -> None
+
+(* [votes.(i)] parses as an [Array.get] application. *)
+let indexed_var (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident lid; _ },
+        [ (Asttypes.Nolabel, { pexp_desc = Pexp_ident { txt = Lident var; _ }; _ });
+          (Asttypes.Nolabel, _) ] )
+    when match List.rev (lid_flat lid) with
+         | ("get" | "unsafe_get") :: "Array" :: _ -> true
+         | _ -> false ->
+      Some var
+  | _ -> None
+
+let ident_is name (e : Parsetree.expression) =
+  match e.pexp_desc with Pexp_ident { txt = Lident x; _ } -> x = name | _ -> false
+
+let const_is k (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer (s, None)) -> int_of_string_opt s = Some k
+  | _ -> false
+
+(* Classify a threshold's right-hand side: [n - t] or [t + 1]. *)
+let rhs_shape (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Lident "-"; _ }; _ }, [ (_, a); (_, b) ])
+    when ident_is "n" a && ident_is "t" b ->
+      Some `N_minus_t
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Lident "+"; _ }; _ }, [ (_, a); (_, b) ])
+    when ident_is "t" a && const_is 1 b ->
+      Some `T_plus_1
+  | _ -> None
+
+let extract structure =
+  let tally_vars = ref [] in
+  let guards = ref [] in
+  let rng_leaks = ref [] in
+  let stack = ref [] in
+  let super = Ast_iterator.default_iterator in
+  let it =
+    { super with
+      value_binding =
+        (fun self (vb : Parsetree.value_binding) ->
+          let name =
+            match vb.pvb_pat.ppat_desc with Ppat_var s -> Some s.txt | _ -> None
+          in
+          (match (name, tally_app vb.pvb_expr) with
+          | Some v, Some (sub, d) -> tally_vars := (v, (sub, d)) :: !tally_vars
+          | _ -> ());
+          (match name with Some nm -> stack := nm :: !stack | None -> ());
+          super.value_binding self vb;
+          match name with Some _ -> stack := List.tl !stack | None -> ());
+      expr =
+        (fun self (e : Parsetree.expression) ->
+          (match e.pexp_desc with
+          | Pexp_apply
+              ( { pexp_desc = Pexp_ident { txt = Lident ">="; _ }; _ },
+                [ (Asttypes.Nolabel, lhs); (Asttypes.Nolabel, rhs) ] ) -> (
+              match (indexed_var lhs, rhs_shape rhs) with
+              | Some var, Some shape -> (
+                  match List.assoc_opt var !tally_vars with
+                  | Some (sub, d) ->
+                      guards :=
+                        { Ba_verify.Ta_model.sg_sub = sub;
+                          sg_decided_only = d;
+                          sg_rhs = shape }
+                        :: !guards
+                  | None -> ())
+              | _ -> ())
+          | Pexp_ident ({ txt; _ } as lid) when List.mem "Rng" (Longident.flatten txt) ->
+              if not (List.exists (fun nm -> List.mem nm allow_rng_bindings) !stack) then
+                rng_leaks :=
+                  ( lid.loc.loc_start.pos_lnum,
+                    String.concat "." (Longident.flatten txt) )
+                  :: !rng_leaks
+          | _ -> ());
+          super.expr self e) }
+  in
+  it.structure it structure;
+  { x_guards = List.sort compare !guards; x_rng_leaks = List.sort compare !rng_leaks }
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                              *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception exn -> (
+      match Location.error_of_exn exn with
+      | Some (`Ok report) -> Error (Format.asprintf "%a" Location.print_report report)
+      | _ -> Error (path ^ ": " ^ Printexc.to_string exn))
+
+let pp_guard_list fmt gs =
+  List.iteri
+    (fun i g ->
+      Format.fprintf fmt "%s[%a]" (if i = 0 then "" else " ") Ba_verify.Ta_model.pp_source_guard
+        g)
+    gs
+
+let check_source ~path =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+  (match read_file path with
+  | exception Sys_error msg -> err "%s" msg
+  | source -> (
+      (match parse ~path source with
+      | Error msg -> err "parse: %s" msg
+      | Ok structure ->
+          let x = extract structure in
+          let expected = Ba_verify.Ta_model.source_guards in
+          if x.x_guards <> expected then
+            err
+              "threshold guards drifted from the TA model:@\n  source:   %a@\n  expected: %a@\n\
+               update Ta_model (lib/verify/ta_model.ml) to match skeleton.ml"
+              pp_guard_list x.x_guards pp_guard_list expected;
+          List.iter
+            (fun (line, ident) ->
+              err
+                "seed purity: %s:%d uses %s outside the %s bindings; TA guards must be \
+                 deterministic in the inbox"
+                path line ident
+                (String.concat "/" allow_rng_bindings))
+            x.x_rng_leaks);
+      match Ba_lint_rules.scan_source ~path source with
+      | Error msg -> err "lint: %s" msg
+      | Ok vs ->
+          List.iter
+            (fun (v : Ba_lint_rules.violation) ->
+              match v.v_code with
+              | D001 | D002 ->
+                  err "lint: %s:%d: [%s] %s" v.v_file v.v_line
+                    (Ba_lint_rules.code_name v.v_code) v.v_message
+              | _ -> ())
+            vs));
+  List.rev !errors
+
+let check_models () =
+  List.concat_map
+    (fun (stem, a) ->
+      List.map
+        (fun e -> Format.asprintf "%s: %a" stem Ba_verify.Ta.pp_error e)
+        (Ba_verify.Ta.validate a))
+    (Ba_verify.Ta_model.all ())
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+
+let usage () =
+  print_string
+    "usage: ta_export [--source FILE] (--check | --emit STEM | --list)\n\n\
+     Compiles the Rabin-skeleton round structure (lib/core/skeleton.ml) into\n\
+     threshold automata and emits ByMC-compatible .ta text. Every mode first\n\
+     cross-checks the source against the TA model: threshold-guard multiset,\n\
+     seed purity (Rng only in send/coin_value), D001/D002 lint cleanliness,\n\
+     and Ta.validate structural soundness.\n\n\
+    \  --source FILE  the skeleton source (default lib/core/skeleton.ml)\n\
+    \  --check        run the checks and exit\n\
+    \  --emit STEM    print the named automaton as .ta text on stdout\n\
+    \  --list         list exportable automaton stems\n\n\
+     Exit status: 0 ok, 2 check failure or usage error.\n"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--help" args || List.mem "-help" args then begin
+    usage ();
+    exit 0
+  end;
+  let rec parse_args source mode = function
+    | [] -> Some (source, mode)
+    | "--source" :: f :: rest -> parse_args f mode rest
+    | "--check" :: rest -> parse_args source `Check rest
+    | "--list" :: rest -> parse_args source `List rest
+    | "--emit" :: stem :: rest -> parse_args source (`Emit stem) rest
+    | _ -> None
+  in
+  match parse_args "lib/core/skeleton.ml" `Check args with
+  | None ->
+      prerr_string "ta_export: bad usage (try --help)\n";
+      exit 2
+  | Some (_, `List) ->
+      List.iter (fun (stem, _) -> print_endline stem) (Ba_verify.Ta_model.all ());
+      exit 0
+  | Some (source, mode) -> (
+      let failures = check_source ~path:source @ check_models () in
+      List.iter (fun m -> Format.eprintf "ta_export: %s@." m) failures;
+      if failures <> [] then exit 2;
+      match mode with
+      | `Check ->
+          Format.eprintf "ta_export: %s consistent with %d automata; all checks passed@."
+            source
+            (List.length (Ba_verify.Ta_model.all ()));
+          exit 0
+      | `List -> assert false
+      | `Emit stem -> (
+          match List.assoc_opt stem (Ba_verify.Ta_model.all ()) with
+          | Some a ->
+              print_string (Ba_verify.Ta.to_string a);
+              exit 0
+          | None ->
+              Format.eprintf "ta_export: unknown automaton %S (try --list)@." stem;
+              exit 2))
