@@ -1,4 +1,4 @@
-(* ba_sweep: run registered experiments (E1-E20 from DESIGN.md §5).
+(* ba_sweep: run registered experiments (E1-E22 from DESIGN.md §5).
 
    The experiment set comes from Ba_experiments.Experiments.registry — this
    driver holds no list of its own.
@@ -223,7 +223,7 @@ let run ids all list quick domains seed tags json_path csv_path keep_going retri
         else 0
 
 let cmd =
-  let doc = "run the paper's registered experiments (E1-E20)" in
+  let doc = "run the paper's registered experiments (E1-E22)" in
   Cmd.v (Cmd.info "ba_sweep" ~doc)
     Term.(const run $ ids_arg $ all_arg $ list_arg $ quick_arg $ domains_arg $ seed_arg $ tag_arg
           $ json_arg $ csv_arg $ keep_going_arg $ retries_arg $ round_cap_arg)

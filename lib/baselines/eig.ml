@@ -81,6 +81,9 @@ let protocol : (state, msg) Ba_sim.Protocol.t =
     msg_bits =
       (fun entries ->
         List.fold_left (fun acc (label, _) -> acc + 1 + (8 * (1 + List.length label))) 0 entries);
+    msg_words =
+      (* one word per carried subtree entry: a (label, value) pair *)
+      (fun entries -> max 1 (List.length entries));
     codec = None (* subtree payloads have no vote/flip header to pack *);
     inspect = (fun _ -> None) }
 

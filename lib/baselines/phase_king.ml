@@ -61,6 +61,7 @@ let protocol : (state, msg) Ba_sim.Protocol.t =
     halted = (fun st -> st.halted);
     msg_bits = (fun m -> 3 + (let rec il acc x = if x <= 1 then acc else il (acc + 1) (x / 2) in
                               il 0 (m.pk_phase + 2)));
+    msg_words = (fun _ -> 1);
     codec = Some msg_code;
     inspect =
       (fun st ->

@@ -46,6 +46,7 @@ let make ?rounds () : (state, msg) Ba_sim.Protocol.t =
     output = (fun st -> st.output);
     halted = (fun st -> st.halted);
     msg_bits = (fun (Value _) -> 1);
+    msg_words = (fun (Value _) -> 1);
     codec = None (* recv samples two slots; a tally kernel would not pay *);
     inspect =
       (fun st ->

@@ -23,6 +23,7 @@ let make_protocol ~name ~designated : (state, msg) Ba_sim.Protocol.t =
     output = (fun st -> st.coin);
     halted = (fun st -> st.halted);
     msg_bits = (fun (Flip _) -> 2);
+    msg_words = (fun (Flip _) -> 1);
     codec = Some msg_code;
     inspect = (fun _ -> None) }
 

@@ -179,6 +179,7 @@ let make cfg : (state, msg) Ba_sim.Protocol.t =
     output = (fun st -> st.output);
     halted = (fun st -> st.halted);
     msg_bits;
+    msg_words = (fun m -> Ba_sim.Protocol.words_of_bits (msg_bits m));
     codec = Some msg_code;
     inspect =
       (fun st ->

@@ -30,6 +30,8 @@ let e17_async_contrast ?quick ~seed () = Exp_async.e17 ?quick ~seed ()
 let e18_link_faults ?quick ~seed () = Exp_robustness.e18 ?quick ~seed ()
 let e19_crash_recovery ?quick ~seed () = Exp_robustness.e19 ?quick ~seed ()
 let e20_async_faults ?quick ~seed () = Exp_async.e20 ?quick ~seed ~domains:1 ()
+let e21_sparse_regimes ?quick ~seed () = Exp_sparse.e21 ?quick ~seed ()
+let e22_sparse_scaling ?quick ~seed () = Exp_sparse.e22 ?quick ~seed ()
 
 let registry =
   let num (d : Ba_harness.Registry.descriptor) =
@@ -44,7 +46,7 @@ let registry =
        (fun a b -> compare (num a) (num b))
        (Exp_coin.experiments @ Exp_scaling.experiments @ Exp_complexity.experiments
       @ Exp_baselines.experiments @ Exp_ablations.experiments @ Exp_async.experiments
-      @ Exp_robustness.experiments))
+      @ Exp_robustness.experiments @ Exp_sparse.experiments))
 
 let all ?(policy = Ba_harness.Supervisor.default) ?(quick = false) ~seed () =
   List.map

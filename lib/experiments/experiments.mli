@@ -1,8 +1,9 @@
-(** The paper's claims as runnable experiments (E1–E20 in DESIGN.md §5).
+(** The paper's claims as runnable experiments (E1–E22 in DESIGN.md §5).
 
     This is a thin compatibility facade: the experiments themselves live in
     the per-claim modules ({!Exp_coin}, {!Exp_scaling}, {!Exp_complexity},
-    {!Exp_baselines}, {!Exp_ablations}, {!Exp_async}, {!Exp_robustness}), each of which also
+    {!Exp_baselines}, {!Exp_ablations}, {!Exp_async}, {!Exp_robustness},
+    {!Exp_sparse}), each of which also
     publishes {!Ba_harness.Registry.descriptor}s. The assembled {!registry}
     is the single source of truth that [ba_sweep] and [bench] drive — no
     experiment list is maintained anywhere else.
@@ -105,7 +106,16 @@ val e19_crash_recovery : ?quick:bool -> seed:int64 -> unit -> report
     E18), audited through the unified substrate checkers. *)
 val e20_async_faults : ?quick:bool -> seed:int64 -> unit -> report
 
-(** The full E1–E20 registry, in numeric id order. The single source of
+(** E21 — the sparse message plane's communication regimes: identical
+    sampled-majority dynamics under dense broadcast, √n-sampling, and the
+    heartbeat word budget; bits, words and rounds-to-decide compared. *)
+val e21_sparse_regimes : ?quick:bool -> seed:int64 -> unit -> report
+
+(** E22 — sampled-plane scaling: total bits vs [n] for ks-sample at degree
+    [⌈√n⌉]; the fitted log–log exponent should land near 1.5. *)
+val e22_sparse_scaling : ?quick:bool -> seed:int64 -> unit -> report
+
+(** The full E1–E22 registry, in numeric id order. The single source of
     truth for every driver ([ba_sweep], [bench]) and for the DESIGN.md §5
     coverage test. *)
 val registry : Ba_harness.Registry.t

@@ -7,6 +7,9 @@ type protocol_kind =
   | Local_coin
   | Phase_king
   | Eig
+  | Ks_broadcast
+  | Ks_sample of { degree : int }
+  | Word_budget of { degree : int }
 
 type adversary_kind =
   | Silent
@@ -30,6 +33,9 @@ let protocol_name = function
   | Local_coin -> "local-coin"
   | Phase_king -> "phase-king"
   | Eig -> "eig"
+  | Ks_broadcast -> "ks-broadcast"
+  | Ks_sample _ -> "ks-sample"
+  | Word_budget _ -> "word-budget"
 
 let adversary_name = function
   | Silent -> "silent"
@@ -55,7 +61,7 @@ let inputs pattern ~n ~t =
 
 let all_protocol_names =
   [ "alg3"; "alg3-extra-round"; "las-vegas"; "chor-coan"; "chor-coan-lv"; "rabin";
-    "local-coin"; "phase-king"; "eig" ]
+    "local-coin"; "phase-king"; "eig"; "ks-broadcast"; "ks-sample"; "word-budget" ]
 
 let all_adversary_names =
   [ "silent"; "static-crash"; "staggered-crash"; "committee-killer"; "crash-committee-killer";
@@ -72,6 +78,9 @@ let parse_protocol s =
   | "local-coin" -> Ok Local_coin
   | "phase-king" -> Ok Phase_king
   | "eig" -> Ok Eig
+  | "ks-broadcast" -> Ok Ks_broadcast
+  | "ks-sample" -> Ok (Ks_sample { degree = 0 })
+  | "word-budget" -> Ok (Word_budget { degree = 0 })
   | _ -> Error (Printf.sprintf "unknown protocol %S; expected one of: %s" s
                   (String.concat ", " all_protocol_names))
 
@@ -195,7 +204,8 @@ let skeleton_run ~faults ~cap ~protocol ~config ~designated ~adversary ~n ~t ~ro
         Ba_sim.Engine.run ~max_rounds ?congest_limit_bits ?faults
           ~sharder:(sharder_of ~domains) ~record ~protocol ~adversary:adv ~n ~t ~inputs ~seed ()) }
 
-let generic_run ~faults ~cap ~protocol ~adversary ~n ~t ~round_bound ~rounds_per_phase =
+let generic_run ?(topology = Ba_sim.Topology.Dense) ~faults ~cap ~protocol ~adversary ~n ~t
+    ~round_bound ~rounds_per_phase () =
   match generic_adversary adversary ~seed:0L with
   | None ->
       invalid_arg
@@ -212,8 +222,8 @@ let generic_run ~faults ~cap ~protocol ~adversary ~n ~t ~round_bound ~rounds_per
             let max_rounds = Option.value max_rounds ~default:round_bound in
             let adv = cap_adversary cap (Option.get (generic_adversary adversary ~seed)) in
             Ba_sim.Engine.run ~max_rounds ?congest_limit_bits ?faults
-              ~sharder:(sharder_of ~domains) ~record ~protocol ~adversary:adv ~n ~t ~inputs ~seed
-              ()) }
+              ~sharder:(sharder_of ~domains) ~topology ~record ~protocol ~adversary:adv ~n ~t
+              ~inputs ~seed ()) }
 
 let make_impl ~faults ~cap ~protocol ~adversary ~n ~t =
   match protocol with
@@ -281,12 +291,36 @@ let make_impl ~faults ~cap ~protocol ~adversary ~n ~t =
       let protocol = Ba_baselines.Phase_king.make ~n ~t in
       generic_run ~faults ~cap ~protocol ~adversary ~n ~t
         ~round_bound:(Ba_baselines.Phase_king.rounds ~t + 2)
-        ~rounds_per_phase:(Some 2)
+        ~rounds_per_phase:(Some 2) ()
   | Eig ->
       if n > 10 then invalid_arg "Setups.make: eig is exponential; use n <= 10";
       generic_run ~faults ~cap ~protocol:Ba_baselines.Eig.protocol ~adversary ~n ~t
         ~round_bound:(Ba_baselines.Eig.rounds ~t + 1)
-        ~rounds_per_phase:None
+        ~rounds_per_phase:None ()
+  | Ks_broadcast ->
+      (* Dense control arm: same dynamics as ks-sample with a full-degree
+         sample on the dense plane. *)
+      let inst = Ba_sparse.Ks_agreement.make ~name:"ks-broadcast" ~degree:(n - 1) ~n ~t () in
+      generic_run ~faults ~cap ~protocol:inst.protocol ~adversary ~n ~t
+        ~round_bound:inst.round_bound ~rounds_per_phase:None ()
+  | Ks_sample { degree } ->
+      let degree =
+        if degree = 0 then Ba_sparse.Ks_agreement.default_degree ~n else degree
+      in
+      let inst = Ba_sparse.Ks_agreement.make ~degree ~n ~t () in
+      generic_run
+        ~topology:(Ba_sim.Topology.Sampled { degree })
+        ~faults ~cap ~protocol:inst.protocol ~adversary ~n ~t ~round_bound:inst.round_bound
+        ~rounds_per_phase:None ()
+  | Word_budget { degree } ->
+      let degree =
+        if degree = 0 then Ba_sparse.Ks_agreement.default_degree ~n else degree
+      in
+      let inst = Ba_sparse.Word_budget.make ~degree ~n ~t () in
+      generic_run
+        ~topology:(Ba_sim.Topology.Sampled { degree })
+        ~faults ~cap ~protocol:inst.protocol ~adversary ~n ~t ~round_bound:inst.round_bound
+        ~rounds_per_phase:None ()
 
 let make ~protocol ~adversary ~n ~t = make_impl ~faults:None ~cap:None ~protocol ~adversary ~n ~t
 

@@ -15,6 +15,16 @@ type protocol_kind =
   | Local_coin
   | Phase_king
   | Eig
+  | Ks_broadcast
+      (** sampled-majority dynamics at full degree on the dense plane — the
+          broadcast control arm of E21 *)
+  | Ks_sample of { degree : int }
+      (** King–Saia-style √n-sampled agreement on a
+          {!Ba_sim.Topology.Sampled} plane; [degree = 0] means the default
+          ⌈√n⌉ *)
+  | Word_budget of { degree : int }
+      (** heartbeat-gated word-budget variant of [Ks_sample]; [degree = 0]
+          means the default ⌈√n⌉ *)
 
 type adversary_kind =
   | Silent

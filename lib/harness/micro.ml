@@ -41,13 +41,21 @@ let validate_doc d =
   | Some _ | None -> ());
   d
 
-let make ?calibration ?(tolerance = default_tolerance) metrics =
+let make ?calibration ?(tolerance = default_tolerance) ?(tolerances = []) metrics =
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name metrics) then
+        invalid_arg (Printf.sprintf "Micro.make: tolerance for unknown metric %S" name))
+    tolerances;
   validate_doc
     { schema_version;
       calibration;
       default_tolerance = tolerance;
       metrics =
-        List.map (fun (name, ns) -> { m_name = name; m_ns = ns; m_tolerance = None; m_note = None })
+        List.map
+          (fun (name, ns) ->
+            { m_name = name; m_ns = ns; m_tolerance = List.assoc_opt name tolerances;
+              m_note = None })
           metrics }
 
 let to_json d =

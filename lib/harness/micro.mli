@@ -33,11 +33,21 @@ val schema_version : int
     document carries one: current/baseline (normalized) above this fails. *)
 val default_tolerance : float
 
-(** [make ?calibration ?tolerance metrics] — build a document from
-    [(name, ns_per_call)] pairs.
+(** [make ?calibration ?tolerance ?tolerances metrics] — build a document
+    from [(name, ns_per_call)] pairs. [tolerances] attaches per-metric
+    overrides (e.g. a wall-clock-scale micro that is noisier than the
+    ns-scale ones); every named metric must be in [metrics]. Per-metric
+    tolerances take precedence over both the comparison's
+    [?default_tolerance] and the document default (see {!compare_docs}).
     @raise Invalid_argument on duplicate names, non-positive or non-finite
-    measurements, tolerances below 1, or a calibration name not present. *)
-val make : ?calibration:string -> ?tolerance:float -> (string * float) list -> doc
+    measurements, tolerances below 1, a tolerance naming an absent metric,
+    or a calibration name not present. *)
+val make :
+  ?calibration:string ->
+  ?tolerance:float ->
+  ?tolerances:(string * float) list ->
+  (string * float) list ->
+  doc
 
 val to_json : doc -> Json.t
 

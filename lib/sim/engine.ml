@@ -29,8 +29,8 @@ let validate ~n ~t ~inputs =
   Array.iter (fun b -> if b <> 0 && b <> 1 then invalid_arg "Engine.run: inputs must be 0/1") inputs
 
 let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = sequential)
-    ?trace ~(protocol : ('state, 'msg) Protocol.t) ~(adversary : ('state, 'msg) Adversary.t)
-    ~n ~t ~inputs ~seed () =
+    ?(topology = Topology.Dense) ?trace ~(protocol : ('state, 'msg) Protocol.t)
+    ~(adversary : ('state, 'msg) Adversary.t) ~n ~t ~inputs ~seed () =
   validate ~n ~t ~inputs;
   if sharder.s_shards < 1 then invalid_arg "Engine.run: sharder must offer at least one shard";
   let max_rounds =
@@ -40,6 +40,12 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = se
     match faults with
     | Some plan when not (Faults.is_none plan) -> Some (Faults.instantiate plan ~n ~seed)
     | Some _ | None -> None
+  in
+  (* The dense plan keeps the historical broadcast path bit-for-bit; a
+     restricted plan (sampled / committee links) routes delivery through
+     per-recipient sparse plane slices (DESIGN.md §13). *)
+  let topo =
+    if Topology.is_dense topology then None else Some (Topology.instantiate topology ~n ~seed)
   in
   let master = Ba_prng.Rng.create seed in
   let node_rngs = Ba_prng.Rng.split_n master n in
@@ -51,7 +57,7 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = se
   let metrics = Metrics.create () in
   let meter payload ~byzantine =
     let bits = protocol.msg_bits payload in
-    Metrics.record_message metrics ~bits ~byzantine;
+    Metrics.record_message metrics ~bits ~words:(protocol.msg_words payload) ~byzantine;
     match congest_limit_bits with
     | Some limit when bits > limit -> Metrics.record_congest_violation metrics
     | Some _ | None -> ()
@@ -122,9 +128,11 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = se
           honest_msgs.(v) <- None
         end)
       action.corrupt;
-    (* 4. Delivery + 5. recv for each live honest node. Three modes, all
-       observably identical to per-link delivery (same metrics, same RNG
-       draw order — the determinism proof obligation of DESIGN.md §10):
+    (* 4. Delivery + 5. recv for each live honest node. Under a restricted
+       topology, delivery routes through per-recipient sparse plane slices
+       (first arm below; DESIGN.md §13). On the dense plan, three modes,
+       all observably identical to per-link delivery (same metrics, same
+       RNG draw order — the determinism proof obligation of DESIGN.md §10):
 
        - benign broadcast (no fault instance, no corrupted node): every
          live recipient's inbox is the same array, so one shared plane is
@@ -141,8 +149,113 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = se
     for v = n - 1 downto 0 do
       if corrupted.(v) then corrupted_now := v :: !corrupted_now
     done;
-    (match (faults, !corrupted_now) with
-    | None, [] ->
+    (match (topo, faults, !corrupted_now) with
+    | Some ti, _, _ ->
+        (* Restricted topology: per-recipient delivery lists, built entirely
+           on the calling domain in a single src-ascending pass — sampling,
+           Byzantine patching and fault draws all happen here, so outcomes
+           are byte-identical at any shard count. Each list is built
+           newest-head, then materialized back-to-front into sorted slices.
+           Byzantine traffic is constrained to the sender's sampled links:
+           corruption buys a node's slots in the topology, not extra edges
+           (DESIGN.md §13). *)
+        let inboxes = Array.make n [] in
+        let push ~src ~dst payload = inboxes.(dst) <- (src, payload) :: inboxes.(dst) in
+        for v = 0 to n - 1 do
+          if corrupted.(v) then begin
+            let rs = Topology.recipients ti ~round:r ~src:v in
+            Array.iter
+              (fun u ->
+                if live u then begin
+                  let raw = action.byz_msg ~src:v ~dst:u in
+                  let m =
+                    match faults with
+                    | None -> raw
+                    | Some inst -> Faults.deliver inst ~metrics ~round:r ~src:v ~dst:u raw
+                  in
+                  match m with
+                  | Some p ->
+                      meter p ~byzantine:true;
+                      push ~src:v ~dst:u p
+                  | None -> ()
+                end)
+              rs
+          end
+          else if live v then
+            match honest_msgs.(v) with
+            | Some p -> (
+                (* a node always hears itself, unmetered — as on the dense
+                   plane *)
+                push ~src:v ~dst:v p;
+                let rs = Topology.recipients ti ~round:r ~src:v in
+                match faults with
+                | None ->
+                    let copies = ref 0 in
+                    Array.iter
+                      (fun u ->
+                        if live u then begin
+                          push ~src:v ~dst:u p;
+                          incr copies
+                        end)
+                      rs;
+                    if !copies > 0 then begin
+                      let bits = protocol.msg_bits p in
+                      Metrics.record_broadcast metrics ~bits ~words:(protocol.msg_words p)
+                        ~copies:!copies ~byzantine:false;
+                      match congest_limit_bits with
+                      | Some limit when bits > limit ->
+                          Metrics.record_congest_violations metrics !copies
+                      | Some _ | None -> ()
+                    end
+                | Some inst ->
+                    Array.iter
+                      (fun u ->
+                        if live u then
+                          match Faults.deliver inst ~metrics ~round:r ~src:v ~dst:u (Some p) with
+                          | Some p' ->
+                              meter p' ~byzantine:false;
+                              push ~src:v ~dst:u p'
+                          | None -> ())
+                      rs)
+            | None -> ()
+        done;
+        let plane_of u =
+          let entries = inboxes.(u) in
+          let len = List.length entries in
+          let srcs = Array.make len 0 in
+          let msgs = Array.make len None in
+          let codes = match codec with Some _ -> Some (Array.make len Plane.absent) | None -> None
+          in
+          let k = ref len in
+          List.iter
+            (fun (s, p) ->
+              decr k;
+              srcs.(!k) <- s;
+              msgs.(!k) <- Some p;
+              match (codes, codec) with
+              | Some cs, Some enc -> cs.(!k) <- enc p
+              | (Some _ | None), _ -> ())
+            entries;
+          Plane.sparse_slice ?codes ~n ~srcs ~msgs ~lo:0 ~hi:len ()
+        in
+        let deliver_range lo hi =
+          for u = lo to hi do
+            if live u then
+              new_states.(u) <- protocol.recv (ctx_of u) states.(u) ~round:r ~inbox:(plane_of u)
+          done
+        in
+        if sharder.s_shards > 1 && n > 1 then begin
+          let shards = min sharder.s_shards n in
+          let chunk = (n + shards - 1) / shards in
+          let thunks =
+            Array.init shards (fun i ->
+                let lo = i * chunk and hi = min (n - 1) (((i + 1) * chunk) - 1) in
+                fun () -> deliver_range lo hi)
+          in
+          sharder.s_run thunks
+        end
+        else deliver_range 0 (n - 1)
+    | None, None, [] ->
         let live_recipients = ref 0 in
         for v = 0 to n - 1 do
           if live v then incr live_recipients
@@ -153,7 +266,8 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = se
               let copies = !live_recipients - if live v then 1 else 0 in
               if copies > 0 then begin
                 let bits = protocol.msg_bits payload in
-                Metrics.record_broadcast metrics ~bits ~copies ~byzantine:false;
+                Metrics.record_broadcast metrics ~bits ~words:(protocol.msg_words payload) ~copies
+                  ~byzantine:false;
                 match congest_limit_bits with
                 | Some limit when bits > limit ->
                     Metrics.record_congest_violations metrics copies
@@ -180,7 +294,7 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = se
           sharder.s_run thunks
         end
         else deliver_range plane 0 (n - 1)
-    | None, cs ->
+    | None, None, cs ->
         for u = 0 to n - 1 do
           if live u then begin
             let data = Array.copy honest_msgs in
@@ -195,7 +309,7 @@ let run ?max_rounds ?(record = false) ?congest_limit_bits ?faults ?(sharder = se
               protocol.recv (ctx_of u) states.(u) ~round:r ~inbox:(Plane.of_array ?encode:codec data)
           end
         done
-    | Some inst, _ ->
+    | None, Some inst, _ ->
         for u = 0 to n - 1 do
           if live u then begin
             let data = Array.copy honest_msgs in

@@ -70,6 +70,18 @@ type outcome = {
     engine.
     @param sharder how to fan benign-round delivery out over domains
     (default {!sequential}); any shard count yields byte-identical outcomes.
+    @param topology the per-round delivery {!Topology.plan} (default
+    [Topology.Dense], which is bit-for-bit the historical dense engine). A
+    restricted plan delivers each broadcast only to the sender's per-round
+    recipient set, through per-recipient sparse plane slices; a node still
+    always hears itself. Byzantine payloads are likewise constrained to the
+    corrupted sender's sampled links ([byz_msg] is consulted once per
+    sampled edge, senders ascending then recipients ascending), and
+    corruption accounting, budget caps and checker audits are unchanged.
+    Link faults compose: {!Faults.deliver} is applied to every sampled
+    edge in the same deterministic order. Sampling draws from a dedicated
+    salted stream keyed by [(seed, round, src)], so recipient sets are
+    independent of adversary behaviour and of the shard count.
     @param trace unified substrate trace hook ({!Run.trace}); the
     synchronous engine emits round-granularity events only ([Run.Tick] per
     round, [Run.Corrupt] per corruption — per-message events would defeat
@@ -85,6 +97,7 @@ val run :
   ?congest_limit_bits:int ->
   ?faults:'msg Faults.plan ->
   ?sharder:sharder ->
+  ?topology:Topology.plan ->
   ?trace:Run.trace ->
   protocol:('state, 'msg) Protocol.t ->
   adversary:('state, 'msg) Adversary.t ->

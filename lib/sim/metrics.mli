@@ -11,16 +11,19 @@ type t
 val create : unit -> t
 
 (** [record_message m ~bits ~byzantine] counts one delivered point-to-point
-    message of [bits] payload bits; [byzantine] marks sender corruption. *)
-val record_message : t -> bits:int -> byzantine:bool -> unit
+    message of [bits] payload bits and [words] machine words ([?words]
+    defaults to 1 — every payload occupies at least one word; see
+    {!words}); [byzantine] marks sender corruption.
+    @raise Invalid_argument if [words < 0]. *)
+val record_message : ?words:int -> t -> bits:int -> byzantine:bool -> unit
 
 (** [record_broadcast m ~bits ~copies ~byzantine] counts one broadcast of a
-    [bits]-bit payload delivered to [copies] recipients — arithmetically
-    identical to [copies] calls of {!record_message} (the batched plane's
-    benign fast path meters whole broadcasts at once). A zero-copy
-    broadcast records nothing, matching per-link metering.
-    @raise Invalid_argument if [copies < 0]. *)
-val record_broadcast : t -> bits:int -> copies:int -> byzantine:bool -> unit
+    [bits]-bit, [words]-word payload delivered to [copies] recipients —
+    arithmetically identical to [copies] calls of {!record_message} (the
+    batched plane's benign fast path meters whole broadcasts at once). A
+    zero-copy broadcast records nothing, matching per-link metering.
+    @raise Invalid_argument if [copies < 0] or [words < 0]. *)
+val record_broadcast : ?words:int -> t -> bits:int -> copies:int -> byzantine:bool -> unit
 
 (** [record_round m] counts one synchronous round. *)
 val record_round : t -> unit
@@ -37,6 +40,14 @@ val byzantine_messages : t -> int
 
 (** [bits m] is the total payload bits delivered. *)
 val bits : t -> int
+
+(** [words m] is the total payload size in machine words — the cost unit of
+    the word-complexity literature (Cohen–Keidar–Spiegelman, "Make Every
+    Word Count"): a word holds a value or a counter, so a vote-style
+    message is one word regardless of its O(log n)-bit encoding, while a
+    multi-value payload (e.g. an EIG subtree) counts each carried word.
+    Sized by the protocol's [msg_words] (DESIGN.md §13). *)
+val words : t -> int
 
 (** [max_bits_per_message m] is the largest single payload seen — compare
     against the CONGEST budget. *)

@@ -1,15 +1,22 @@
-(* Batched message plane (DESIGN.md section 10).
+(* Batched message plane (DESIGN.md sections 10 and 13).
 
-   One round's deliveries, as seen by a recipient. Two representations:
+   One round's deliveries, as seen by a recipient. Three representations:
 
-   - shared: in a benign broadcast round every live recipient sees the same
-     inbox, so the engine hands all of them one plane over the honest
-     broadcast slab, with payloads packed into a reusable int-code array and
-     aggregation results memoized — the round costs O(n) instead of O(n^2)
-     for protocols whose recv is a tally;
-   - solo: rounds touched by Byzantine senders or link faults get a
-     per-recipient plane over a patched copy of the slab (codes derived on
-     the fly, nothing shared), reproducing the per-link semantics exactly.
+   - shared (flat): in a benign dense broadcast round every live recipient
+     sees the same inbox, so the engine hands all of them one plane over the
+     honest broadcast slab, with payloads packed into a reusable int-code
+     array and aggregation results memoized — the round costs O(n) instead
+     of O(n^2) for protocols whose recv is a tally;
+   - solo (flat): dense rounds touched by Byzantine senders or link faults
+     get a per-recipient plane over a patched copy of the slab (codes
+     derived on the fly, nothing shared), reproducing per-link semantics
+     exactly;
+   - sparse slice: under a restricted Topology a recipient's inbox is the
+     short list of senders whose sampled recipient set contained it. The
+     slice stores (sorted source ids, packed codes, boxed payloads) for just
+     those deliveries, so tally kernels cost O(in-degree) — the whole point
+     of the sparse plane. Slices are solo by construction (one recipient
+     each), so nothing is memoized.
 
    The cache is keyed by plain ints (never closures — lint D005 bans
    physical equality, and structural equality on closures is meaningless),
@@ -48,14 +55,25 @@ type cache_entry = {
   cr_b : int;
 }
 
-type 'msg t = {
-  p_data : 'msg option array;
-  p_codes : int array option; (* packed slab; present only on shared planes *)
-  p_encode : ('msg -> int) option;
-  mutable p_cache : cache_entry list;
-}
+type 'msg repr =
+  | Flat of {
+      f_data : 'msg option array;
+      f_codes : int array option; (* packed slab; present only on shared planes *)
+      f_encode : ('msg -> int) option;
+    }
+  | Sparse of {
+      sp_n : int; (* sender-id space; [length] of the plane *)
+      sp_srcs : int array; (* sorted ascending within [lo, hi) *)
+      sp_codes : int array option; (* packed in step with sp_srcs; None without codec *)
+      sp_msgs : 'msg option array; (* boxed payloads, in step with sp_srcs *)
+      sp_lo : int;
+      sp_hi : int;
+    }
 
-let of_array ?encode data = { p_data = data; p_codes = None; p_encode = encode; p_cache = [] }
+type 'msg t = { p_repr : 'msg repr; mutable p_cache : cache_entry list }
+
+let of_array ?encode data =
+  { p_repr = Flat { f_data = data; f_codes = None; f_encode = encode }; p_cache = [] }
 
 let shared ?encode ~slab data =
   let codes =
@@ -69,25 +87,74 @@ let shared ?encode ~slab data =
         done;
         Some slab
   in
-  { p_data = data; p_codes = codes; p_encode = encode; p_cache = [] }
+  { p_repr = Flat { f_data = data; f_codes = codes; f_encode = encode }; p_cache = [] }
+
+let sparse_slice ?codes ~n ~srcs ~msgs ~lo ~hi () =
+  if lo < 0 || hi < lo || hi > Array.length srcs then
+    invalid_arg "Plane.sparse_slice: bad [lo, hi) slice";
+  if Array.length msgs <> Array.length srcs then
+    invalid_arg "Plane.sparse_slice: msgs length <> srcs length";
+  (match codes with
+  | Some cs when Array.length cs <> Array.length srcs ->
+      invalid_arg "Plane.sparse_slice: codes length <> srcs length"
+  | Some _ | None -> ());
+  { p_repr = Sparse { sp_n = n; sp_srcs = srcs; sp_codes = codes; sp_msgs = msgs; sp_lo = lo; sp_hi = hi };
+    p_cache = [] }
 
 let shard_view t = { t with p_cache = [] }
 
-let length t = Array.length t.p_data
-let get t v = t.p_data.(v)
-let iteri f t = Array.iteri f t.p_data
-let to_array t = Array.copy t.p_data
+let length t =
+  match t.p_repr with Flat f -> Array.length f.f_data | Sparse s -> s.sp_n
 
-let code_at t i =
-  match t.p_codes with
-  | Some codes -> codes.(i)
-  | None -> (
-      match t.p_data.(i) with
+let get t v =
+  match t.p_repr with
+  | Flat f -> f.f_data.(v)
+  | Sparse s ->
+      (* binary search over the sorted source slice *)
+      let lo = ref s.sp_lo and hi = ref s.sp_hi in
+      let found = ref None in
+      while !found = None && !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        let x = s.sp_srcs.(mid) in
+        if x = v then found := Some s.sp_msgs.(mid)
+        else if x < v then lo := mid + 1
+        else hi := mid
+      done;
+      (match !found with Some m -> m | None -> None)
+
+let iteri f t =
+  match t.p_repr with
+  | Flat fl -> Array.iteri f fl.f_data
+  | Sparse s ->
+      for k = s.sp_lo to s.sp_hi - 1 do
+        f s.sp_srcs.(k) s.sp_msgs.(k)
+      done
+
+let to_array t =
+  match t.p_repr with
+  | Flat f -> Array.copy f.f_data
+  | Sparse s ->
+      let out = Array.make s.sp_n None in
+      for k = s.sp_lo to s.sp_hi - 1 do
+        out.(s.sp_srcs.(k)) <- s.sp_msgs.(k)
+      done;
+      out
+
+let flat_code f i =
+  match f with
+  | Flat { f_codes = Some codes; _ } -> codes.(i)
+  | Flat { f_data; f_encode; _ } -> (
+      match f_data.(i) with
       | None -> absent
       | Some m -> (
-          match t.p_encode with
-          | Some f -> f m
+          match f_encode with
+          | Some enc -> enc m
           | None -> invalid_arg "Plane: tally kernel on a plane without a codec"))
+  | Sparse _ -> assert false
+
+let sparse_codes = function
+  | Some codes -> codes
+  | None -> invalid_arg "Plane: tally kernel on a plane without a codec"
 
 let find_cache t ~kind ~phase ~sub ~flag =
   List.find_opt
@@ -95,9 +162,12 @@ let find_cache t ~kind ~phase ~sub ~flag =
     t.p_cache
 
 let memoize t ~kind ~phase ~sub ~flag compute =
-  match t.p_codes with
-  | None -> compute () (* solo plane: consumed by one recv, nothing to share *)
-  | Some _ -> (
+  match t.p_repr with
+  | Flat { f_codes = None; _ } | Sparse _ ->
+      (* solo plane / per-recipient slice: consumed by one recv, nothing to
+         share *)
+      compute ()
+  | Flat { f_codes = Some _; _ } -> (
       match find_cache t ~kind ~phase ~sub ~flag with
       | Some e -> (e.cr_a, e.cr_b)
       | None ->
@@ -109,14 +179,23 @@ let memoize t ~kind ~phase ~sub ~flag compute =
 
 let vote_counts_scan t ~phase ~sub ~decided_only =
   let c0 = ref 0 and c1 = ref 0 in
-  for i = 0 to Array.length t.p_data - 1 do
-    let c = code_at t i in
+  let count c =
     if c >= 0 && c lsr 7 = phase && (c lsr 3) land 3 = sub then begin
       let v = c land 3 in
       if v < 2 && ((not decided_only) || (c lsr 2) land 1 = 1) then
         if v = 0 then incr c0 else incr c1
     end
-  done;
+  in
+  (match t.p_repr with
+  | Flat f ->
+      for i = 0 to Array.length f.f_data - 1 do
+        count (flat_code (Flat f) i)
+      done
+  | Sparse s ->
+      let codes = sparse_codes s.sp_codes in
+      for k = s.sp_lo to s.sp_hi - 1 do
+        count codes.(k)
+      done);
   (!c0, !c1)
 
 let vote_counts t ~phase ~sub ~decided_only =
@@ -126,13 +205,20 @@ let vote_counts t ~phase ~sub ~decided_only =
 
 let signed_sum_scan t ~phase ~sub ~members =
   let sum = ref 0 in
-  for i = 0 to Array.length t.p_data - 1 do
-    if members i then begin
-      let c = code_at t i in
-      if c >= 0 && c lsr 7 = phase && (c lsr 3) land 3 = sub then
-        match (c lsr 5) land 3 with 1 -> incr sum | 2 -> decr sum | _ -> ()
-    end
-  done;
+  let add c =
+    if c >= 0 && c lsr 7 = phase && (c lsr 3) land 3 = sub then
+      match (c lsr 5) land 3 with 1 -> incr sum | 2 -> decr sum | _ -> ()
+  in
+  (match t.p_repr with
+  | Flat f ->
+      for i = 0 to Array.length f.f_data - 1 do
+        if members i then add (flat_code (Flat f) i)
+      done
+  | Sparse s ->
+      let codes = sparse_codes s.sp_codes in
+      for k = s.sp_lo to s.sp_hi - 1 do
+        if members s.sp_srcs.(k) then add codes.(k)
+      done);
   !sum
 
 let signed_sum t ~phase ~sub ~members =

@@ -11,6 +11,13 @@
     the slab, preserving per-link delivery semantics (and RNG draw order)
     exactly.
 
+    Under a restricted {!Topology} (sampled or committee links) a
+    recipient's inbox is instead a {e sparse slice}: the sorted list of
+    senders whose per-round recipient set contained it, with packed codes
+    and boxed payloads stored per delivery. Tally kernels on a slice cost
+    O(in-degree) rather than O(n) — the sublinear-communication plane of
+    DESIGN.md §13.
+
     A protocol opts into the packed kernels by providing a
     [Protocol.t.codec] built from {!code}; protocols with payloads that
     don't fit the vote/flip shape (e.g. EIG subtrees) leave the codec
@@ -50,6 +57,27 @@ val of_array : ?encode:('msg -> int) -> 'msg option array -> 'msg t
     any recipient can still read the plane. *)
 val shared : ?encode:('msg -> int) -> slab:int array -> 'msg option array -> 'msg t
 
+(** [sparse_slice ?codes ~n ~srcs ~msgs ~lo ~hi ()] — a per-recipient plane
+    over the slice [lo, hi) of parallel delivery arrays: [srcs.(k)] is the
+    sender id (strictly ascending within the slice), [msgs.(k)] its boxed
+    payload, and [codes.(k)] (when the protocol has a codec) its packed
+    code. [n] is the sender-id space and becomes {!length}. The arrays are
+    not copied; the engine builds them once per round and never mutates a
+    published slice. Kernels scan only the slice; {!get} binary-searches it;
+    {!iteri} visits {e delivered} slots only (a sparse inbox has no
+    meaningful "absent slot" enumeration).
+    @raise Invalid_argument if the slice bounds are bad or the arrays have
+    mismatched lengths. *)
+val sparse_slice :
+  ?codes:int array ->
+  n:int ->
+  srcs:int array ->
+  msgs:'msg option array ->
+  lo:int ->
+  hi:int ->
+  unit ->
+  'msg t
+
 (** [shard_view t] — a view sharing [t]'s payloads and codes but with its
     own memo cache, so concurrent recipients on different domains never
     touch the same mutable cell. *)
@@ -60,9 +88,12 @@ val shard_view : 'msg t -> 'msg t
 val length : _ t -> int
 
 (** [get t v] is the message received from node [v] ([None] if silent,
-    halted, or dropped); [get t me] is the node's own broadcast. *)
+    halted, dropped, or — on a sparse slice — simply not sampled);
+    [get t me] is the node's own broadcast. *)
 val get : 'msg t -> int -> 'msg option
 
+(** On a flat plane, visits every slot (with [None] for absent). On a
+    sparse slice, visits only delivered slots, ascending by sender. *)
 val iteri : (int -> 'msg option -> unit) -> 'msg t -> unit
 
 val to_array : 'msg t -> 'msg option array

@@ -15,8 +15,11 @@ type ('state, 'msg) t = {
   output : 'state -> int option;
   halted : 'state -> bool;
   msg_bits : 'msg -> int;
+  msg_words : 'msg -> int;
   codec : ('msg -> int) option;
   inspect : 'state -> node_view option;
 }
 
 let default_round_cap ~n = 64 + (16 * n)
+
+let words_of_bits bits = if bits <= 0 then 1 else (bits + 63) / 64

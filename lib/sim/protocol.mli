@@ -41,6 +41,10 @@ type ('state, 'msg) t = {
   output : 'state -> int option;  (** the decided value, once decided *)
   halted : 'state -> bool;  (** node has left the protocol *)
   msg_bits : 'msg -> int;  (** payload size for CONGEST accounting *)
+  msg_words : 'msg -> int;
+      (** payload size in machine words for word-complexity accounting
+          (see {!Metrics.words}); {!words_of_bits} of [msg_bits] is the
+          canonical definition *)
   codec : ('msg -> int) option;
       (** packs a payload header into a {!Plane.code} int, enabling the
           shared plane's O(n)-per-round tally kernels; [None] for payloads
@@ -51,3 +55,7 @@ type ('state, 'msg) t = {
 (** [max_rounds_hint p ~n ~t] — protocols may be run without an explicit
     round cap; the engine uses a generous default derived from [n]. *)
 val default_round_cap : n:int -> int
+
+(** [words_of_bits bits] — the canonical [msg_words]: [bits] packed into
+    64-bit machine words, never less than one word per message. *)
+val words_of_bits : int -> int

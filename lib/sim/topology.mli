@@ -1,0 +1,46 @@
+(** Per-round delivery topologies for the message plane (DESIGN.md §13).
+
+    A {!plan} names who each sender reaches in a round; {!instantiate} fixes
+    the seed-derived sampling streams. The engine keeps [Dense] on the
+    packed-slab broadcast fast path (byte-identical to the historical
+    engine) and routes restricted plans through per-recipient sparse plane
+    slices.
+
+    Determinism contract: recipient sets are a pure function of
+    [(seed, round, src)] — sampling is re-keyed per (round, sender) from a
+    salted SplitMix64 stream independent of the per-node protocol streams,
+    the adversary stream and the fault stream. Corruptions therefore never
+    perturb sampling, and delivery sharding cannot reorder draws. *)
+
+type plan =
+  | Dense  (** every sender reaches every recipient — the classical plane *)
+  | Sampled of { degree : int }
+      (** each sender reaches [degree] distinct uniformly sampled peers per
+          round (fresh sample every round), King–Saia style *)
+  | Committees of { count : int }
+      (** node [v] sits in committee [v mod count] and reaches its own
+          committee plus the designated committee [(round - 1) mod count] *)
+
+type t
+
+val plan_name : plan -> string
+
+(** [is_dense p] — [true] exactly for {!Dense}; the engine's fast-path
+    discriminator. *)
+val is_dense : plan -> bool
+
+(** @raise Invalid_argument if the plan is not realizable at [n]: a sampled
+    degree outside [1, n-1] or a committee count outside [1, n]. *)
+val validate : plan -> n:int -> unit
+
+(** [instantiate plan ~n ~seed] fixes the topology for one run. Validates. *)
+val instantiate : plan -> n:int -> seed:int64 -> t
+
+(** Upper bound on any sender's per-round out-degree — buffer sizing. *)
+val degree_bound : t -> int
+
+(** [recipients t ~round ~src] — the distinct, sorted-ascending recipient
+    set of [src] in [round], never containing [src] itself (self-delivery is
+    the engine's job). A fresh array per call.
+    @raise Invalid_argument if [round < 1] or [src] is out of range. *)
+val recipients : t -> round:int -> src:int -> int array

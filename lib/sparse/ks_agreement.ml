@@ -1,0 +1,144 @@
+(* King–Saia-style sampled-majority agreement (DESIGN.md §13).
+
+   "Breaking the O(n^2) Bit Barrier" replaces all-to-all broadcast with
+   per-round samples of ~sqrt(n) peers. This module implements the sampled
+   majority dynamics on the engine's Topology-restricted plane: each round
+   every node broadcasts (round, value, decided-flag) to its sampled
+   recipient set, tallies the sampled votes it received, adopts the sample
+   majority, and decides once it has observed [decide_streak] consecutive
+   overwhelming (>= 7/8) majorities for the same value — or once a strict
+   majority of its nominal sample is already broadcasting decided (the
+   termination echo that lets a decision sweep the network).
+
+   With [degree = n - 1] on the dense plan this is plain broadcast majority
+   agreement — the dense control arm of experiment E21. The protocol is
+   Monte-Carlo: agreement and termination hold with high probability over
+   the sampling streams (validity is deterministic — a unanimous population
+   only ever samples its own value), so runs that exhaust the round cap
+   report [completed = false] rather than a wrong output. *)
+
+type msg = { g_round : int; g_val : int; g_decided : bool }
+
+type state = {
+  s_val : int;
+  s_streak : int;
+  s_decided : bool;
+  s_countdown : int option;
+  s_halted : bool;
+  s_output : int option;
+  s_round : int;
+}
+
+type inst = {
+  protocol : (state, msg) Ba_sim.Protocol.t;
+  degree : int;
+  decide_streak : int;
+  round_bound : int;
+}
+
+let ilog2 n =
+  let rec go acc x = if x <= 1 then acc else go (acc + 1) (x / 2) in
+  go 0 n
+
+let isqrt n =
+  let rec go x =
+    let x' = (x + (n / x)) / 2 in
+    if x' >= x then x else go x'
+  in
+  if n < 2 then n else go n
+
+let default_degree ~n = max 1 (min (n - 1) (isqrt n))
+
+let default_decide_streak = 3
+
+let msg_bits m = 2 + ilog2 (m.g_round + 2)
+
+let msg_code m =
+  Ba_sim.Plane.code ~phase:m.g_round ~sub:0 ~decided:m.g_decided ~vote:m.g_val ~flip:None
+
+(* One sampled-majority step: the shared recv core (also used by the
+   word-budget variant, which differs only in when nodes speak). Returns
+   the state after processing round [round]'s inbox. [countdown] is the
+   number of decided-broadcast rounds before halting. A round with no
+   countable votes (possible under the word budget, where silence is
+   information) leaves the value and streak frozen — unless
+   [quiet_extends_streak] is set, in which case a node that was already
+   observing a supermajority reads total silence as "no news" and lets the
+   streak grow (the word-budget variant's optimistic reading: a quiet
+   sample means nobody had a change to report). *)
+let sample_step ?(quiet_extends_streak = false) ~degree ~decide_streak ~countdown st ~round
+    ~inbox =
+  let st = { st with s_round = round } in
+  match st.s_countdown with
+  | Some k ->
+      if k <= 1 then { st with s_halted = true; s_output = Some st.s_val; s_countdown = Some 0 }
+      else { st with s_countdown = Some (k - 1) }
+  | None ->
+      let c0, c1 = Ba_sim.Plane.vote_counts inbox ~phase:round ~sub:0 ~decided_only:false in
+      let d0, d1 = Ba_sim.Plane.vote_counts inbox ~phase:round ~sub:0 ~decided_only:true in
+      let total = c0 + c1 in
+      (* Termination echo: a strict majority of the nominal sample already
+         decided — adopt and decide regardless of the live tally. *)
+      if 2 * max d0 d1 > degree then
+        let v = if d1 >= d0 then 1 else 0 in
+        { st with s_val = v; s_decided = true; s_streak = decide_streak;
+          s_countdown = Some countdown }
+      else if total = 0 then
+        if quiet_extends_streak && st.s_decided then begin
+          let streak = st.s_streak + 1 in
+          let st = { st with s_streak = streak } in
+          if streak >= decide_streak then { st with s_countdown = Some countdown } else st
+        end
+        else { st with s_decided = false }
+      else begin
+        (* Ties break deterministically to 0: on the dense control arm an
+           exact split would otherwise leave every node keeping its own
+           value forever (the sampled arms break ties by sampling noise,
+           but the full-degree tally is symmetric). *)
+        let maj, cnt = if c1 > c0 then (1, c1) else (0, c0) in
+        let super = 8 * cnt >= 7 * total in
+        let streak = if super then (if maj = st.s_val then st.s_streak + 1 else 1) else 0 in
+        let st = { st with s_val = maj; s_streak = streak; s_decided = super } in
+        if streak >= decide_streak then { st with s_countdown = Some countdown } else st
+      end
+
+let init_state input =
+  { s_val = input; s_streak = 0; s_decided = false; s_countdown = None; s_halted = false;
+    s_output = None; s_round = 0 }
+
+let inspect st =
+  Some
+    { Ba_sim.Protocol.nv_phase = st.s_round;
+      nv_val = st.s_val;
+      nv_decided = st.s_countdown <> None || st.s_halted;
+      nv_finished = st.s_countdown <> None || st.s_halted }
+
+let make ?(name = "ks-sample") ?degree ?(decide_streak = default_decide_streak) ~n ~t:_ () =
+  if n < 2 then invalid_arg "Ks_agreement.make: need n >= 2";
+  let degree = match degree with Some d -> d | None -> default_degree ~n in
+  if degree < 1 || degree > n - 1 then
+    invalid_arg (Printf.sprintf "Ks_agreement.make: degree %d outside [1, n-1=%d]" degree (n - 1));
+  if decide_streak < 1 then invalid_arg "Ks_agreement.make: decide_streak < 1";
+  let round_bound = 64 + (8 * (ilog2 (n + 1) + 1)) in
+  { protocol =
+      { Ba_sim.Protocol.name;
+        init = (fun _ctx ~input -> init_state input);
+        send =
+          (fun _ctx st ~round ->
+            (* g_decided signals commitment (countdown running), not a mere
+               supermajority observation: the termination echo must only
+               count peers that can no longer change their value. *)
+            Some
+              { g_round = round; g_val = st.s_val; g_decided = st.s_countdown <> None });
+        recv =
+          (fun _ctx st ~round ~inbox ->
+            sample_step ~degree ~decide_streak ~countdown:2 st ~round ~inbox);
+        output = (fun st -> st.s_output);
+        halted = (fun st -> st.s_halted);
+        msg_bits;
+        msg_words = (fun _ -> 1);
+        codec = Some msg_code;
+        inspect };
+    degree;
+    decide_streak;
+    round_bound }

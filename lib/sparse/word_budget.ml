@@ -1,0 +1,80 @@
+(* Adaptive word-budget variant of the sampled-majority protocol
+   (DESIGN.md §13, "make every word count" in the sampled regime).
+
+   Same sampled-majority dynamics as Ks_agreement, but a node only spends a
+   word when it has something to say: in the first two rounds (seeding), on
+   a heartbeat every [heartbeat] rounds (liveness under silence), whenever
+   its value or decided-flag changed in the previous step (news), and
+   throughout its decided countdown (so the termination echo stays loud).
+   Silent rounds convey "no news": a receiver whose sample went entirely
+   quiet keeps its value and, if it was already observing a supermajority,
+   lets its streak grow (quiet_extends_streak in Ks_agreement.sample_step)
+   — without that optimistic reading, progress would stall between
+   heartbeats and the rounds inflation would eat the word savings. *)
+
+type msg = Ks_agreement.msg
+
+type state = {
+  w_ks : Ks_agreement.state;
+  w_changed : bool;  (* value or decided-flag moved in the last recv *)
+}
+
+type inst = {
+  protocol : (state, msg) Ba_sim.Protocol.t;
+  degree : int;
+  heartbeat : int;
+  decide_streak : int;
+  round_bound : int;
+}
+
+let default_heartbeat = 4
+
+let speaks ~heartbeat st ~round =
+  round <= 2
+  || (round - 1) mod heartbeat = 0
+  || st.w_changed
+  || st.w_ks.Ks_agreement.s_countdown <> None
+
+let make ?(name = "word-budget") ?degree ?(heartbeat = default_heartbeat)
+    ?(decide_streak = Ks_agreement.default_decide_streak) ~n ~t:_ () =
+  if n < 2 then invalid_arg "Word_budget.make: need n >= 2";
+  let degree = match degree with Some d -> d | None -> Ks_agreement.default_degree ~n in
+  if degree < 1 || degree > n - 1 then
+    invalid_arg
+      (Printf.sprintf "Word_budget.make: degree %d outside [1, n-1=%d]" degree (n - 1));
+  if heartbeat < 1 then invalid_arg "Word_budget.make: heartbeat < 1";
+  if decide_streak < 1 then invalid_arg "Word_budget.make: decide_streak < 1";
+  let ks = Ks_agreement.make ~name ~degree ~decide_streak ~n ~t:0 () in
+  (* Silent stretches can delay progress by up to a heartbeat factor. *)
+  let round_bound = ks.Ks_agreement.round_bound * (heartbeat + 1) in
+  { protocol =
+      { Ba_sim.Protocol.name;
+        init = (fun _ctx ~input -> { w_ks = Ks_agreement.init_state input; w_changed = false });
+        send =
+          (fun _ctx st ~round ->
+            if speaks ~heartbeat st ~round then
+              Some
+                { Ks_agreement.g_round = round;
+                  g_val = st.w_ks.Ks_agreement.s_val;
+                  g_decided = st.w_ks.Ks_agreement.s_countdown <> None }
+            else None);
+        recv =
+          (fun _ctx st ~round ~inbox ->
+            let ks' =
+              Ks_agreement.sample_step ~quiet_extends_streak:true ~degree ~decide_streak
+                ~countdown:2 st.w_ks ~round ~inbox
+            in
+            { w_ks = ks';
+              w_changed =
+                ks'.Ks_agreement.s_val <> st.w_ks.Ks_agreement.s_val
+                || ks'.Ks_agreement.s_decided <> st.w_ks.Ks_agreement.s_decided });
+        output = (fun st -> st.w_ks.Ks_agreement.s_output);
+        halted = (fun st -> st.w_ks.Ks_agreement.s_halted);
+        msg_bits = Ks_agreement.msg_bits;
+        msg_words = (fun _ -> 1);
+        codec = Some Ks_agreement.msg_code;
+        inspect = (fun st -> Ks_agreement.inspect st.w_ks) };
+    degree;
+    heartbeat;
+    decide_streak;
+    round_bound }

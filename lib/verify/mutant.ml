@@ -90,6 +90,7 @@ let make ~phases ~dealer : (state, Ba_core.Skeleton.msg) Ba_sim.Protocol.t =
     output = (fun st -> st.output);
     halted = (fun st -> st.halted);
     msg_bits = (fun m -> 4 + (match m.Ba_core.Skeleton.m_flip with Some _ -> 2 | None -> 0));
+    msg_words = (fun _ -> 1);
     codec = Some Ba_core.Skeleton.msg_code;
     inspect =
       (fun st ->

@@ -138,6 +138,75 @@ let test_sweep_pairs () =
   let result = Ba_harness.Experiment.sweep [ 1; 2; 3 ] (fun x -> x * x) in
   Alcotest.(check (list (pair int int))) "pairs" [ (1, 1); (2, 4); (3, 9) ] result
 
+(* ---------------- micro-baseline tolerance policy ---------------- *)
+
+let micro_doc ?calibration ?tolerance ?tolerances metrics =
+  Ba_harness.Micro.make ?calibration ?tolerance ?tolerances metrics
+
+let test_micro_tolerances_attach () =
+  let doc =
+    micro_doc ~tolerances:[ ("b", 8.0) ] [ ("a", 10.0); ("b", 2000.0) ]
+  in
+  let tol name =
+    match Ba_harness.Micro.find doc name with
+    | Some m -> m.Ba_harness.Micro.m_tolerance
+    | None -> Alcotest.fail (name ^ " missing")
+  in
+  Alcotest.(check (option (float 0.))) "override attached" (Some 8.0) (tol "b");
+  Alcotest.(check (option (float 0.))) "others untouched" None (tol "a")
+
+let test_micro_tolerance_validation () =
+  let raises label f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | (_ : Ba_harness.Micro.doc) -> Alcotest.fail (label ^ ": accepted")
+  in
+  raises "unknown metric name" (fun () ->
+      micro_doc ~tolerances:[ ("ghost", 2.0) ] [ ("a", 1.0) ]);
+  raises "tolerance below 1" (fun () ->
+      micro_doc ~tolerances:[ ("a", 0.5) ] [ ("a", 1.0) ])
+
+let test_micro_tolerance_precedence () =
+  (* Limit resolution: per-metric override > comparison default > document
+     default. Identical measurements keep every ratio at 1, so only the
+     [v_limit] column varies. *)
+  let metrics = [ ("cal", 1.0); ("loose", 100.0); ("tight", 50.0) ] in
+  let baseline =
+    micro_doc ~calibration:"cal" ~tolerance:3.0 ~tolerances:[ ("loose", 9.0) ] metrics
+  in
+  let current = micro_doc ~calibration:"cal" metrics in
+  let limits ?default_tolerance () =
+    match
+      Ba_harness.Micro.compare_docs ?default_tolerance ~baseline ~current ()
+    with
+    | Error e -> Alcotest.fail e
+    | Ok vs ->
+        List.map (fun v -> (v.Ba_harness.Micro.v_name, v.Ba_harness.Micro.v_limit)) vs
+  in
+  Alcotest.(check (list (pair string (float 0.))))
+    "doc default applies where no override"
+    [ ("loose", 9.0); ("tight", 3.0) ]
+    (limits ());
+  Alcotest.(check (list (pair string (float 0.))))
+    "CLI default beats doc default but not per-metric"
+    [ ("loose", 9.0); ("tight", 5.0) ]
+    (limits ~default_tolerance:5.0 ())
+
+let test_micro_tolerance_json_roundtrip () =
+  let doc =
+    micro_doc ~calibration:"cal" ~tolerances:[ ("slow", 8.0) ]
+      [ ("cal", 1.0); ("slow", 4000.0) ]
+  in
+  match Ba_harness.Micro.(of_json (to_json doc)) with
+  | Error e -> Alcotest.fail e
+  | Ok doc' ->
+      let tol d name =
+        Option.bind (Ba_harness.Micro.find d name) (fun m -> m.Ba_harness.Micro.m_tolerance)
+      in
+      Alcotest.(check (option (float 0.))) "tolerance survives round-trip"
+        (tol doc "slow") (tol doc' "slow");
+      Alcotest.(check (option (float 0.))) "absent stays absent" None (tol doc' "cal")
+
 let () =
   Alcotest.run "ba_harness"
     [ ("experiment",
@@ -154,4 +223,9 @@ let () =
        [ Alcotest.test_case "renders" `Quick test_plot_renders;
          Alcotest.test_case "log axes" `Quick test_plot_log_axes_drop_nonpositive;
          Alcotest.test_case "empty" `Quick test_plot_empty;
-         Alcotest.test_case "single point" `Quick test_plot_single_point ]) ]
+         Alcotest.test_case "single point" `Quick test_plot_single_point ]);
+      ("micro tolerances",
+       [ Alcotest.test_case "attach" `Quick test_micro_tolerances_attach;
+         Alcotest.test_case "validation" `Quick test_micro_tolerance_validation;
+         Alcotest.test_case "precedence" `Quick test_micro_tolerance_precedence;
+         Alcotest.test_case "json round-trip" `Quick test_micro_tolerance_json_roundtrip ]) ]

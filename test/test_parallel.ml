@@ -127,6 +127,75 @@ let test_keep_going_in_parallel () =
   Alcotest.(check (list int)) "failure isolated to trial 5" [ 5 ]
     (List.map (fun f -> f.Ba_harness.Supervisor.f_trial) par.failures)
 
+(* ---------------- delivery sharder (within-round fan-out) ---------------- *)
+
+let test_sharder_runs_every_thunk () =
+  (* The engine hands the sharder up to [s_shards] thunks; every one must
+     run exactly once, for any thunk count from empty to the full width. *)
+  List.iter
+    (fun domains ->
+      let sharder = Ba_harness.Parallel.delivery_sharder ~domains in
+      Alcotest.(check int)
+        (Printf.sprintf "s_shards at domains=%d" domains)
+        domains sharder.Ba_sim.Engine.s_shards;
+      for k = 0 to domains do
+        let hits = Array.init k (fun _ -> Atomic.make 0) in
+        sharder.Ba_sim.Engine.s_run
+          (Array.init k (fun i () -> Atomic.incr hits.(i)));
+        Array.iteri
+          (fun i a ->
+            Alcotest.(check int)
+              (Printf.sprintf "thunk %d of %d ran once (domains=%d)" i k domains)
+              1 (Atomic.get a))
+          hits
+      done)
+    [ 1; 2; 3; 5; 8 ]
+
+let test_sharder_rejects_nonpositive () =
+  List.iter
+    (fun domains ->
+      match Ba_harness.Parallel.delivery_sharder ~domains with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "domains=%d accepted" domains))
+    [ 0; -1 ]
+
+let test_sharder_propagates_and_survives () =
+  (* A raising shard thunk must propagate out of [s_run] (after joining the
+     spawned domains), and the sharder must remain usable afterwards. *)
+  let sharder = Ba_harness.Parallel.delivery_sharder ~domains:3 in
+  (match
+     sharder.Ba_sim.Engine.s_run
+       [| (fun () -> ()); (fun () -> raise Exit); (fun () -> ()) |]
+   with
+  | exception Exit -> ()
+  | () -> Alcotest.fail "shard exception swallowed");
+  let n = Atomic.make 0 in
+  sharder.Ba_sim.Engine.s_run (Array.make 3 (fun () -> Atomic.incr n));
+  Alcotest.(check int) "still functional" 3 (Atomic.get n)
+
+let test_engine_outcomes_at_awkward_domain_counts () =
+  (* Sharding is a wall-clock knob only: outcomes are byte-identical when
+     the domain count does not divide n, and when it exceeds n (the engine
+     clamps the shard count to n). *)
+  let case ~n ~t ~domains_list =
+    let run =
+      Setups.make ~protocol:(Setups.Las_vegas { alpha = 2.0 }) ~adversary:Setups.Committee_killer
+        ~n ~t
+    in
+    let inputs = Setups.inputs Setups.Split ~n ~t in
+    let base = run.exec ~domains:1 ~record:true ~inputs ~seed:44L () in
+    List.iter
+      (fun domains ->
+        Alcotest.(check bool)
+          (Printf.sprintf "n=%d identical at domains=%d" n domains)
+          true
+          (base = run.exec ~domains ~record:true ~inputs ~seed:44L ()))
+      domains_list
+  in
+  case ~n:10 ~t:3 ~domains_list:[ 3; 4; 7 ];
+  (* n < domains: more shards offered than nodes *)
+  case ~n:3 ~t:0 ~domains_list:[ 8 ]
+
 let () =
   Alcotest.run "ba_parallel"
     [ ("parallel",
@@ -139,4 +208,12 @@ let () =
            test_raising_check_joins_domains;
          Alcotest.test_case "fail-fast message domain-independent" `Quick
            test_fail_fast_message_domain_independent;
-         Alcotest.test_case "keep-going in parallel" `Quick test_keep_going_in_parallel ]) ]
+         Alcotest.test_case "keep-going in parallel" `Quick test_keep_going_in_parallel ]);
+      ("delivery sharder",
+       [ Alcotest.test_case "runs every thunk once" `Quick test_sharder_runs_every_thunk;
+         Alcotest.test_case "rejects nonpositive domains" `Quick
+           test_sharder_rejects_nonpositive;
+         Alcotest.test_case "propagates and survives" `Quick
+           test_sharder_propagates_and_survives;
+         Alcotest.test_case "awkward domain counts" `Quick
+           test_engine_outcomes_at_awkward_domain_counts ]) ]

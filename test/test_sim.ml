@@ -21,6 +21,7 @@ let echo ~lifetime : (echo_state, int * int) Ba_sim.Protocol.t =
     output = (fun st -> if st.done_ then Some st.input else None);
     halted = (fun st -> st.done_);
     msg_bits = (fun _ -> 8);
+    msg_words = (fun _ -> 1);
     codec = None;
     inspect = (fun _ -> None) }
 
@@ -59,6 +60,7 @@ let test_self_delivery () =
       output = (fun () -> Some 0);
       halted = (fun () -> true);
       msg_bits = (fun _ -> 1);
+      msg_words = (fun _ -> 1);
       codec = None;
       inspect = (fun () -> None) }
   in

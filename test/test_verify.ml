@@ -241,6 +241,7 @@ let silent_protocol : (unit, unit) Ba_sim.Protocol.t =
     output = (fun () -> None);
     halted = (fun () -> false);
     msg_bits = (fun () -> 0);
+    msg_words = (fun () -> 1);
     codec = None;
     inspect = (fun () -> None) }
 
