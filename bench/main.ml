@@ -38,7 +38,7 @@ let run_experiments ~quick ~seed ~domains ~json_path =
       let doc =
         Ba_harness.Registry.suite_json ~seed
           ~profile:(if quick then "quick" else "full")
-          ~entries
+          ~entries ()
       in
       Out_channel.with_open_bin path (fun oc ->
           Out_channel.output_string oc (Ba_harness.Json.to_string ~pretty:true doc);

@@ -1,10 +1,13 @@
 (* ba_json_check: validate a suite document written by `ba_sweep --json` or
-   `bench --json` against the v1 schema. Used by the @smoke alias.
+   `bench --json` — or a per-shard campaign checkpoint written by
+   `ba_sweep --workers` (suite "adaptive_ba_campaign_shard") — against the
+   v1 schema. Used by the @smoke and @campaign-smoke aliases.
 
    Usage: ba_json_check FILE [--require-pass]
 
    Exit 0 iff the file parses, carries the expected schema_version, and
-   every experiment entry has a well-formed id/verdict/metrics payload
+   every experiment entry has a well-formed id/verdict/metrics payload,
+   with well-formed failure/shard-failure/crash records where present
    (with --require-pass: additionally no verdict is "fail"). *)
 
 let fail fmt = Format.ksprintf (fun s -> prerr_endline ("ba_json_check: " ^ s); exit 1) fmt
@@ -21,8 +24,11 @@ let check_metrics id = function
   | Some _ -> fail "experiment %s: \"metrics\" is not an object" id
 
 (* A supervised failure record (Supervisor.failure_to_json): trial, seed,
-   attempts, kind, error, backtrace_digest. *)
-let check_failure id j =
+   attempts, kind, error, backtrace_digest. Trial indices must lie in
+   [-1, trials): -1 is tolerated for legacy experiment-crash records (new
+   documents carry a "crash" object instead), anything below is garbage,
+   and with a declared trial count nothing may point past it. *)
+let check_failure id ~trials j =
   let str field =
     match Option.bind (Ba_harness.Json.member field j) Ba_harness.Json.to_str with
     | Some s -> s
@@ -33,7 +39,12 @@ let check_failure id j =
     | Some n -> n
     | None -> fail "experiment %s: failure entry missing integer field %S" id field
   in
-  ignore (int "trial" : int);
+  let trial = int "trial" in
+  if trial < -1 then fail "experiment %s: failure trial index %d < -1" id trial;
+  (match trials with
+  | Some n when trial >= n ->
+      fail "experiment %s: failure trial %d outside [-1, %d)" id trial n
+  | Some _ | None -> ());
   if Int64.of_string_opt (str "seed") = None then
     fail "experiment %s: failure \"seed\" is not a decimal int64" id;
   if int "attempts" < 1 then fail "experiment %s: failure \"attempts\" < 1" id;
@@ -42,23 +53,43 @@ let check_failure id j =
   | k -> fail "experiment %s: unknown failure kind %S" id k);
   ignore (str "error" : string);
   let digest = str "backtrace_digest" in
-  if
-    String.length digest <> 16
-    || not
-         (String.for_all
-            (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
-            digest)
-  then fail "experiment %s: \"backtrace_digest\" is not 16 lowercase hex chars" id
+  if not (Ba_harness.Supervisor.is_digest digest) then
+    fail "experiment %s: \"backtrace_digest\" is not 16 lowercase hex chars" id
 
-let check_failures id verdict = function
+let check_failures id verdict ~trials = function
   | None -> ()
   | Some (Ba_harness.Json.List []) ->
       fail "experiment %s: \"failures\" present but empty (omit it instead)" id
   | Some (Ba_harness.Json.List entries) ->
       if verdict <> Ba_harness.Report.Fail then
         fail "experiment %s: has failure records but verdict is not \"fail\"" id;
-      List.iter (check_failure id) entries
+      List.iter (check_failure id ~trials) entries
   | Some _ -> fail "experiment %s: \"failures\" is not an array" id
+
+(* Campaign shard-failure records (Campaign.shard_failure_to_json). *)
+let check_shard_failures id verdict = function
+  | None -> ()
+  | Some (Ba_harness.Json.List []) ->
+      fail "experiment %s: \"shard_failures\" present but empty (omit it instead)" id
+  | Some (Ba_harness.Json.List entries) ->
+      if verdict <> Ba_harness.Report.Fail then
+        fail "experiment %s: has shard-failure records but verdict is not \"fail\"" id;
+      List.iter
+        (fun e ->
+          match Ba_harness.Campaign.shard_failure_of_json e with
+          | Ok _ -> ()
+          | Error msg -> fail "experiment %s: %s" id msg)
+        entries
+  | Some _ -> fail "experiment %s: \"shard_failures\" is not an array" id
+
+let check_crash id verdict = function
+  | None -> ()
+  | Some c -> (
+      if verdict <> Ba_harness.Report.Fail then
+        fail "experiment %s: has a crash record but verdict is not \"fail\"" id;
+      match Ba_harness.Report.crash_of_json c with
+      | Ok _ -> ()
+      | Error msg -> fail "experiment %s: %s" id msg)
 
 let check_experiment ~require_pass seen j =
   let str field =
@@ -77,9 +108,37 @@ let check_experiment ~require_pass seen j =
         v
     | None -> fail "experiment %s: unknown verdict %S" id verdict
   in
+  let trials =
+    match Ba_harness.Json.member "trials" j with
+    | None -> None
+    | Some t -> (
+        match Ba_harness.Json.to_int t with
+        | Some n when n >= 1 -> Some n
+        | Some n -> fail "experiment %s: \"trials\" is %d (must be >= 1)" id n
+        | None -> fail "experiment %s: \"trials\" is not an integer" id)
+  in
   check_metrics id (Ba_harness.Json.member "metrics" j);
-  check_failures id verdict (Ba_harness.Json.member "failures" j);
+  check_failures id verdict ~trials (Ba_harness.Json.member "failures" j);
+  check_shard_failures id verdict (Ba_harness.Json.member "shard_failures" j);
+  check_crash id verdict (Ba_harness.Json.member "crash" j);
   id :: seen
+
+(* Optional top-level campaign metadata block (Registry.suite_json):
+   run-shape facts only, and internally consistent. *)
+let check_campaign_meta = function
+  | None -> ()
+  | Some c ->
+      let int field =
+        match Option.bind (Ba_harness.Json.member field c) Ba_harness.Json.to_int with
+        | Some n when n >= 1 -> n
+        | Some n -> fail "campaign: %S is %d (must be >= 1)" field n
+        | None -> fail "campaign: missing integer field %S" field
+      in
+      let trials = int "trials" in
+      let shard_size = int "shard_size" in
+      let shards = int "shards" in
+      if shards <> (trials + shard_size - 1) / shard_size then
+        fail "campaign: %d shards inconsistent with %d trials of %d" shards trials shard_size
 
 let () =
   let path = ref None and require_pass = ref false in
@@ -101,20 +160,38 @@ let () =
     try Ba_harness.Json.of_string text
     with Ba_harness.Json.Parse_error msg -> fail "%s: parse error: %s" path msg
   in
-  (match Option.bind (Ba_harness.Json.member "schema_version" doc) Ba_harness.Json.to_int with
-  | Some v when v = Ba_harness.Report.schema_version -> ()
-  | Some v -> fail "schema_version %d, expected %d" v Ba_harness.Report.schema_version
-  | None -> fail "missing integer \"schema_version\"");
-  List.iter
-    (fun field ->
-      if Option.bind (Ba_harness.Json.member field doc) Ba_harness.Json.to_str = None then
-        fail "missing string field %S" field)
-    [ "suite"; "seed"; "profile" ];
-  (match Option.bind (Ba_harness.Json.member "experiments" doc) Ba_harness.Json.to_list with
-  | None -> fail "missing \"experiments\" array"
-  | Some [] -> fail "\"experiments\" is empty"
-  | Some entries ->
-      let seen =
-        List.fold_left (check_experiment ~require_pass:!require_pass) [] entries
-      in
-      Printf.printf "ba_json_check: %s ok (%d experiments)\n" path (List.length seen))
+  match Option.bind (Ba_harness.Json.member "suite" doc) Ba_harness.Json.to_str with
+  | None -> fail "missing string field \"suite\""
+  | Some suite when suite = Ba_harness.Checkpoint.suite_name -> (
+      (* A per-shard campaign checkpoint: the library parser is the schema. *)
+      match Ba_harness.Checkpoint.of_json doc with
+      | Ok ck ->
+          Printf.printf "ba_json_check: %s ok (campaign shard %d/%d of %s, trials [%d, %d))\n"
+            path ck.Ba_harness.Checkpoint.ck_shard.Ba_harness.Campaign.s_index
+            ck.Ba_harness.Checkpoint.ck_shards ck.Ba_harness.Checkpoint.ck_exp
+            ck.Ba_harness.Checkpoint.ck_shard.Ba_harness.Campaign.s_lo
+            ck.Ba_harness.Checkpoint.ck_shard.Ba_harness.Campaign.s_hi
+      | Error msg -> fail "%s" msg)
+  | Some _ ->
+      (match
+         Option.bind (Ba_harness.Json.member "schema_version" doc) Ba_harness.Json.to_int
+       with
+      | Some v when v = Ba_harness.Report.schema_version -> ()
+      | Some v -> fail "schema_version %d, expected %d" v Ba_harness.Report.schema_version
+      | None -> fail "missing integer \"schema_version\"");
+      List.iter
+        (fun field ->
+          if Option.bind (Ba_harness.Json.member field doc) Ba_harness.Json.to_str = None then
+            fail "missing string field %S" field)
+        [ "seed"; "profile" ];
+      check_campaign_meta (Ba_harness.Json.member "campaign" doc);
+      (match
+         Option.bind (Ba_harness.Json.member "experiments" doc) Ba_harness.Json.to_list
+       with
+      | None -> fail "missing \"experiments\" array"
+      | Some [] -> fail "\"experiments\" is empty"
+      | Some entries ->
+          let seen =
+            List.fold_left (check_experiment ~require_pass:!require_pass) [] entries
+          in
+          Printf.printf "ba_json_check: %s ok (%d experiments)\n" path (List.length seen))

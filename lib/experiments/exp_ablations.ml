@@ -308,14 +308,14 @@ let experiments =
       title = "ablations: alpha and coin-round placement";
       claim = "Ablations (design choices)";
       tags = [ Ba_harness.Registry.Ablation ];
-      run = (fun ~policy ~domains ~quick ~seed -> e11 ~policy ~domains ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e11 ~policy ~domains ~quick ~seed ()); campaign = None };
     { Ba_harness.Registry.id = "E14";
       title = "crash vs byzantine fault models";
       claim = "Fault-model ladder (BJB model)";
       tags = [ Ba_harness.Registry.Ablation; Ba_harness.Registry.Robustness ];
-      run = (fun ~policy ~domains ~quick ~seed -> e14 ~policy ~domains ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e14 ~policy ~domains ~quick ~seed ()); campaign = None };
     { Ba_harness.Registry.id = "E15";
       title = "termination-realization ablation";
       claim = "Termination realization (DESIGN.md 4.2)";
       tags = [ Ba_harness.Registry.Ablation; Ba_harness.Registry.Robustness ];
-      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e15 ~quick ~seed ()) } ]
+      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e15 ~quick ~seed ()); campaign = None } ]

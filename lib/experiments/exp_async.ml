@@ -267,9 +267,9 @@ let experiments =
       title = "asynchronous contrast (Ben-Or vs Algorithm 3)";
       claim = "Async contrast (Sec. 1.3)";
       tags = [ Ba_harness.Registry.Async ];
-      run = (fun ~policy ~domains ~quick ~seed -> e17 ~policy ~domains ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e17 ~policy ~domains ~quick ~seed ()); campaign = None };
     { Ba_harness.Registry.id = "E20";
       title = "async agreement under benign link faults";
       claim = "Robustness: async plane under link faults";
       tags = [ Ba_harness.Registry.Robustness; Ba_harness.Registry.Async ];
-      run = (fun ~policy ~domains ~quick ~seed -> e20 ~policy ~domains ~quick ~seed ()) } ]
+      run = (fun ~policy ~domains ~quick ~seed -> e20 ~policy ~domains ~quick ~seed ()); campaign = None } ]

@@ -389,24 +389,24 @@ let experiments =
       title = "validity/agreement matrix";
       claim = "Validity (all protocols x adversaries)";
       tags = [ Ba_harness.Registry.Robustness ];
-      run = (fun ~policy:_ ~domains ~quick ~seed -> e6 ~domains ~quick ~seed ()) };
+      run = (fun ~policy:_ ~domains ~quick ~seed -> e6 ~domains ~quick ~seed ()); campaign = None };
     { Ba_harness.Registry.id = "E7";
       title = "agreement aggregate (fail-fast off)";
       claim = "Agreement (whp)";
       tags = [ Ba_harness.Registry.Robustness ];
-      run = (fun ~policy ~domains ~quick ~seed -> e7 ~policy ~domains ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e7 ~policy ~domains ~quick ~seed ()); campaign = None };
     { Ba_harness.Registry.id = "E10";
       title = "baseline ladder";
       claim = "Baseline positioning";
       tags = [ Ba_harness.Registry.Baseline ];
-      run = (fun ~policy ~domains ~quick ~seed -> e10 ~policy ~domains ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e10 ~policy ~domains ~quick ~seed ()); campaign = None };
     { Ba_harness.Registry.id = "E12";
       title = "sampling-majority contrast baseline";
       claim = "Related work (Sec. 1.3): sampling dynamics";
       tags = [ Ba_harness.Registry.Baseline ];
-      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e12 ~quick ~seed ()) };
+      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e12 ~quick ~seed ()); campaign = None };
     { Ba_harness.Registry.id = "E16";
       title = "elected vs predetermined committees";
       claim = "Static vs adaptive (introduction)";
       tags = [ Ba_harness.Registry.Coin; Ba_harness.Registry.Baseline ];
-      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e16 ~quick ~seed ()) } ]
+      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e16 ~quick ~seed ()); campaign = None } ]

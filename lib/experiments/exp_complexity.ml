@@ -186,9 +186,9 @@ let experiments =
       title = "crossover vs Chor-Coan";
       claim = "Theorem 2 vs Chor-Coan";
       tags = [ Ba_harness.Registry.Scaling; Ba_harness.Registry.Complexity ];
-      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e4 ~quick ~seed ()) };
+      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e4 ~quick ~seed ()); campaign = None };
     { Ba_harness.Registry.id = "E8";
       title = "message complexity";
       claim = "Message complexity";
       tags = [ Ba_harness.Registry.Complexity ];
-      run = (fun ~policy ~domains ~quick ~seed -> e8 ~policy ~domains ~quick ~seed ()) } ]
+      run = (fun ~policy ~domains ~quick ~seed -> e8 ~policy ~domains ~quick ~seed ()); campaign = None } ]

@@ -394,19 +394,19 @@ let experiments =
       title = "Theorem 2: rounds vs t shape";
       claim = "Theorem 2 (shape)";
       tags = [ Ba_harness.Registry.Scaling ];
-      run = (fun ~policy ~domains ~quick ~seed -> e3 ~policy ~domains ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e3 ~policy ~domains ~quick ~seed ()); campaign = None };
     { Ba_harness.Registry.id = "E5";
       title = "early termination with q < t";
       claim = "Early termination (Theorem 2)";
       tags = [ Ba_harness.Registry.Scaling ];
-      run = (fun ~policy ~domains ~quick ~seed -> e5 ~policy ~domains ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e5 ~policy ~domains ~quick ~seed ()); campaign = None };
     { Ba_harness.Registry.id = "E9";
       title = "Las Vegas round distribution";
       claim = "Las Vegas variant (Theorem 2)";
       tags = [ Ba_harness.Registry.Scaling ];
-      run = (fun ~policy ~domains ~quick ~seed -> e9 ~policy ~domains ~quick ~seed ()) };
+      run = (fun ~policy ~domains ~quick ~seed -> e9 ~policy ~domains ~quick ~seed ()); campaign = None };
     { Ba_harness.Registry.id = "E13";
       title = "near-optimality vs BJB lower bound";
       claim = "Near-optimality vs Bar-Joseph-Ben-Or";
       tags = [ Ba_harness.Registry.Scaling ];
-      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e13 ~quick ~seed ()) } ]
+      run = (fun ~policy:_ ~domains:_ ~quick ~seed -> e13 ~quick ~seed ()); campaign = None } ]

@@ -202,9 +202,9 @@ let experiments =
       title = "communication regimes (dense / sampled / word-budget)";
       claim = "Sublinear communication (sampled plane)";
       tags = [ Ba_harness.Registry.Complexity ];
-      run = (fun ~policy:_ ~domains ~quick ~seed -> e21 ~domains ~quick ~seed ()) };
+      run = (fun ~policy:_ ~domains ~quick ~seed -> e21 ~domains ~quick ~seed ()); campaign = None };
     { Ba_harness.Registry.id = "E22";
       title = "sampled-plane scaling";
       claim = "Sublinear communication (scaling)";
       tags = [ Ba_harness.Registry.Scaling; Ba_harness.Registry.Complexity ];
-      run = (fun ~policy:_ ~domains ~quick ~seed -> e22 ~domains ~quick ~seed ()) } ]
+      run = (fun ~policy:_ ~domains ~quick ~seed -> e22 ~domains ~quick ~seed ()); campaign = None } ]

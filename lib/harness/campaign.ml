@@ -1,0 +1,265 @@
+type shard = { s_index : int; s_lo : int; s_hi : int }
+
+let plan ~trials ~shard_size =
+  if trials <= 0 then invalid_arg "Campaign.plan: trials <= 0";
+  if shard_size <= 0 then invalid_arg "Campaign.plan: shard_size <= 0";
+  let shards = (trials + shard_size - 1) / shard_size in
+  List.init shards (fun i ->
+      { s_index = i; s_lo = i * shard_size; s_hi = min trials ((i + 1) * shard_size) })
+
+let shard_trials s = s.s_hi - s.s_lo
+
+type shard_failure_kind = Worker_lost | Worker_stalled | Bad_checkpoint
+
+let shard_failure_kind_to_string = function
+  | Worker_lost -> "worker_lost"
+  | Worker_stalled -> "worker_stalled"
+  | Bad_checkpoint -> "bad_checkpoint"
+
+let shard_failure_kind_of_string = function
+  | "worker_lost" -> Some Worker_lost
+  | "worker_stalled" -> Some Worker_stalled
+  | "bad_checkpoint" -> Some Bad_checkpoint
+  | _ -> None
+
+type shard_failure = {
+  sf_shard : int;
+  sf_lo : int;
+  sf_hi : int;
+  sf_attempts : int;
+  sf_kind : shard_failure_kind;
+  sf_error : string;
+}
+
+let shard_failure_to_json f =
+  Json.Obj
+    [ ("shard", Json.Int f.sf_shard);
+      ("lo", Json.Int f.sf_lo);
+      ("hi", Json.Int f.sf_hi);
+      ("attempts", Json.Int f.sf_attempts);
+      ("kind", Json.String (shard_failure_kind_to_string f.sf_kind));
+      ("error", Json.String f.sf_error) ]
+
+let shard_failure_of_json j =
+  let ( let* ) = Result.bind in
+  let int field =
+    match Option.bind (Json.member field j) Json.to_int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "shard failure: missing integer field %S" field)
+  in
+  let str field =
+    match Option.bind (Json.member field j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "shard failure: missing string field %S" field)
+  in
+  let* shard = int "shard" in
+  if shard < 0 then Error "shard failure: negative shard index"
+  else
+    let* lo = int "lo" in
+    let* hi = int "hi" in
+    if lo < 0 || hi <= lo then Error "shard failure: trial range empty or negative"
+    else
+      let* attempts = int "attempts" in
+      if attempts < 1 then Error "shard failure: \"attempts\" < 1"
+      else
+        let* kind = str "kind" in
+        let* kind =
+          match shard_failure_kind_of_string kind with
+          | Some k -> Ok k
+          | None -> Error (Printf.sprintf "shard failure: unknown kind %S" kind)
+        in
+        let* error = str "error" in
+        Ok
+          { sf_shard = shard;
+            sf_lo = lo;
+            sf_hi = hi;
+            sf_attempts = attempts;
+            sf_kind = kind;
+            sf_error = error }
+
+(* Backoff jitter draws from the retry-seed stream of a pseudo-trial equal to
+   the shard index, salted so it can never collide with a real trial's seed
+   (the campaign layer must not perturb trial-level reproducibility). *)
+let backoff_salt = 0x6B61_6D70_6169_676EL (* "kampaign" *)
+
+let backoff_ticks ~seed ~shard ~attempt ~cap =
+  if attempt < 1 then invalid_arg "Campaign.backoff_ticks: attempt < 1";
+  if cap < 1 then invalid_arg "Campaign.backoff_ticks: cap < 1";
+  let s =
+    Ba_prng.Splitmix64.mix
+      (Int64.logxor backoff_salt (Supervisor.retry_seed ~seed ~trial:shard ~attempt))
+  in
+  (* Exponential base doubles per attempt; jitter in [0, base) breaks worker
+     restart synchronisation without wall-clock randomness. *)
+  let base = 1 lsl min 20 (attempt - 1) in
+  let jitter = Int64.to_int (Int64.rem (Int64.logand s Int64.max_int) (Int64.of_int base)) in
+  min cap (base + jitter)
+
+type config = {
+  workers : int;
+  shard_retries : int;
+  stall_ticks : int;
+  backoff_cap : int;
+  seed : int64;
+}
+
+type event =
+  | Tick
+  | Progress of int
+  | Completed of int
+  | Invalid of int * string
+  | Exited of int * string
+
+type action = Start of { shard : shard; attempt : int } | Stop of int | Give_up of shard_failure
+
+(* [Running.ticks] counts scheduler ticks without observed progress;
+   [Waiting.ticks_left] counts down the backoff before the next attempt. *)
+type slot =
+  | Pending
+  | Running of { attempt : int; ticks : int }
+  | Waiting of { attempt : int; ticks_left : int }
+  | Done
+  | Failed of shard_failure
+
+type state = { cfg : config; shards : shard array; slots : slot array }
+
+let running_count st =
+  Array.fold_left (fun n -> function Running _ -> n + 1 | _ -> n) 0 st.slots
+
+(* Deterministic scheduling: fill free worker slots lowest-shard-first from
+   the shards that are Pending or have finished their backoff. *)
+let fill st =
+  let actions = ref [] in
+  let free = ref (st.cfg.workers - running_count st) in
+  Array.iteri
+    (fun i slot ->
+      if !free > 0 then
+        match slot with
+        | Pending ->
+            st.slots.(i) <- Running { attempt = 1; ticks = 0 };
+            decr free;
+            actions := Start { shard = st.shards.(i); attempt = 1 } :: !actions
+        | Waiting { attempt; ticks_left } when ticks_left <= 0 ->
+            st.slots.(i) <- Running { attempt; ticks = 0 };
+            decr free;
+            actions := Start { shard = st.shards.(i); attempt } :: !actions
+        | Waiting _ | Running _ | Done | Failed _ -> ())
+    st.slots;
+  List.rev !actions
+
+let create cfg ~plan ~completed =
+  if cfg.workers < 1 then invalid_arg "Campaign.create: workers < 1";
+  if cfg.shard_retries < 0 then invalid_arg "Campaign.create: shard_retries < 0";
+  if cfg.stall_ticks < 1 then invalid_arg "Campaign.create: stall_ticks < 1";
+  if cfg.backoff_cap < 1 then invalid_arg "Campaign.create: backoff_cap < 1";
+  (match plan with [] -> invalid_arg "Campaign.create: empty plan" | _ :: _ -> ());
+  let shards = Array.of_list plan in
+  Array.iteri
+    (fun i s ->
+      if s.s_index <> i then invalid_arg "Campaign.create: plan indices not consecutive")
+    shards;
+  let slots = Array.make (Array.length shards) Pending in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length shards then
+        invalid_arg "Campaign.create: completed shard outside plan";
+      slots.(i) <- Done)
+    completed;
+  let st = { cfg; shards; slots } in
+  (st, fill st)
+
+(* An attempt just failed: schedule a retry with deterministic backoff, or —
+   retry budget exhausted — degrade to a structured failure record. *)
+let attempt_failed st i ~attempt ~kind ~error =
+  if attempt > st.cfg.shard_retries then begin
+    let s = st.shards.(i) in
+    let f =
+      { sf_shard = i;
+        sf_lo = s.s_lo;
+        sf_hi = s.s_hi;
+        sf_attempts = attempt;
+        sf_kind = kind;
+        sf_error = error }
+    in
+    st.slots.(i) <- Failed f;
+    [ Give_up f ]
+  end
+  else begin
+    let ticks_left =
+      backoff_ticks ~seed:st.cfg.seed ~shard:i ~attempt ~cap:st.cfg.backoff_cap
+    in
+    st.slots.(i) <- Waiting { attempt = attempt + 1; ticks_left };
+    []
+  end
+
+let step st ev =
+  let actions =
+    match ev with
+    | Progress i ->
+        (match st.slots.(i) with
+        | Running { attempt; _ } ->
+            st.slots.(i) <- Running { attempt; ticks = 0 };
+            []
+        | Pending | Waiting _ | Done | Failed _ -> [])
+    | Completed i ->
+        (* Accepted from Waiting too: a worker stopped for stalling may have
+           checkpointed just before the kill landed — the validated result
+           wins and the pending retry is cancelled. *)
+        (match st.slots.(i) with
+        | Running _ | Waiting _ ->
+            st.slots.(i) <- Done;
+            []
+        | Pending | Done | Failed _ -> [])
+    | Invalid (i, error) -> (
+        match st.slots.(i) with
+        | Running { attempt; _ } -> attempt_failed st i ~attempt ~kind:Bad_checkpoint ~error
+        | Pending | Waiting _ | Done | Failed _ -> [])
+    | Exited (i, error) -> (
+        match st.slots.(i) with
+        | Running { attempt; _ } -> attempt_failed st i ~attempt ~kind:Worker_lost ~error
+        | Pending | Waiting _ | Done | Failed _ -> [])
+    | Tick ->
+        let actions = ref [] in
+        Array.iteri
+          (fun i slot ->
+            match slot with
+            | Running { attempt; ticks } ->
+                let ticks = ticks + 1 in
+                if ticks >= st.cfg.stall_ticks then begin
+                  let more =
+                    attempt_failed st i ~attempt ~kind:Worker_stalled
+                      ~error:
+                        (Printf.sprintf "no progress after %d scheduler ticks"
+                           st.cfg.stall_ticks)
+                  in
+                  actions := List.rev_append more (Stop i :: !actions)
+                end
+                else st.slots.(i) <- Running { attempt; ticks }
+            | Waiting { attempt; ticks_left } ->
+                st.slots.(i) <- Waiting { attempt; ticks_left = ticks_left - 1 }
+            | Pending | Done | Failed _ -> ())
+          st.slots;
+        List.rev !actions
+  in
+  (st, actions @ fill st)
+
+let finished st =
+  Array.for_all (function Done | Failed _ -> true | _ -> false) st.slots
+
+let indices_where st pred =
+  Array.to_list st.slots
+  |> List.mapi (fun i slot -> (i, slot))
+  |> List.filter_map (fun (i, slot) -> if pred slot then Some i else None)
+
+let running st = indices_where st (function Running _ -> true | _ -> false)
+
+let completed st = indices_where st (function Done -> true | _ -> false)
+
+let failed st =
+  Array.to_list st.slots
+  |> List.filter_map (function Failed f -> Some f | _ -> None)
+
+let shards_done st = List.length (completed st)
+
+let trials_done st =
+  List.fold_left (fun n i -> n + shard_trials st.shards.(i)) 0 (completed st)

@@ -1,0 +1,302 @@
+let suite_name = "adaptive_ba_campaign_shard"
+
+let schema_version = 1
+
+type t = {
+  ck_exp : string;
+  ck_seed : int64;
+  ck_profile : string;
+  ck_trials : int;
+  ck_shards : int;
+  ck_shard : Campaign.shard;
+  ck_stats : Experiment.stats;
+}
+
+(* Summaries travel as their exact expansion components: rounding to
+   mean/variance here would destroy the merge-equals-single-pass guarantee
+   the whole checkpoint scheme exists for. *)
+let summary_to_json s =
+  let p = Ba_stats.Summary.to_parts s in
+  let floats xs = Json.List (List.map (fun x -> Json.Float x) xs) in
+  Json.Obj
+    (("count", Json.Int p.p_count)
+     :: (if p.p_count = 0 then []
+         else [ ("min", Json.Float p.p_min); ("max", Json.Float p.p_max) ])
+    @ [ ("sum", floats p.p_sum); ("sumsq", floats p.p_sumsq) ])
+
+let stats_to_json (st : Experiment.stats) =
+  Json.Obj
+    [ ("trials", Json.Int st.trials);
+      ("rounds", summary_to_json st.rounds);
+      ("phases", summary_to_json st.phases);
+      ("messages", summary_to_json st.messages);
+      ("bits", summary_to_json st.bits);
+      ("corruptions", summary_to_json st.corruptions);
+      ("agreement_failures", Json.Int st.agreement_failures);
+      ("validity_failures", Json.Int st.validity_failures);
+      ("incomplete", Json.Int st.incomplete);
+      ( "violations",
+        Json.List
+          (List.map
+             (fun (v : Ba_trace.Checker.violation) ->
+               Json.Obj [ ("check", Json.String v.check); ("detail", Json.String v.detail) ])
+             st.violations) );
+      ("failures", Json.List (List.map Supervisor.failure_to_json st.failures)) ]
+
+let to_json ck =
+  Json.Obj
+    [ ("suite", Json.String suite_name);
+      ("schema_version", Json.Int schema_version);
+      ("experiment", Json.String ck.ck_exp);
+      ("seed", Json.String (Int64.to_string ck.ck_seed));
+      ("profile", Json.String ck.ck_profile);
+      ("trials", Json.Int ck.ck_trials);
+      ("shards", Json.Int ck.ck_shards);
+      ( "shard",
+        Json.Obj
+          [ ("index", Json.Int ck.ck_shard.s_index);
+            ("lo", Json.Int ck.ck_shard.s_lo);
+            ("hi", Json.Int ck.ck_shard.s_hi) ] );
+      ("stats", stats_to_json ck.ck_stats) ]
+
+let ( let* ) = Result.bind
+
+let int_field ~what j field =
+  match Option.bind (Json.member field j) Json.to_int with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%s: missing integer field %S" what field)
+
+let str_field ~what j field =
+  match Option.bind (Json.member field j) Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "%s: missing string field %S" what field)
+
+let summary_of_json ~what j =
+  let* count = int_field ~what j "count" in
+  let float_list field =
+    match Option.bind (Json.member field j) Json.to_list with
+    | None -> Error (Printf.sprintf "%s: missing array field %S" what field)
+    | Some items ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | item :: rest -> (
+              match Json.to_float item with
+              | Some x -> go (x :: acc) rest
+              | None -> Error (Printf.sprintf "%s: non-number in %S" what field))
+        in
+        go [] items
+  in
+  let* sum = float_list "sum" in
+  let* sumsq = float_list "sumsq" in
+  let extremum field absent =
+    match Json.member field j with
+    | None -> if count = 0 then Ok absent else Error (Printf.sprintf "%s: missing %S" what field)
+    | Some v -> (
+        if count = 0 then Error (Printf.sprintf "%s: %S present on empty summary" what field)
+        else
+          match Json.to_float v with
+          | Some x -> Ok x
+          | None -> Error (Printf.sprintf "%s: %S is not a number" what field))
+  in
+  let* mn = extremum "min" infinity in
+  let* mx = extremum "max" neg_infinity in
+  match
+    Ba_stats.Summary.of_parts
+      { p_count = count; p_min = mn; p_max = mx; p_sum = sum; p_sumsq = sumsq }
+  with
+  | s -> Ok s
+  | exception Invalid_argument msg -> Error (Printf.sprintf "%s: %s" what msg)
+
+let violation_of_json ~what j =
+  let* check = str_field ~what j "check" in
+  let* detail = str_field ~what j "detail" in
+  Ok { Ba_trace.Checker.check; detail }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let stats_of_json ~span j =
+  let what = "checkpoint stats" in
+  let* trials = int_field ~what j "trials" in
+  if trials <> span then
+    Error (Printf.sprintf "%s: trials %d does not match shard span %d" what trials span)
+  else
+    let summary field =
+      match Json.member field j with
+      | Some s -> summary_of_json ~what:(Printf.sprintf "%s %S" what field) s
+      | None -> Error (Printf.sprintf "%s: missing summary %S" what field)
+    in
+    let* rounds = summary "rounds" in
+    let* phases = summary "phases" in
+    let* messages = summary "messages" in
+    let* bits = summary "bits" in
+    let* corruptions = summary "corruptions" in
+    let counter field =
+      let* n = int_field ~what j field in
+      if n < 0 || n > trials then
+        Error (Printf.sprintf "%s: %S outside [0, trials]" what field)
+      else Ok n
+    in
+    let* agreement_failures = counter "agreement_failures" in
+    let* validity_failures = counter "validity_failures" in
+    let* incomplete = counter "incomplete" in
+    let list_field field =
+      match Option.bind (Json.member field j) Json.to_list with
+      | Some items -> Ok items
+      | None -> Error (Printf.sprintf "%s: missing array field %S" what field)
+    in
+    let* violations = list_field "violations" in
+    let* violations = map_result (violation_of_json ~what) violations in
+    let* failures = list_field "failures" in
+    let* failures = map_result Supervisor.failure_of_json failures in
+    (* Cross-field consistency: every successful trial contributes exactly one
+       rounds observation, so count + failures must cover the span — a cheap,
+       high-yield truncation detector. *)
+    if Ba_stats.Summary.count rounds + List.length failures <> trials then
+      Error (Printf.sprintf "%s: rounds count + failures does not cover the span" what)
+    else
+      Ok
+        { Experiment.trials;
+          rounds;
+          phases;
+          messages;
+          bits;
+          corruptions;
+          agreement_failures;
+          validity_failures;
+          incomplete;
+          violations;
+          failures }
+
+let of_json j =
+  let what = "checkpoint" in
+  let* suite = str_field ~what j "suite" in
+  if suite <> suite_name then Error (Printf.sprintf "%s: suite is not %S" what suite_name)
+  else
+    let* version = int_field ~what j "schema_version" in
+    if version <> schema_version then
+      Error (Printf.sprintf "%s: unsupported schema_version %d" what version)
+    else
+      let* exp = str_field ~what j "experiment" in
+      if exp = "" then Error "checkpoint: empty experiment id"
+      else
+        let* seed = str_field ~what j "seed" in
+        let* seed =
+          match Int64.of_string_opt seed with
+          | Some s -> Ok s
+          | None -> Error "checkpoint: \"seed\" is not a decimal int64"
+        in
+        let* profile = str_field ~what j "profile" in
+        if profile <> "quick" && profile <> "full" then
+          Error (Printf.sprintf "%s: unknown profile %S" what profile)
+        else
+          let* trials = int_field ~what j "trials" in
+          if trials < 1 then Error "checkpoint: trials < 1"
+          else
+            let* shards = int_field ~what j "shards" in
+            if shards < 1 then Error "checkpoint: shards < 1"
+            else
+              let* shard_obj =
+                match Json.member "shard" j with
+                | Some (Json.Obj _ as o) -> Ok o
+                | Some _ | None -> Error "checkpoint: missing object field \"shard\""
+              in
+              let* index = int_field ~what shard_obj "index" in
+              let* lo = int_field ~what shard_obj "lo" in
+              let* hi = int_field ~what shard_obj "hi" in
+              if index < 0 || index >= shards then
+                Error "checkpoint: shard index outside [0, shards)"
+              else if lo < 0 || hi <= lo || hi > trials then
+                Error "checkpoint: shard range empty or outside [0, trials)"
+              else
+                let* stats_obj =
+                  match Json.member "stats" j with
+                  | Some (Json.Obj _ as o) -> Ok o
+                  | Some _ | None -> Error "checkpoint: missing object field \"stats\""
+                in
+                let* stats = stats_of_json ~span:(hi - lo) stats_obj in
+                let* () =
+                  let bad =
+                    List.exists
+                      (fun (f : Supervisor.failure) -> f.f_trial < lo || f.f_trial >= hi)
+                      stats.Experiment.failures
+                  in
+                  if bad then Error "checkpoint: failure trial outside the shard range"
+                  else Ok ()
+                in
+                Ok
+                  { ck_exp = exp;
+                    ck_seed = seed;
+                    ck_profile = profile;
+                    ck_trials = trials;
+                    ck_shards = shards;
+                    ck_shard = { Campaign.s_index = index; s_lo = lo; s_hi = hi };
+                    ck_stats = stats }
+
+let matches ck ~exp ~seed ~profile ~trials ~plan =
+  if ck.ck_exp <> exp then Error (Printf.sprintf "checkpoint is for experiment %S" ck.ck_exp)
+  else if ck.ck_seed <> seed then
+    Error (Printf.sprintf "checkpoint seed %Ld does not match campaign seed %Ld" ck.ck_seed seed)
+  else if ck.ck_profile <> profile then
+    Error (Printf.sprintf "checkpoint profile %S does not match %S" ck.ck_profile profile)
+  else if ck.ck_trials <> trials then
+    Error (Printf.sprintf "checkpoint trials %d does not match campaign %d" ck.ck_trials trials)
+  else if ck.ck_shards <> List.length plan then
+    Error
+      (Printf.sprintf "checkpoint shard count %d does not match plan %d" ck.ck_shards
+         (List.length plan))
+  else
+    match List.nth_opt plan ck.ck_shard.Campaign.s_index with
+    | Some s when s = ck.ck_shard -> Ok ()
+    | Some _ | None -> Error "checkpoint shard range does not match the campaign plan"
+
+let filename ~exp ~index = Printf.sprintf "%s.shard-%05d.json" exp index
+
+let save_file path ck =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc (Json.to_string ~pretty:true (to_json ck));
+      Out_channel.output_char oc '\n');
+  Sys.rename tmp path
+
+let load_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot read %s: %s" path msg)
+  | text -> (
+      match Json.of_string text with
+      | exception Json.Parse_error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | j -> (
+          match of_json j with
+          | Ok ck -> Ok ck
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg)))
+
+let scan_dir ~dir ~exp =
+  let prefix = exp ^ ".shard-" in
+  let suffix = ".json" in
+  let index_of name =
+    if
+      String.length name = String.length prefix + 5 + String.length suffix
+      && String.starts_with ~prefix name
+      && String.ends_with ~suffix name
+    then
+      let digits = String.sub name (String.length prefix) 5 in
+      if String.for_all (function '0' .. '9' -> true | _ -> false) digits then
+        Some (int_of_string digits)
+      else None
+    else None
+  in
+  (* Directory order is filesystem-dependent: sort before touching anything
+     so scans (and their log lines) are deterministic (lint rule D004). *)
+  let names = Sys.readdir dir in
+  Array.sort compare names;
+  Array.to_list names
+  |> List.filter_map (fun name ->
+         match index_of name with
+         | None -> None
+         | Some index ->
+             let path = Filename.concat dir name in
+             Some (index, path, load_file path))

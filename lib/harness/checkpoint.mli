@@ -1,0 +1,66 @@
+(** Validated per-shard campaign checkpoints.
+
+    Each campaign worker runs one {!Campaign.shard} and writes its
+    {!Experiment.stats} as a self-describing JSON document (suite
+    ["adaptive_ba_campaign_shard"], schema version {!schema_version}).
+    Summaries are serialized through {!Ba_stats.Summary.parts} — the exact
+    sum expansions, not rounded aggregates — so a checkpoint round-trips
+    byte-for-byte and merging resumed shards stays bit-identical to an
+    uninterrupted run (DESIGN.md §14).
+
+    Parsing is strict: every field is validated (including cross-field
+    consistency such as [stats.trials] matching the shard span and failure
+    trial indices lying inside it), so a truncated or corrupted checkpoint
+    surfaces as a structured error and the shard is simply re-run. *)
+
+val suite_name : string
+
+val schema_version : int
+
+type t = {
+  ck_exp : string;  (** experiment id, e.g. ["E1"] *)
+  ck_seed : int64;  (** campaign master seed *)
+  ck_profile : string;  (** ["quick"] or ["full"] *)
+  ck_trials : int;  (** total campaign trials *)
+  ck_shards : int;  (** total shard count of the campaign plan *)
+  ck_shard : Campaign.shard;  (** the shard this checkpoint covers *)
+  ck_stats : Experiment.stats;  (** aggregates over exactly [s_lo, s_hi) *)
+}
+
+val to_json : t -> Json.t
+
+(** [of_json j] — parse and fully validate a checkpoint document. *)
+val of_json : Json.t -> (t, string) result
+
+(** [matches ck ~exp ~seed ~profile ~trials ~plan] — [Ok ()] iff the
+    checkpoint belongs to exactly this campaign: same experiment, seed,
+    profile and trial count, and its shard is the plan's entry at its
+    index. A stale checkpoint from a differently-parameterized run is
+    rejected here and re-run. *)
+val matches :
+  t ->
+  exp:string ->
+  seed:int64 ->
+  profile:string ->
+  trials:int ->
+  plan:Campaign.shard list ->
+  (unit, string) result
+
+(** [filename ~exp ~index] — canonical basename,
+    ["<exp>.shard-<index %05d>.json"]. *)
+val filename : exp:string -> index:int -> string
+
+(** [save_file path ck] — write atomically (temp file in the same
+    directory, then rename), so a crash mid-write never leaves a partial
+    document under the canonical name. *)
+val save_file : string -> t -> unit
+
+(** [load_file path] — read, parse and validate one checkpoint. *)
+val load_file : string -> (t, string) result
+
+(** [scan_dir ~dir ~exp] — find every file in [dir] named like a checkpoint
+    of [exp] and load it; returns [(shard index from the filename, full
+    path, load result)] in ascending index order (directory enumeration is
+    sorted — lint rule D004). Campaign membership ({!matches}) is the
+    caller's concern. *)
+val scan_dir : dir:string -> exp:string -> (int * string * (t, string) result) list

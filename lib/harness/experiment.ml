@@ -20,9 +20,17 @@ let max_kept_violations = 32
    into the substrate record, and everything aggregated comes from that
    projection — so the synchronous wrapper below and async callers share
    one loop (and one set of supervised-failure semantics). *)
+let check_range ~trials = function
+  | None -> (0, trials)
+  | Some (lo, hi) ->
+      if lo < 0 || hi > trials || lo >= hi then
+        invalid_arg "Experiment.monte_carlo: range outside [0, trials) or empty";
+      (lo, hi)
+
 let monte_carlo_view ?rounds_per_phase ?check ?(fail_fast = true)
-    ?(policy = Supervisor.default) ~view ~trials ~seed ~run () =
+    ?(policy = Supervisor.default) ?range ~view ~trials ~seed ~run () =
   if trials <= 0 then invalid_arg "Experiment.monte_carlo: trials <= 0";
+  let lo, hi = check_range ~trials range in
   let check =
     match check with
     | Some f -> f
@@ -36,7 +44,7 @@ let monte_carlo_view ?rounds_per_phase ?check ?(fail_fast = true)
   let agreement_failures = ref 0 and validity_failures = ref 0 and incomplete = ref 0 in
   let violations = ref [] and violation_count = ref 0 in
   let failures = ref [] in
-  for trial = 0 to trials - 1 do
+  for trial = lo to hi - 1 do
     match Supervisor.run_trial ~policy ~seed ~trial ~view ~run with
     | Error f ->
         if not policy.keep_going then Supervisor.raise_failure f;
@@ -70,7 +78,7 @@ let monte_carlo_view ?rounds_per_phase ?check ?(fail_fast = true)
   done;
   let failures = List.rev !failures in
   Option.iter (fun s -> Supervisor.record s failures) policy.failure_sink;
-  { trials;
+  { trials = hi - lo;
     rounds;
     phases;
     messages;
@@ -82,7 +90,7 @@ let monte_carlo_view ?rounds_per_phase ?check ?(fail_fast = true)
     violations = !violations;
     failures }
 
-let monte_carlo ?rounds_per_phase ?check ?fail_fast ?policy ~trials ~seed ~run () =
+let monte_carlo ?rounds_per_phase ?check ?fail_fast ?policy ?range ~trials ~seed ~run () =
   (* The synchronous default checker keeps the record-level lemma checks
      (decided coherence, frozen finishers, termination gap) on top of the
      substrate-level audit. *)
@@ -91,7 +99,27 @@ let monte_carlo ?rounds_per_phase ?check ?fail_fast ?policy ~trials ~seed ~run (
     | Some f -> f
     | None -> fun o -> Ba_trace.Checker.standard ?rounds_per_phase o
   in
-  monte_carlo_view ?rounds_per_phase ~check ?fail_fast ?policy ~view:Ba_sim.Engine.to_run
-    ~trials ~seed ~run ()
+  monte_carlo_view ?rounds_per_phase ~check ?fail_fast ?policy ?range
+    ~view:Ba_sim.Engine.to_run ~trials ~seed ~run ()
+
+(* Merging keeps at most this many violation records, mirroring the serial
+   runner's cap. *)
+let rec take n = function [] -> [] | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let merge_stats a b =
+  { trials = a.trials + b.trials;
+    rounds = Ba_stats.Summary.merge a.rounds b.rounds;
+    phases = Ba_stats.Summary.merge a.phases b.phases;
+    messages = Ba_stats.Summary.merge a.messages b.messages;
+    bits = Ba_stats.Summary.merge a.bits b.bits;
+    corruptions = Ba_stats.Summary.merge a.corruptions b.corruptions;
+    agreement_failures = a.agreement_failures + b.agreement_failures;
+    validity_failures = a.validity_failures + b.validity_failures;
+    incomplete = a.incomplete + b.incomplete;
+    violations = take max_kept_violations (a.violations @ b.violations);
+    failures =
+      List.stable_sort
+        (fun (x : Supervisor.failure) y -> compare x.f_trial y.f_trial)
+        (a.failures @ b.failures) }
 
 let sweep xs f = List.map (fun x -> (x, f x)) xs

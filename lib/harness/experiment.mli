@@ -35,12 +35,20 @@ type stats = {
     experiments must not silently aggregate broken runs). Checker violations
     are science, not infrastructure: they are never converted to failure
     records.
-    @param policy supervision policy (default {!Supervisor.default}). *)
+    @param policy supervision policy (default {!Supervisor.default}).
+    @param range run only trials [lo, hi) of the experiment (default the
+    whole [0, trials) span). Per-trial seeds stay a function of the {e
+    global} trial index, so folding range shards back together with
+    {!merge_stats} reproduces the unsharded statistics byte-for-byte — the
+    contract the campaign layer's checkpoints rely on (DESIGN.md §14).
+    [stats.trials] counts only the executed range.
+    @raise Invalid_argument if the range is empty or outside [0, trials). *)
 val monte_carlo :
   ?rounds_per_phase:int ->
   ?check:(Ba_sim.Engine.outcome -> Ba_trace.Checker.violation list) ->
   ?fail_fast:bool ->
   ?policy:Supervisor.policy ->
+  ?range:(int * int) ->
   trials:int ->
   seed:int64 ->
   run:(seed:int64 -> trial:int -> Ba_sim.Engine.outcome) ->
@@ -62,12 +70,21 @@ val monte_carlo_view :
   ?check:('o -> Ba_trace.Checker.violation list) ->
   ?fail_fast:bool ->
   ?policy:Supervisor.policy ->
+  ?range:(int * int) ->
   view:('o -> Ba_sim.Run.outcome) ->
   trials:int ->
   seed:int64 ->
   run:(seed:int64 -> trial:int -> 'o) ->
   unit ->
   stats
+
+(** [merge_stats a b] — fold two disjoint trial ranges' statistics into one.
+    Summary merging is exact ({!Ba_stats.Summary.merge}), counters add, and
+    failure records are re-sorted by trial, so folding per-shard stats in
+    any order reproduces the single-pass aggregates byte-for-byte (the
+    capped [violations] list keeps concatenation order and is the one field
+    whose {e ordering} depends on the fold order). *)
+val merge_stats : stats -> stats -> stats
 
 (** [trial_seed ~seed ~trial] — the derived per-trial seed (exposed so tests
     can reproduce a single trial of an experiment); an alias of

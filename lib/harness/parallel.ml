@@ -80,17 +80,27 @@ let run_chunk ~rounds_per_phase ~check ~policy ~view ~seed ~run ~lo ~hi =
   acc
 
 let monte_carlo_view ?domains ?rounds_per_phase ?check ?(fail_fast = true)
-    ?(policy = Supervisor.default) ~view ~trials ~seed ~run () =
+    ?(policy = Supervisor.default) ?range ~view ~trials ~seed ~run () =
   if trials <= 0 then invalid_arg "Parallel.monte_carlo: trials <= 0";
+  let range_lo, range_hi =
+    match range with
+    | None -> (0, trials)
+    | Some (lo, hi) ->
+        if lo < 0 || hi > trials || lo >= hi then
+          invalid_arg "Parallel.monte_carlo: range outside [0, trials) or empty";
+        (lo, hi)
+  in
+  let span = range_hi - range_lo in
   let check =
     match check with
     | Some f -> f
     | None -> fun o -> Ba_trace.Checker.standard_run (view o)
   in
-  let domains = max 1 (min trials (Option.value domains ~default:(default_domains ()))) in
-  let chunk = (trials + domains - 1) / domains in
+  let domains = max 1 (min span (Option.value domains ~default:(default_domains ()))) in
+  let chunk = (span + domains - 1) / domains in
   let bounds =
-    List.init domains (fun d -> (d * chunk, min trials ((d + 1) * chunk)))
+    List.init domains (fun d ->
+        (range_lo + (d * chunk), min range_hi (range_lo + ((d + 1) * chunk))))
     |> List.filter (fun (lo, hi) -> lo < hi)
   in
   let partials =
@@ -172,7 +182,7 @@ let monte_carlo_view ?domains ?rounds_per_phase ?check ?(fail_fast = true)
            vs)
   | _ -> ());
   Option.iter (fun s -> Supervisor.record s failures_sorted) policy.failure_sink;
-  { Experiment.trials;
+  { Experiment.trials = span;
     rounds;
     phases;
     messages;
@@ -184,7 +194,8 @@ let monte_carlo_view ?domains ?rounds_per_phase ?check ?(fail_fast = true)
     violations = List.concat_map snd violations_sorted;
     failures = failures_sorted }
 
-let monte_carlo ?domains ?rounds_per_phase ?check ?fail_fast ?policy ~trials ~seed ~run () =
+let monte_carlo ?domains ?rounds_per_phase ?check ?fail_fast ?policy ?range ~trials ~seed
+    ~run () =
   (* Synchronous default checker: substrate-level audit plus the
      record-level lemma checks, exactly like the serial runner. *)
   let check =
@@ -192,5 +203,5 @@ let monte_carlo ?domains ?rounds_per_phase ?check ?fail_fast ?policy ~trials ~se
     | Some f -> f
     | None -> fun o -> Ba_trace.Checker.standard ?rounds_per_phase o
   in
-  monte_carlo_view ?domains ?rounds_per_phase ~check ?fail_fast ?policy
+  monte_carlo_view ?domains ?rounds_per_phase ~check ?fail_fast ?policy ?range
     ~view:Ba_sim.Engine.to_run ~trials ~seed ~run ()

@@ -23,7 +23,12 @@
     before any selection, so the message is consistent regardless of which
     chunk finished first). Likewise, without [keep_going] a failing trial
     aborts only after every chunk has finished and joined, citing the
-    lowest-numbered failing trial. *)
+    lowest-numbered failing trial.
+
+    [range] restricts execution to trials [lo, hi) exactly as in
+    {!Experiment.monte_carlo}: per-trial seeds stay a function of the global
+    trial index, the range is chunked across domains, and
+    [stats.trials = hi - lo]. *)
 
 val monte_carlo :
   ?domains:int ->
@@ -31,6 +36,7 @@ val monte_carlo :
   ?check:(Ba_sim.Engine.outcome -> Ba_trace.Checker.violation list) ->
   ?fail_fast:bool ->
   ?policy:Supervisor.policy ->
+  ?range:(int * int) ->
   trials:int ->
   seed:int64 ->
   run:(seed:int64 -> trial:int -> Ba_sim.Engine.outcome) ->
@@ -49,6 +55,7 @@ val monte_carlo_view :
   ?check:('o -> Ba_trace.Checker.violation list) ->
   ?fail_fast:bool ->
   ?policy:Supervisor.policy ->
+  ?range:(int * int) ->
   view:('o -> Ba_sim.Run.outcome) ->
   trials:int ->
   seed:int64 ->

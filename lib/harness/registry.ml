@@ -15,12 +15,27 @@ let tag_of_string s =
   let s = String.lowercase_ascii s in
   List.find_opt (fun t -> tag_to_string t = s) all_tags
 
+type campaign = {
+  c_trials : quick:bool -> int;
+  c_shard_size : quick:bool -> int;
+  c_run :
+    policy:Supervisor.policy ->
+    domains:int ->
+    quick:bool ->
+    seed:int64 ->
+    lo:int ->
+    hi:int ->
+    Experiment.stats;
+  c_report : quick:bool -> seed:int64 -> trials:int -> Experiment.stats -> Report.t;
+}
+
 type descriptor = {
   id : string;
   title : string;
   claim : string;
   tags : tag list;
   run : policy:Supervisor.policy -> domains:int -> quick:bool -> seed:int64 -> Report.t;
+  campaign : campaign option;
 }
 
 type t = descriptor list
@@ -72,10 +87,24 @@ let descriptor_json d (report : Report.t) wall =
       Json.Obj (insert fields @ wall)
   | other -> other
 
-let suite_json ~seed ~profile ~entries =
+let suite_json ?(suite = "adaptive_ba_experiments") ?campaign ~seed ~profile ~entries () =
+  (* The campaign block carries only run-shape metadata that is a pure
+     function of the campaign parameters — never worker counts or wall
+     times, which would break byte-identity across `--workers K`. *)
+  let campaign_fields =
+    match campaign with
+    | None -> []
+    | Some (trials, shard_size, shards) ->
+        [ ( "campaign",
+            Json.Obj
+              [ ("trials", Json.Int trials);
+                ("shard_size", Json.Int shard_size);
+                ("shards", Json.Int shards) ] ) ]
+  in
   Json.Obj
-    [ ("schema_version", Json.Int Report.schema_version);
-      ("suite", Json.String "adaptive_ba_experiments");
-      ("seed", Json.String (Int64.to_string seed));
-      ("profile", Json.String profile);
-      ("experiments", Json.List (List.map (fun (d, r, w) -> descriptor_json d r w) entries)) ]
+    ([ ("schema_version", Json.Int Report.schema_version);
+       ("suite", Json.String suite);
+       ("seed", Json.String (Int64.to_string seed));
+       ("profile", Json.String profile) ]
+    @ campaign_fields
+    @ [ ("experiments", Json.List (List.map (fun (d, r, w) -> descriptor_json d r w) entries)) ])

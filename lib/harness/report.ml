@@ -16,6 +16,8 @@ let worst a b =
 
 type series = { series_name : string; points : (float * float) list }
 
+type crash = { crash_seed : int64; crash_error : string; crash_backtrace : string }
+
 type t = {
   id : string;
   title : string;
@@ -24,19 +26,55 @@ type t = {
   summary : string;
   metrics : (string * float) list;
   series : series list;
+  trials : int option;
   failures : Supervisor.failure list;
+  shard_failures : Campaign.shard_failure list;
+  crash : crash option;
   body : string;
 }
 
-let make ~id ~title ?(claim = "") ?(metrics = []) ?(series = []) ?(failures = []) ~verdict
-    ~summary ~body () =
-  let verdict = if failures = [] then verdict else Fail in
-  { id; title; claim; verdict; summary; metrics; series; failures; body }
+let make ~id ~title ?(claim = "") ?(metrics = []) ?(series = []) ?trials ?(failures = [])
+    ?(shard_failures = []) ?crash ~verdict ~summary ~body () =
+  let verdict =
+    if failures = [] && shard_failures = [] && crash = None then verdict else Fail
+  in
+  { id; title; claim; verdict; summary; metrics; series; trials; failures; shard_failures;
+    crash; body }
 
 let with_failures r failures =
   match failures with
   | [] -> r
   | _ :: _ -> { r with verdict = Fail; failures = r.failures @ failures }
+
+let with_shard_failures r sfs =
+  match sfs with
+  | [] -> r
+  | _ :: _ -> { r with verdict = Fail; shard_failures = r.shard_failures @ sfs }
+
+let crash_to_json c =
+  Json.Obj
+    [ ("seed", Json.String (Int64.to_string c.crash_seed));
+      ("error", Json.String c.crash_error);
+      ("backtrace_digest", Json.String c.crash_backtrace) ]
+
+let crash_of_json j =
+  let ( let* ) = Result.bind in
+  let str field =
+    match Option.bind (Json.member field j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "crash record: missing string field %S" field)
+  in
+  let* seed = str "seed" in
+  let* seed =
+    match Int64.of_string_opt seed with
+    | Some s -> Ok s
+    | None -> Error "crash record: \"seed\" is not a decimal int64"
+  in
+  let* error = str "error" in
+  let* backtrace = str "backtrace_digest" in
+  if not (Supervisor.is_digest backtrace) then
+    Error "crash record: \"backtrace_digest\" is not 16 lowercase hex chars"
+  else Ok { crash_seed = seed; crash_error = error; crash_backtrace = backtrace }
 
 let metric_key s =
   let buf = Buffer.create (String.length s) in
@@ -82,11 +120,17 @@ let to_json r =
                         s.points)) ])
             r.series)) ]
     @
-    (* Emitted only when non-empty: fault-free payloads keep the schema-v1
-       layout byte-for-byte. *)
-    (match r.failures with
-    | [] -> []
-    | fs -> [ ("failures", Json.List (List.map Supervisor.failure_to_json fs)) ]))
+    (* Optional fields are emitted only when present/non-empty: fault-free
+       payloads keep the schema-v1 layout byte-for-byte. *)
+    (match r.trials with None -> [] | Some n -> [ ("trials", Json.Int n) ])
+    @ (match r.failures with
+      | [] -> []
+      | fs -> [ ("failures", Json.List (List.map Supervisor.failure_to_json fs)) ])
+    @ (match r.shard_failures with
+      | [] -> []
+      | sfs ->
+          [ ("shard_failures", Json.List (List.map Campaign.shard_failure_to_json sfs)) ])
+    @ match r.crash with None -> [] | Some c -> [ ("crash", crash_to_json c) ])
 
 (* ------------------------------------------------------------------ *)
 (* CSV *)
@@ -125,6 +169,20 @@ let csv_of_reports reports =
 let pp fmt r =
   Format.fprintf fmt "@[<v>---- %s: %s ----@,%s@,[%s] %s@,@]" r.id r.title r.body
     (verdict_to_string r.verdict) r.summary;
-  List.iter (fun f -> Format.fprintf fmt "@[<v>FAILURE %a@,@]" Supervisor.pp_failure f) r.failures
+  List.iter (fun f -> Format.fprintf fmt "@[<v>FAILURE %a@,@]" Supervisor.pp_failure f) r.failures;
+  List.iter
+    (fun (sf : Campaign.shard_failure) ->
+      Format.fprintf fmt "@[<v>SHARD FAILURE shard %d (trials [%d, %d), %s after %d attempt%s): %s@,@]"
+        sf.sf_shard sf.sf_lo sf.sf_hi
+        (Campaign.shard_failure_kind_to_string sf.sf_kind)
+        sf.sf_attempts
+        (if sf.sf_attempts = 1 then "" else "s")
+        sf.sf_error)
+    r.shard_failures;
+  Option.iter
+    (fun c ->
+      Format.fprintf fmt "@[<v>CRASH (seed %Ld): %s [bt %s]@,@]" c.crash_seed c.crash_error
+        c.crash_backtrace)
+    r.crash
 
 let schema_version = 1

@@ -30,6 +30,12 @@ val worst : verdict -> verdict -> verdict
 (** A named (x, y) curve, e.g. measured rounds vs [t]. *)
 type series = { series_name : string; points : (float * float) list }
 
+(** An experiment-level crash: the run closure itself raised before
+    producing any per-trial statistics. Replaces the legacy convention of
+    smuggling such crashes through a trial [-1] failure record — trial
+    indices in [failures] now always refer to real trials. *)
+type crash = { crash_seed : int64; crash_error : string; crash_backtrace : string }
+
 type t = {
   id : string;  (** registry id, e.g. "E3" *)
   title : string;
@@ -38,21 +44,32 @@ type t = {
   summary : string;  (** one-line paper-vs-measured statement *)
   metrics : (string * float) list;  (** named scalars, deterministic order *)
   series : series list;
+  trials : int option;
+      (** total Monte-Carlo trials behind the verdict, when the experiment
+          reports them (campaign runs always do: [failures] trial indices
+          are validated against this span) *)
   failures : Supervisor.failure list;
       (** supervised trial/experiment failures; non-empty forces [Fail] *)
+  shard_failures : Campaign.shard_failure list;
+      (** campaign shards that exhausted their retries (graceful
+          degradation); non-empty forces [Fail] *)
+  crash : crash option;  (** experiment-level crash; forces [Fail] *)
   body : string;  (** rendered tables/figures (not serialized) *)
 }
 
-(** [make …] — a non-empty [failures] forces the verdict to [Fail]
-    regardless of the [verdict] argument: infrastructure failures are never
-    reported as science. *)
+(** [make …] — a non-empty [failures] or [shard_failures], or a [crash],
+    forces the verdict to [Fail] regardless of the [verdict] argument:
+    infrastructure failures are never reported as science. *)
 val make :
   id:string ->
   title:string ->
   ?claim:string ->
   ?metrics:(string * float) list ->
   ?series:series list ->
+  ?trials:int ->
   ?failures:Supervisor.failure list ->
+  ?shard_failures:Campaign.shard_failure list ->
+  ?crash:crash ->
   verdict:verdict ->
   summary:string ->
   body:string ->
@@ -65,6 +82,16 @@ val make :
     thread them. *)
 val with_failures : t -> Supervisor.failure list -> t
 
+(** [with_shard_failures r sfs] — append campaign shard-failure records;
+    non-empty [sfs] forces the verdict to [Fail]. *)
+val with_shard_failures : t -> Campaign.shard_failure list -> t
+
+(** JSON object: seed, error, backtrace_digest (a report's optional [crash]
+    field on the wire). *)
+val crash_to_json : crash -> Json.t
+
+val crash_of_json : Json.t -> (crash, string) result
+
 (** [metric_key s] — canonical snake_case metric name: lowercased, runs of
     non-alphanumerics collapsed to single underscores, no leading/trailing
     underscore (["las-vegas(alpha=2.0)"] → ["las_vegas_alpha_2_0"]). *)
@@ -73,9 +100,10 @@ val metric_key : string -> string
 val find_metric : t -> string -> float option
 
 (** [to_json r] — the report without [body]. Non-finite metric values are
-    serialized as [null] (the {!Json} emitter rejects them as floats). A
-    [failures] array is appended only when non-empty, so fault-free payloads
-    are byte-identical to the pre-supervisor layout. *)
+    serialized as [null] (the {!Json} emitter rejects them as floats). The
+    optional [trials], [failures], [shard_failures] and [crash] fields are
+    appended only when present/non-empty, so fault-free payloads are
+    byte-identical to the pre-supervisor layout. *)
 val to_json : t -> Json.t
 
 (** [csv_of_reports rs] — long-form CSV, one row per metric:

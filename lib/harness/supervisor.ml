@@ -123,3 +123,51 @@ let failure_to_json f =
       ("kind", Json.String (kind_to_string f.f_kind));
       ("error", Json.String f.f_error);
       ("backtrace_digest", Json.String f.f_backtrace) ]
+
+let is_digest s =
+  String.length s = 16
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let failure_of_json j =
+  let ( let* ) = Result.bind in
+  let str field =
+    match Option.bind (Json.member field j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "failure record: missing string field %S" field)
+  in
+  let int field =
+    match Option.bind (Json.member field j) Json.to_int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "failure record: missing integer field %S" field)
+  in
+  let* trial = int "trial" in
+  if trial < 0 then Error "failure record: negative trial index"
+  else
+    let* seed = str "seed" in
+    let* seed =
+      match Int64.of_string_opt seed with
+      | Some s -> Ok s
+      | None -> Error "failure record: \"seed\" is not a decimal int64"
+    in
+    let* attempts = int "attempts" in
+    if attempts < 1 then Error "failure record: \"attempts\" < 1"
+    else
+      let* kind = str "kind" in
+      let* kind =
+        match kind with
+        | "crash" -> Ok Crash
+        | "round_cap" -> Ok Round_cap
+        | k -> Error (Printf.sprintf "failure record: unknown kind %S" k)
+      in
+      let* error = str "error" in
+      let* backtrace = str "backtrace_digest" in
+      if not (is_digest backtrace) then
+        Error "failure record: \"backtrace_digest\" is not 16 lowercase hex chars"
+      else
+        Ok
+          { f_trial = trial;
+            f_seed = seed;
+            f_attempts = attempts;
+            f_kind = kind;
+            f_error = error;
+            f_backtrace = backtrace }

@@ -116,5 +116,15 @@ val pp_failure : Format.formatter -> failure -> unit
     suite document's [failures] entries). *)
 val failure_to_json : failure -> Json.t
 
+(** [failure_of_json j] — parse a {!failure_to_json} object back, validating
+    every field (trial >= 0, decimal int64 seed, attempts >= 1, known kind,
+    16-hex digest). Round-trips exactly, so campaign checkpoints preserve
+    failure records byte-for-byte across a resume. *)
+val failure_of_json : Json.t -> (failure, string) result
+
+(** [is_digest s] — true iff [s] is a 16-char lowercase hex digest (the
+    [backtrace_digest] wire format). *)
+val is_digest : string -> bool
+
 (** [digest s] — 64-bit FNV-1a hex digest (exposed for tests). *)
 val digest : string -> string

@@ -1,55 +1,204 @@
+(* Exact accumulation (Shewchuk expansions, as in Python's math.fsum):
+   the running sum and sum of squares are kept as arrays of nonoverlapping
+   partials whose real-arithmetic total is the EXACT sum of the inputs.
+   Real addition is associative and commutative, and every derived figure
+   (mean, variance, total) is computed from the correctly-rounded value of
+   that exact sum — so any partition of an observation stream into shards,
+   merged in any order, yields byte-identical statistics to a single pass.
+   That law is what makes campaign-scale sharded Monte-Carlo runs mergeable
+   without drift (DESIGN.md §14); test_stats pins it as a property test. *)
+
 type t = {
   mutable n : int;
-  mutable mean : float;
-  mutable m2 : float;
   mutable lo : float;
   mutable hi : float;
-  mutable sum : float;
+  mutable sum : float array;  (* nonoverlapping partials, increasing magnitude *)
+  mutable sum_len : int;
+  mutable sumsq : float array;
+  mutable sumsq_len : int;
 }
 
-let create () = { n = 0; mean = 0.; m2 = 0.; lo = infinity; hi = neg_infinity; sum = 0. }
+type parts = {
+  p_count : int;
+  p_min : float;
+  p_max : float;
+  p_sum : float list;
+  p_sumsq : float list;
+}
+
+let create () =
+  { n = 0;
+    lo = infinity;
+    hi = neg_infinity;
+    sum = [||];
+    sum_len = 0;
+    sumsq = [||];
+    sumsq_len = 0 }
+
+(* Fold [x] into the expansion [parts.(0 .. len)], keeping it a
+   nonoverlapping, magnitude-increasing expansion with the same exact real
+   sum plus [x]. Each step is the error-free two-sum transformation, so no
+   information is ever lost. Returns the (possibly reallocated) array and
+   the new length. *)
+let grow parts len x =
+  let parts = ref parts in
+  let ensure i =
+    if i >= Array.length !parts then begin
+      let bigger = Array.make (Stdlib.max 4 (2 * Array.length !parts)) 0. in
+      Array.blit !parts 0 bigger 0 (Array.length !parts);
+      parts := bigger
+    end
+  in
+  let x = ref x and i = ref 0 in
+  for j = 0 to len - 1 do
+    let y = !parts.(j) in
+    let hi = !x +. y in
+    let lo = if Float.abs !x < Float.abs y then !x -. (hi -. y) else y -. (hi -. !x) in
+    if lo <> 0. then begin
+      ensure !i;
+      !parts.(!i) <- lo;
+      incr i
+    end;
+    x := hi
+  done;
+  ensure !i;
+  !parts.(!i) <- !x;
+  (!parts, !i + 1)
+
+(* Correctly-rounded (nearest, ties-to-even) double value of the expansion —
+   a pure function of the exact sum, independent of how the expansion was
+   built (single pass, merge of shards, any order). Port of CPython's fsum
+   tail: partials are nonoverlapping in increasing magnitude order, so one
+   inexact addition from the top decides the rounding, with a half-even
+   correction against the next partial down. *)
+let rounded parts len =
+  if len = 0 then 0.
+  else begin
+    let j = ref (len - 1) in
+    let hi = ref parts.(!j) and lo = ref 0. in
+    (try
+       while !j > 0 do
+         let v = !hi in
+         decr j;
+         let y = parts.(!j) in
+         hi := v +. y;
+         let yr = !hi -. v in
+         lo := y -. yr;
+         if !lo <> 0. then raise Exit
+       done
+     with Exit -> ());
+    if !j > 0 && ((!lo < 0. && parts.(!j - 1) < 0.) || (!lo > 0. && parts.(!j - 1) > 0.))
+    then begin
+      let y = !lo *. 2. in
+      let v = !hi +. y in
+      if y = v -. !hi then hi := v
+    end;
+    !hi
+  end
 
 let add s x =
   s.n <- s.n + 1;
-  let delta = x -. s.mean in
-  s.mean <- s.mean +. (delta /. float_of_int s.n);
-  s.m2 <- s.m2 +. (delta *. (x -. s.mean));
   if x < s.lo then s.lo <- x;
   if x > s.hi then s.hi <- x;
-  s.sum <- s.sum +. x
+  let a, l = grow s.sum s.sum_len x in
+  s.sum <- a;
+  s.sum_len <- l;
+  let a2, l2 = grow s.sumsq s.sumsq_len (x *. x) in
+  s.sumsq <- a2;
+  s.sumsq_len <- l2
 
 let add_int s x = add s (float_of_int x)
 
 let count s = s.n
-let mean s = if s.n = 0 then nan else s.mean
-let variance s = if s.n < 2 then nan else s.m2 /. float_of_int (s.n - 1)
+
+let total s = rounded s.sum s.sum_len
+
+let mean s = if s.n = 0 then nan else total s /. float_of_int s.n
+
+(* Variance from the exact moments: (S2 - S1^2/n) / (n-1), clamped at zero
+   (rounding of the exact sums can leave a tiny negative residue when the
+   spread is orders of magnitude below the magnitude of the observations).
+   Every operand is a correctly-rounded exact sum, so the result is the
+   same for every sharding of the stream. *)
+let variance s =
+  if s.n < 2 then nan
+  else begin
+    let s1 = total s and s2 = rounded s.sumsq s.sumsq_len in
+    Float.max 0. ((s2 -. (s1 *. s1 /. float_of_int s.n)) /. float_of_int (s.n - 1))
+  end
+
 let stddev s = sqrt (variance s)
 let stderr s = if s.n < 2 then nan else stddev s /. sqrt (float_of_int s.n)
 let min s = if s.n = 0 then nan else s.lo
 let max s = if s.n = 0 then nan else s.hi
-let total s = s.sum
 
 let merge a b =
-  if a.n = 0 then { b with n = b.n }
-  else if b.n = 0 then { a with n = a.n }
-  else begin
-    let n = a.n + b.n in
-    let fa = float_of_int a.n and fb = float_of_int b.n and fn = float_of_int (a.n + b.n) in
-    let delta = b.mean -. a.mean in
-    let mean = a.mean +. (delta *. fb /. fn) in
-    let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn) in
-    { n;
-      mean;
-      m2;
+  let m =
+    { n = a.n + b.n;
       lo = Stdlib.min a.lo b.lo;
       hi = Stdlib.max a.hi b.hi;
-      sum = a.sum +. b.sum }
-  end
+      sum = Array.sub a.sum 0 a.sum_len;
+      sum_len = a.sum_len;
+      sumsq = Array.sub a.sumsq 0 a.sumsq_len;
+      sumsq_len = a.sumsq_len }
+  in
+  for j = 0 to b.sum_len - 1 do
+    let arr, l = grow m.sum m.sum_len b.sum.(j) in
+    m.sum <- arr;
+    m.sum_len <- l
+  done;
+  for j = 0 to b.sumsq_len - 1 do
+    let arr, l = grow m.sumsq m.sumsq_len b.sumsq.(j) in
+    m.sumsq <- arr;
+    m.sumsq_len <- l
+  done;
+  m
 
 let of_array xs =
   let s = create () in
   Array.iter (add s) xs;
   s
+
+let to_parts s =
+  { p_count = s.n;
+    p_min = s.lo;
+    p_max = s.hi;
+    p_sum = Array.to_list (Array.sub s.sum 0 s.sum_len);
+    p_sumsq = Array.to_list (Array.sub s.sumsq 0 s.sumsq_len) }
+
+let of_parts p =
+  if p.p_count < 0 then invalid_arg "Summary.of_parts: negative count";
+  if not (List.for_all Float.is_finite p.p_sum && List.for_all Float.is_finite p.p_sumsq)
+  then invalid_arg "Summary.of_parts: non-finite partial";
+  if p.p_count = 0 then begin
+    if p.p_sum <> [] || p.p_sumsq <> [] then
+      invalid_arg "Summary.of_parts: empty summary with partials";
+    create ()
+  end
+  else begin
+    if not (Float.is_finite p.p_min && Float.is_finite p.p_max && p.p_min <= p.p_max)
+    then invalid_arg "Summary.of_parts: bad min/max";
+    (* Re-grow each component so any finite representation of the exact
+       sums — including hand-written or serialized ones — normalizes to a
+       valid expansion of the same value. *)
+    let s = create () in
+    s.n <- p.p_count;
+    s.lo <- p.p_min;
+    s.hi <- p.p_max;
+    List.iter
+      (fun x ->
+        let a, l = grow s.sum s.sum_len x in
+        s.sum <- a;
+        s.sum_len <- l)
+      p.p_sum;
+    List.iter
+      (fun x ->
+        let a, l = grow s.sumsq s.sumsq_len x in
+        s.sumsq <- a;
+        s.sumsq_len <- l)
+      p.p_sumsq;
+    s
+  end
 
 let pp fmt s =
   if s.n = 0 then Format.fprintf fmt "(empty)"

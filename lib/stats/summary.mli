@@ -1,8 +1,15 @@
-(** Online summary statistics (Welford's algorithm).
+(** Online summary statistics with exactly-mergeable accumulation.
 
-    Numerically stable single-pass mean/variance, plus min/max and count.
-    Used to aggregate per-trial measurements (rounds, messages, bits) in the
-    experiment harness. *)
+    The running sum and sum of squares are kept as exact expansions
+    (Shewchuk partials, as in Python's [math.fsum]); mean/variance/total are
+    computed from the correctly-rounded value of the exact sums. Because
+    real addition is associative and commutative, {!merge} obeys the same
+    laws {e byte-for-byte}: any partition of an observation stream into
+    shards, merged in any order, produces statistics bit-identical to a
+    single pass over the stream. The campaign harness (DESIGN.md §14)
+    depends on this to fold per-shard checkpoints into suite aggregates
+    deterministically. Used to aggregate per-trial measurements (rounds,
+    messages, bits) in the experiment harness. *)
 
 type t
 
@@ -39,11 +46,35 @@ val max : t -> float
 val total : t -> float
 
 (** [merge a b] is a fresh accumulator equivalent to having seen both
-    streams (Chan's parallel combination). *)
+    streams. Merging is exact: associative, commutative, and bit-identical
+    to a single pass over the concatenated streams (the underlying sums are
+    held in exact arithmetic). Neither argument is mutated. *)
 val merge : t -> t -> t
 
 (** [of_array xs] summarizes an array in one call. *)
 val of_array : float array -> t
+
+(** Serializable snapshot of an accumulator: the exact sum and sum of
+    squares as expansion components (each finite; their real total is the
+    exact moment), plus count and extrema. [p_min]/[p_max] are
+    [infinity]/[neg_infinity] when empty — serializers must omit them for
+    empty summaries. *)
+type parts = {
+  p_count : int;
+  p_min : float;
+  p_max : float;
+  p_sum : float list;
+  p_sumsq : float list;
+}
+
+val to_parts : t -> parts
+
+(** [of_parts p] rebuilds an accumulator; the components are re-normalized,
+    so any finite representation of the same exact sums yields an
+    equivalent accumulator.
+    @raise Invalid_argument on negative count, non-finite components, a
+    non-empty expansion paired with a zero count, or [p_min > p_max]. *)
+val of_parts : parts -> t
 
 (** [pp] prints ["mean ± stddev (n=count, min..max)"]. *)
 val pp : Format.formatter -> t -> unit

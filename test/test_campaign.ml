@@ -1,0 +1,346 @@
+(* Campaign layer: shard planning, the supervision state machine, checkpoint
+   round-trips, and the shard-merge = unsharded-run byte-identity contract
+   (DESIGN.md §14). Everything here is library-level — no processes are
+   spawned; the @campaign-smoke alias exercises the real multi-process
+   driver. *)
+
+open Ba_harness
+
+let cfg ?(workers = 2) ?(shard_retries = 2) ?(stall_ticks = 5) ?(backoff_cap = 8)
+    ?(seed = 42L) () =
+  { Campaign.workers; shard_retries; stall_ticks; backoff_cap; seed }
+
+(* ---------- plan ---------- *)
+
+let test_plan_partition () =
+  let plan = Campaign.plan ~trials:25 ~shard_size:10 in
+  Alcotest.(check int) "shard count" 3 (List.length plan);
+  List.iteri
+    (fun i (s : Campaign.shard) ->
+      Alcotest.(check int) "index" i s.s_index;
+      Alcotest.(check int) "lo" (i * 10) s.s_lo)
+    plan;
+  let last = List.nth plan 2 in
+  Alcotest.(check int) "last shard short" 25 last.Campaign.s_hi;
+  Alcotest.(check int) "last shard trials" 5 (Campaign.shard_trials last)
+
+let prop_plan_covers =
+  QCheck.Test.make ~name:"plan partitions [0, trials) exactly" ~count:300
+    QCheck.(pair (int_range 1 500) (int_range 1 60))
+    (fun (trials, shard_size) ->
+      let plan = Campaign.plan ~trials ~shard_size in
+      let contiguous =
+        List.for_all
+          (fun (s : Campaign.shard) ->
+            s.s_lo = s.s_index * shard_size && s.s_lo < s.s_hi && s.s_hi <= trials)
+          plan
+      in
+      let covered =
+        List.fold_left (fun n s -> n + Campaign.shard_trials s) 0 plan
+      in
+      contiguous && covered = trials
+      && (List.nth plan (List.length plan - 1)).Campaign.s_hi = trials)
+
+let test_plan_errors () =
+  Alcotest.check_raises "trials 0" (Invalid_argument "Campaign.plan: trials <= 0")
+    (fun () -> ignore (Campaign.plan ~trials:0 ~shard_size:5));
+  Alcotest.check_raises "shard_size 0" (Invalid_argument "Campaign.plan: shard_size <= 0")
+    (fun () -> ignore (Campaign.plan ~trials:5 ~shard_size:0))
+
+(* ---------- backoff ---------- *)
+
+let test_backoff () =
+  let b ~attempt = Campaign.backoff_ticks ~seed:7L ~shard:3 ~attempt ~cap:1000 in
+  Alcotest.(check int) "deterministic" (b ~attempt:1) (b ~attempt:1);
+  Alcotest.(check bool) "positive" true (b ~attempt:1 >= 1);
+  (* base doubles per attempt; jitter < base, so attempt k+2 > attempt k *)
+  Alcotest.(check bool) "grows" true (b ~attempt:4 > b ~attempt:2);
+  Alcotest.(check int) "capped" 3
+    (Campaign.backoff_ticks ~seed:7L ~shard:3 ~attempt:9 ~cap:3);
+  Alcotest.(check bool) "jitter varies by shard" true
+    (List.exists
+       (fun s ->
+         Campaign.backoff_ticks ~seed:7L ~shard:s ~attempt:3 ~cap:1000
+         <> Campaign.backoff_ticks ~seed:7L ~shard:0 ~attempt:3 ~cap:1000)
+       [ 1; 2; 3; 4; 5 ])
+
+(* ---------- state machine ---------- *)
+
+let plan4 = Campaign.plan ~trials:40 ~shard_size:10
+
+let starts actions =
+  List.filter_map
+    (function
+      | Campaign.Start { shard; attempt } -> Some (shard.Campaign.s_index, attempt)
+      | Campaign.Stop _ | Campaign.Give_up _ -> None)
+    actions
+
+let test_machine_fill_and_complete () =
+  let st, actions = Campaign.create (cfg ()) ~plan:plan4 ~completed:[] in
+  Alcotest.(check (list (pair int int))) "first wave" [ (0, 1); (1, 1) ] (starts actions);
+  Alcotest.(check (list int)) "running" [ 0; 1 ] (Campaign.running st);
+  let st, actions = Campaign.step st (Campaign.Completed 0) in
+  Alcotest.(check (list (pair int int))) "backfill" [ (2, 1) ] (starts actions);
+  let st, _ = Campaign.step st (Campaign.Completed 1) in
+  let st, _ = Campaign.step st (Campaign.Completed 2) in
+  Alcotest.(check int) "trials done" 30 (Campaign.trials_done st);
+  Alcotest.(check bool) "not finished" false (Campaign.finished st);
+  let st, _ = Campaign.step st (Campaign.Completed 3) in
+  Alcotest.(check bool) "finished" true (Campaign.finished st);
+  Alcotest.(check int) "all shards" 4 (Campaign.shards_done st)
+
+let test_machine_resume_skips_completed () =
+  let st, actions = Campaign.create (cfg ()) ~plan:plan4 ~completed:[ 0; 2 ] in
+  Alcotest.(check (list (pair int int))) "only missing shards start"
+    [ (1, 1); (3, 1) ] (starts actions);
+  Alcotest.(check int) "resume credit" 20 (Campaign.trials_done st)
+
+let test_machine_retry_after_exit () =
+  let st, _ = Campaign.create (cfg ~workers:1 ()) ~plan:plan4 ~completed:[ 2; 3 ] in
+  let st, actions = Campaign.step st (Campaign.Exited (0, "killed")) in
+  Alcotest.(check (list (pair int int))) "backoff first, next shard fills the slot"
+    [ (1, 1) ] (starts actions);
+  (* Tick until the backoff for shard 0 expires; it restarts as attempt 2
+     once shard 1's completion frees the only worker slot. *)
+  let st, _ = Campaign.step st (Campaign.Completed 1) in
+  let restarted = ref [] and st = ref st and ticks = ref 0 in
+  while !restarted = [] && !ticks < 64 do
+    incr ticks;
+    let s, actions = Campaign.step !st Campaign.Tick in
+    st := s;
+    restarted := starts actions
+  done;
+  Alcotest.(check (list (pair int int))) "attempt 2" [ (0, 2) ] !restarted;
+  let s, _ = Campaign.step !st (Campaign.Completed 0) in
+  Alcotest.(check bool) "finished after retry" true (Campaign.finished s)
+
+let test_machine_stall_stops_and_retries () =
+  let st, _ = Campaign.create (cfg ~workers:1 ~stall_ticks:3 ()) ~plan:plan4
+      ~completed:[ 1; 2; 3 ] in
+  (* Progress resets the stall clock. *)
+  let st, _ = Campaign.step st Campaign.Tick in
+  let st, _ = Campaign.step st Campaign.Tick in
+  let st, _ = Campaign.step st (Campaign.Progress 0) in
+  let st, a1 = Campaign.step st Campaign.Tick in
+  let st, a2 = Campaign.step st Campaign.Tick in
+  Alcotest.(check bool) "no stop yet" true (a1 = [] && a2 = []);
+  let _, a3 = Campaign.step st Campaign.Tick in
+  (match a3 with
+  | [ Campaign.Stop 0 ] -> ()
+  | _ -> Alcotest.fail "expected Stop 0 after stall_ticks without progress")
+
+let test_machine_give_up_and_degrade () =
+  let st, _ = Campaign.create (cfg ~workers:1 ~shard_retries:0 ())
+      ~plan:plan4 ~completed:[ 1; 2; 3 ] in
+  let st, actions = Campaign.step st (Campaign.Exited (0, "segfault")) in
+  (match actions with
+  | [ Campaign.Give_up f ] ->
+      Alcotest.(check int) "shard" 0 f.Campaign.sf_shard;
+      Alcotest.(check int) "attempts" 1 f.Campaign.sf_attempts;
+      Alcotest.(check string) "kind" "worker_lost"
+        (Campaign.shard_failure_kind_to_string f.Campaign.sf_kind)
+  | _ -> Alcotest.fail "expected Give_up");
+  Alcotest.(check bool) "campaign still finishes" true (Campaign.finished st);
+  Alcotest.(check int) "one failure" 1 (List.length (Campaign.failed st))
+
+let test_machine_late_completion_cancels_retry () =
+  let st, _ = Campaign.create (cfg ~workers:1 ()) ~plan:plan4 ~completed:[ 1; 2; 3 ] in
+  let st, _ = Campaign.step st (Campaign.Exited (0, "killed")) in
+  (* The worker's checkpoint landed anyway (e.g. written between the stall
+     stop and the kill): the validated result wins over the pending retry. *)
+  let st, _ = Campaign.step st (Campaign.Completed 0) in
+  Alcotest.(check bool) "finished" true (Campaign.finished st);
+  let st = ref st in
+  for _ = 1 to 20 do
+    let s, actions = Campaign.step !st Campaign.Tick in
+    st := s;
+    Alcotest.(check (list (pair int int))) "no ghost restart" [] (starts actions)
+  done
+
+(* ---------- checkpoints + merge identity (uses E18's campaign form) ---------- *)
+
+let e18 =
+  match Registry.find Ba_experiments.Experiments.registry "E18" with
+  | Some d -> d
+  | None -> Alcotest.fail "E18 not registered"
+
+let e18_campaign =
+  match e18.Registry.campaign with
+  | Some c -> c
+  | None -> Alcotest.fail "E18 has no campaign form"
+
+let seed = 2026L
+
+let run_range ~lo ~hi =
+  e18_campaign.Registry.c_run ~policy:Supervisor.default ~domains:1 ~quick:true ~seed
+    ~lo ~hi
+
+let test_shard_merge_byte_identical () =
+  let trials = e18_campaign.Registry.c_trials ~quick:true in
+  let shard_size = e18_campaign.Registry.c_shard_size ~quick:true in
+  let plan = Campaign.plan ~trials ~shard_size in
+  let direct = run_range ~lo:0 ~hi:trials in
+  let merged =
+    match
+      List.map (fun (s : Campaign.shard) -> run_range ~lo:s.s_lo ~hi:s.s_hi) plan
+    with
+    | [] -> Alcotest.fail "empty plan"
+    | first :: rest -> List.fold_left Experiment.merge_stats first rest
+  in
+  let report stats = e18_campaign.Registry.c_report ~quick:true ~seed ~trials stats in
+  Alcotest.(check string) "merged report byte-identical to unsharded run"
+    (Json.to_string (Report.to_json (report direct)))
+    (Json.to_string (Report.to_json (report merged)))
+
+let checkpoint_of (s : Campaign.shard) ~trials ~shards =
+  { Checkpoint.ck_exp = "E18";
+    ck_seed = seed;
+    ck_profile = "quick";
+    ck_trials = trials;
+    ck_shards = shards;
+    ck_shard = s;
+    ck_stats = run_range ~lo:s.Campaign.s_lo ~hi:s.Campaign.s_hi }
+
+let test_checkpoint_round_trip () =
+  let trials = e18_campaign.Registry.c_trials ~quick:true in
+  let shard_size = e18_campaign.Registry.c_shard_size ~quick:true in
+  let plan = Campaign.plan ~trials ~shard_size in
+  let ck = checkpoint_of (List.hd plan) ~trials ~shards:(List.length plan) in
+  let json = Json.to_string (Checkpoint.to_json ck) in
+  match Checkpoint.of_json (Json.of_string json) with
+  | Error msg -> Alcotest.fail msg
+  | Ok ck' ->
+      Alcotest.(check string) "round-trip byte-identical" json
+        (Json.to_string (Checkpoint.to_json ck'));
+      (match
+         Checkpoint.matches ck' ~exp:"E18" ~seed ~profile:"quick" ~trials ~plan
+       with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg);
+      (match Checkpoint.matches ck' ~exp:"E18" ~seed:1L ~profile:"quick" ~trials ~plan with
+      | Ok () -> Alcotest.fail "stale checkpoint (wrong seed) accepted"
+      | Error _ -> ())
+
+let test_checkpoint_rejects_corruption () =
+  let trials = e18_campaign.Registry.c_trials ~quick:true in
+  let shard_size = e18_campaign.Registry.c_shard_size ~quick:true in
+  let plan = Campaign.plan ~trials ~shard_size in
+  let ck = checkpoint_of (List.hd plan) ~trials ~shards:(List.length plan) in
+  let json = Json.to_string (Checkpoint.to_json ck) in
+  (* A trial-count that disagrees with the shard span must be caught by the
+     cross-field validation, not silently merged. *)
+  let replace ~sub ~by s =
+    let n = String.length sub in
+    let rec find i =
+      if i + n > String.length s then None
+      else if String.sub s i n = sub then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> Alcotest.fail (Printf.sprintf "substring %S not found" sub)
+    | Some i ->
+        String.sub s 0 i ^ by ^ String.sub s (i + n) (String.length s - i - n)
+  in
+  let span = Campaign.shard_trials (List.hd plan) in
+  let tampered =
+    replace
+      ~sub:(Printf.sprintf "\"trials\":%d" span)
+      ~by:(Printf.sprintf "\"trials\":%d" (span + 1))
+      json
+  in
+  (match Checkpoint.of_json (Json.of_string tampered) with
+  | Ok _ -> Alcotest.fail "tampered checkpoint accepted"
+  | Error _ -> ());
+  match Checkpoint.of_json (Json.of_string "{\"suite\": \"nope\"}") with
+  | Ok _ -> Alcotest.fail "wrong suite accepted"
+  | Error _ -> ()
+
+(* Crash-injection resume, library level: checkpoint every shard to disk,
+   then delete one file and truncate another. The resume scan must keep
+   exactly the intact shards, the state machine must restart exactly the
+   damaged ones, and the final merge must be byte-identical to the
+   uninterrupted run. *)
+let test_resume_after_crash () =
+  let trials = e18_campaign.Registry.c_trials ~quick:true in
+  let shard_size = e18_campaign.Registry.c_shard_size ~quick:true in
+  let plan = Campaign.plan ~trials ~shard_size in
+  let shards = List.length plan in
+  Alcotest.(check bool) "enough shards for the scenario" true (shards >= 3);
+  let dir = Filename.temp_dir "ba_campaign_test" "" in
+  List.iter
+    (fun (s : Campaign.shard) ->
+      Checkpoint.save_file
+        (Filename.concat dir (Checkpoint.filename ~exp:"E18" ~index:s.s_index))
+        (checkpoint_of s ~trials ~shards))
+    plan;
+  (* Simulated crash damage: shard 1 vanishes, shard 2 is truncated. *)
+  let path i = Filename.concat dir (Checkpoint.filename ~exp:"E18" ~index:i) in
+  Sys.remove (path 1);
+  let truncated = In_channel.with_open_bin (path 2) (fun ic -> In_channel.input_all ic) in
+  Out_channel.with_open_bin (path 2) (fun oc ->
+      Out_channel.output_string oc (String.sub truncated 0 100));
+  let scanned = Checkpoint.scan_dir ~dir ~exp:"E18" in
+  let completed =
+    List.filter_map
+      (fun (i, _, r) ->
+        match r with
+        | Ok ck -> (
+            match Checkpoint.matches ck ~exp:"E18" ~seed ~profile:"quick" ~trials ~plan with
+            | Ok () -> Some i
+            | Error _ -> None)
+        | Error _ -> None)
+      scanned
+  in
+  let damaged = List.filter (fun i -> not (List.mem i completed)) (List.init shards Fun.id) in
+  Alcotest.(check (list int)) "scan keeps only intact shards" [ 1; 2 ] damaged;
+  let _, actions = Campaign.create (cfg ~workers:4 ()) ~plan ~completed in
+  Alcotest.(check (list (pair int int))) "resume restarts exactly the damaged shards"
+    [ (1, 1); (2, 1) ] (starts actions);
+  (* Re-run the damaged shards and merge everything in index order. *)
+  List.iter
+    (fun i ->
+      let s = List.nth plan i in
+      Checkpoint.save_file (path i) (checkpoint_of s ~trials ~shards))
+    damaged;
+  let merged =
+    List.map
+      (fun (s : Campaign.shard) ->
+        match Checkpoint.load_file (path s.s_index) with
+        | Ok ck -> ck.Checkpoint.ck_stats
+        | Error msg -> Alcotest.fail msg)
+      plan
+    |> function
+    | [] -> Alcotest.fail "no shards"
+    | first :: rest -> List.fold_left Experiment.merge_stats first rest
+  in
+  let direct = run_range ~lo:0 ~hi:trials in
+  let report stats = e18_campaign.Registry.c_report ~quick:true ~seed ~trials stats in
+  Alcotest.(check string) "resumed merge byte-identical to uninterrupted run"
+    (Json.to_string (Report.to_json (report direct)))
+    (Json.to_string (Report.to_json (report merged)));
+  List.iter (fun i -> Sys.remove (path i)) (List.init shards Fun.id);
+  Sys.rmdir dir
+
+let () =
+  Alcotest.run "ba_campaign"
+    [ ("plan",
+       [ Alcotest.test_case "partition" `Quick test_plan_partition;
+         Alcotest.test_case "errors" `Quick test_plan_errors;
+         QCheck_alcotest.to_alcotest prop_plan_covers ]);
+      ("backoff", [ Alcotest.test_case "deterministic capped" `Quick test_backoff ]);
+      ("machine",
+       [ Alcotest.test_case "fill and complete" `Quick test_machine_fill_and_complete;
+         Alcotest.test_case "resume skips completed" `Quick
+           test_machine_resume_skips_completed;
+         Alcotest.test_case "retry after exit" `Quick test_machine_retry_after_exit;
+         Alcotest.test_case "stall stops and retries" `Quick
+           test_machine_stall_stops_and_retries;
+         Alcotest.test_case "give up degrades" `Quick test_machine_give_up_and_degrade;
+         Alcotest.test_case "late completion cancels retry" `Quick
+           test_machine_late_completion_cancels_retry ]);
+      ("checkpoint",
+       [ Alcotest.test_case "round trip" `Quick test_checkpoint_round_trip;
+         Alcotest.test_case "rejects corruption" `Quick test_checkpoint_rejects_corruption;
+         Alcotest.test_case "shard merge byte-identical" `Quick
+           test_shard_merge_byte_identical;
+         Alcotest.test_case "crash-injection resume" `Quick test_resume_after_crash ]) ]

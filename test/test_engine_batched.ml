@@ -176,7 +176,7 @@ let test_suite_json_across_domains () =
         [ "E1"; "E18" ]
     in
     Ba_harness.Json.to_string ~pretty:true
-      (Ba_harness.Registry.suite_json ~seed:2026L ~profile:"quick" ~entries)
+      (Ba_harness.Registry.suite_json ~seed:2026L ~profile:"quick" ~entries ())
   in
   let base = doc ~domains:1 in
   List.iter

@@ -116,6 +116,7 @@ let dummy id = {
   claim = "c";
   tags = [ Registry.Coin ];
   run = (fun ~policy:_ ~domains:_ ~quick:_ ~seed:_ -> sample_report);
+  campaign = None;
 }
 
 let test_registry_duplicates () =
@@ -152,7 +153,7 @@ let test_suite_json_deterministic () =
     in
     let report = d.Registry.run ~policy:Ba_harness.Supervisor.default ~domains:1 ~quick:true ~seed:11L in
     Json.to_string ~pretty:true
-      (Registry.suite_json ~seed:11L ~profile:"quick" ~entries:[ (d, report, Some 0.0) ])
+      (Registry.suite_json ~seed:11L ~profile:"quick" ~entries:[ (d, report, Some 0.0) ] ())
   in
   let a = doc () and b = doc () in
   Alcotest.(check string) "same seed => byte-identical suite JSON" a b;

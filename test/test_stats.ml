@@ -129,6 +129,86 @@ let test_histogram_errors () =
   Alcotest.check_raises "hi <= lo" (Invalid_argument "Histogram.create: hi <= lo") (fun () ->
       ignore (Ba_stats.Histogram.create ~lo:1. ~hi:1. ~bins:3))
 
+(* Exact-merge law (DESIGN.md §14): byte-for-byte equality, not epsilon. *)
+let bits = Int64.bits_of_float
+
+let summary_equal a b =
+  let open Ba_stats.Summary in
+  count a = count b
+  && bits (mean a) = bits (mean b)
+  && bits (variance a) = bits (variance b)
+  && bits (total a) = bits (total b)
+  && bits (min a) = bits (min b)
+  && bits (max a) = bits (max b)
+
+(* Split [xs] into chunks at the positions where [cuts] is true, then
+   permute the chunks with a seeded Fisher–Yates. *)
+let shuffled_chunks xs cuts seed =
+  let chunks = ref [] and cur = ref [] in
+  List.iteri
+    (fun i x ->
+      let cut = match List.nth_opt cuts i with Some b -> b | None -> false in
+      if cut && !cur <> [] then begin
+        chunks := List.rev !cur :: !chunks;
+        cur := []
+      end;
+      cur := x :: !cur)
+    xs;
+  if !cur <> [] then chunks := List.rev !cur :: !chunks;
+  let arr = Array.of_list (List.rev !chunks) in
+  Ba_prng.Rng.shuffle (Ba_prng.Rng.of_int seed) arr;
+  Array.to_list arr
+
+let interesting_float =
+  (* Magnitudes spanning ~32 decimal orders so naive summation would lose
+     bits; the exact expansions must not. *)
+  QCheck.Gen.(
+    map2
+      (fun m e -> m *. (10. ** float_of_int e))
+      (float_range (-1.) 1.) (int_range (-16) 16))
+
+let float_list = QCheck.make QCheck.Gen.(list_size (int_range 0 60) interesting_float)
+
+let prop_sharded_merge_byte_identical =
+  QCheck.Test.make ~name:"sharded fold-merge byte-identical to single pass" ~count:300
+    QCheck.(triple float_list (list bool) small_int)
+    (fun (xs, cuts, seed) ->
+      let direct = Ba_stats.Summary.of_array (Array.of_list xs) in
+      let merged =
+        List.fold_left
+          (fun acc chunk ->
+            Ba_stats.Summary.merge acc (Ba_stats.Summary.of_array (Array.of_list chunk)))
+          (Ba_stats.Summary.create ())
+          (shuffled_chunks xs cuts seed)
+      in
+      summary_equal direct merged)
+
+let prop_merge_assoc_comm =
+  QCheck.Test.make ~name:"merge associative and commutative (byte-identical)" ~count:300
+    QCheck.(triple float_list float_list float_list)
+    (fun (l1, l2, l3) ->
+      let s l = Ba_stats.Summary.of_array (Array.of_list l) in
+      let ( <+> ) = Ba_stats.Summary.merge in
+      let a = s l1 and b = s l2 and c = s l3 in
+      summary_equal ((a <+> b) <+> c) (a <+> (b <+> c))
+      && summary_equal (a <+> b) (b <+> a))
+
+let prop_parts_round_trip =
+  QCheck.Test.make ~name:"to_parts/of_parts round-trip byte-identical" ~count:300 float_list
+    (fun l ->
+      let s = Ba_stats.Summary.of_array (Array.of_list l) in
+      summary_equal s (Ba_stats.Summary.of_parts (Ba_stats.Summary.to_parts s)))
+
+let test_summary_cancellation () =
+  (* Catastrophic cancellation that naive float summation gets wrong:
+     1e16 + 1 - 1e16 = 0 in doubles, but the exact sum is 1. *)
+  let s = Ba_stats.Summary.of_array [| 1e16; 1.; -1e16 |] in
+  Alcotest.(check bool) "total exactly 1.0" true (Ba_stats.Summary.total s = 1.0);
+  let split_a = Ba_stats.Summary.of_array [| 1e16; 1. |] in
+  let split_b = Ba_stats.Summary.of_array [| -1e16 |] in
+  Alcotest.(check bool) "merged total exactly 1.0" true
+    (Ba_stats.Summary.total (Ba_stats.Summary.merge split_a split_b) = 1.0)
+
 let prop_merge_equals_direct =
   QCheck.Test.make ~name:"merge = single pass" ~count:200
     QCheck.(pair (list (float_bound_exclusive 1000.)) (list (float_bound_exclusive 1000.)))
@@ -166,7 +246,8 @@ let () =
          Alcotest.test_case "empty" `Quick test_summary_empty;
          Alcotest.test_case "single" `Quick test_summary_single;
          Alcotest.test_case "merge" `Quick test_summary_merge;
-         Alcotest.test_case "merge with empty" `Quick test_summary_merge_empty ]);
+         Alcotest.test_case "merge with empty" `Quick test_summary_merge_empty;
+         Alcotest.test_case "exact cancellation" `Quick test_summary_cancellation ]);
       ("quantiles",
        [ Alcotest.test_case "known values" `Quick test_quantiles;
          Alcotest.test_case "errors" `Quick test_quantile_errors ]);
@@ -183,5 +264,8 @@ let () =
          Alcotest.test_case "errors" `Quick test_histogram_errors ]);
       ("properties",
        [ QCheck_alcotest.to_alcotest prop_merge_equals_direct;
+         QCheck_alcotest.to_alcotest prop_sharded_merge_byte_identical;
+         QCheck_alcotest.to_alcotest prop_merge_assoc_comm;
+         QCheck_alcotest.to_alcotest prop_parts_round_trip;
          QCheck_alcotest.to_alcotest prop_quantile_monotone;
          QCheck_alcotest.to_alcotest prop_wilson_contains_phat ]) ]

@@ -1,0 +1,86 @@
+#!/bin/sh
+# Campaign smoke (dune build @campaign-smoke): drive the real multi-process
+# campaign runner end to end and hold it to its two contracts —
+#
+#   1. determinism: merged suite JSON is byte-identical across worker
+#      counts, across a SIGKILLed-and-retried worker, and across a
+#      damaged-checkpoint-then---resume run;
+#   2. graceful degradation: a shard that fails every attempt produces a
+#      structured shard_failures record (exit 2), not an abort, and the
+#      document still validates.
+#
+# Usage: campaign_smoke.sh BA_SWEEP BA_JSON_CHECK
+# Runs in dune's sandbox cwd; everything is written under ./campaign_smoke.
+set -eu
+
+SWEEP=$1
+CHECK=$2
+WORK=campaign_smoke
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+say() { echo "campaign_smoke: $*"; }
+
+# --- reference: unsharded-equivalent single-worker run -----------------------
+say "E18 reference (--workers 1)"
+"$SWEEP" E18 --quick --seed 2026 --workers 1 \
+  --checkpoint-dir "$WORK/ck_ref" --json "$WORK/ref.json" > /dev/null
+"$CHECK" "$WORK/ref.json" --require-pass
+"$CHECK" "$WORK/ck_ref/E18.shard-00000.json"
+
+# --- fan-out determinism -----------------------------------------------------
+say "E18 fan-out (--workers 2) must be byte-identical"
+"$SWEEP" E18 --quick --seed 2026 --workers 2 \
+  --checkpoint-dir "$WORK/ck_w2" --json "$WORK/w2.json" > /dev/null
+cmp "$WORK/ref.json" "$WORK/w2.json"
+
+# --- kill one worker mid-shard: supervised retry, same bytes -----------------
+say "E18 with shard 2's first worker SIGKILLed mid-run"
+"$SWEEP" E18 --quick --seed 2026 --workers 2 \
+  --campaign-kill-shard 2 \
+  --checkpoint-dir "$WORK/ck_kill" --json "$WORK/kill.json" > /dev/null
+cmp "$WORK/ref.json" "$WORK/kill.json"
+
+# --- crash the campaign state, then --resume ---------------------------------
+say "E18 resume after checkpoint damage (one deleted, one truncated)"
+cp -r "$WORK/ck_w2" "$WORK/ck_resume"
+rm "$WORK/ck_resume/E18.shard-00003.json"
+head -c 100 "$WORK/ck_w2/E18.shard-00001.json" > "$WORK/ck_resume/E18.shard-00001.json"
+"$SWEEP" E18 --quick --seed 2026 --workers 2 --resume \
+  --checkpoint-dir "$WORK/ck_resume" --json "$WORK/resume.json" > /dev/null
+cmp "$WORK/ref.json" "$WORK/resume.json"
+
+# --- a non-empty checkpoint dir without --resume must be refused -------------
+say "refusal without --resume"
+if "$SWEEP" E18 --quick --seed 2026 --workers 1 \
+     --checkpoint-dir "$WORK/ck_w2" --json "$WORK/refused.json" > /dev/null 2>&1
+then
+  say "ERROR: non-empty checkpoint dir accepted without --resume"
+  exit 1
+fi
+
+# --- graceful degradation: retries exhausted => structured record, exit 2 ----
+say "E18 with shard 1 killed on every attempt (retries exhausted)"
+status=0
+"$SWEEP" E18 --quick --seed 2026 --workers 2 \
+  --campaign-kill-shard 1 --campaign-kill-every-attempt --shard-retries 1 \
+  --checkpoint-dir "$WORK/ck_fail" --json "$WORK/fail.json" \
+  > /dev/null 2> "$WORK/fail.stderr" || status=$?
+if [ "$status" -ne 2 ]; then
+  say "ERROR: expected exit 2 from a degraded campaign, got $status"
+  exit 1
+fi
+grep -q '"shard_failures"' "$WORK/fail.json" || {
+  say "ERROR: degraded campaign JSON lacks shard_failures"; exit 1; }
+grep -q '"kind": "worker_lost"' "$WORK/fail.json" || {
+  say "ERROR: shard failure record lacks worker_lost kind"; exit 1; }
+"$CHECK" "$WORK/fail.json"
+
+# --- second campaign-form experiment through the same machinery --------------
+say "E1 fan-out (--workers 2)"
+"$SWEEP" E1 --quick --seed 2026 --workers 2 \
+  --checkpoint-dir "$WORK/ck_e1" --json "$WORK/e1.json" > /dev/null
+"$CHECK" "$WORK/e1.json" --require-pass
+"$CHECK" "$WORK/ck_e1/E1.shard-00000.json"
+
+say "ok"
