@@ -36,8 +36,7 @@ let () =
   Printf.printf "Bracha RBC, n=%d, t=%d (< n/3), broadcaster equivocates 0/1 by parity:\n" n t;
   let injected = ref false in
   let equivocator =
-    { Async_engine.adv_name = "equivocating-broadcaster";
-      act =
+    Async_engine.opaque ~name:"equivocating-broadcaster"
         (fun view ->
           let corrupt = if view.Async_engine.step = 1 then [ 0 ] else [] in
           let inject =
@@ -47,7 +46,7 @@ let () =
             end
             else []
           in
-          { Async_engine.deliver = None; corrupt; inject }) }
+          { Async_engine.deliver = None; corrupt; inject })
   in
   injected := false;
   let o =

@@ -1,31 +1,13 @@
+(* The pure schedulers declare their rule as an engine policy: the engine
+   derives the reference [act] from it (so promise and behavior cannot
+   drift) and is free to run the slab fast paths — batched mailbox
+   draining for fifo/delayer, exact draw replay for the randomized
+   ones. *)
 let random_scheduler ~rng =
-  { Async_engine.adv_name = "random-scheduler";
-    act =
-      (fun view ->
-        let deliver =
-          match view.Async_engine.pending with
-          | [] -> None
-          | ps ->
-              let arr = Array.of_list ps in
-              Some (Ba_prng.Rng.choose rng arr).Async_engine.id
-        in
-        { Async_engine.deliver; corrupt = []; inject = [] }) }
+  Async_engine.scheduler ~name:"random-scheduler" (Async_engine.Uniform_pick rng)
 
 let delayer ~victims =
-  let victim v = List.mem v victims in
-  { Async_engine.adv_name = "delayer";
-    act =
-      (fun view ->
-        let deliver =
-          match
-            List.find_opt
-              (fun (p : _ Async_engine.pending) -> not (victim p.src))
-              view.Async_engine.pending
-          with
-          | Some p -> Some p.Async_engine.id
-          | None -> None
-        in
-        { Async_engine.deliver; corrupt = []; inject = [] }) }
+  Async_engine.scheduler ~name:"delayer" (Async_engine.Avoid_srcs victims)
 
 let first_step_corruptions ~rng view =
   if view.Async_engine.step = 1 then begin
@@ -41,8 +23,7 @@ let first_step_corruptions ~rng view =
   else []
 
 let byz_flooder ~rng ~forge =
-  { Async_engine.adv_name = "byz-flooder";
-    act =
+  Async_engine.opaque ~name:"byz-flooder"
       (fun view ->
         let corrupt = first_step_corruptions ~rng view in
         let deliver =
@@ -63,43 +44,32 @@ let byz_flooder ~rng ~forge =
               let dst = Ba_prng.Rng.int rng view.Async_engine.n in
               [ (src, dst, forge ~rng ~step:view.Async_engine.step ~dst) ]
         in
-        { Async_engine.deliver; corrupt; inject }) }
+        { Async_engine.deliver; corrupt; inject })
 
 let ben_or_balancer ~rng =
-  { Async_engine.adv_name = "ben-or-balancer";
-    act =
-      (fun view ->
-        (* Score each pending message: strongly prefer delivering R-votes
-           for the receiver's current-round *minority* value, and withhold
-           majority votes, so no node assembles a supermajority. Other
-           messages are neutral. Lower score = deliver sooner. *)
-        let score (p : Ben_or_async.msg Async_engine.pending) =
-          match view.Async_engine.states.(p.Async_engine.dst) with
-          | None -> 0
-          | Some st -> (
-              match Ben_or_async.classify p.Async_engine.msg with
-              | `R (r, v)
-                when r = Ben_or_async.round_reached st
-                     && not (Ben_or_async.waiting_for_p st) -> (
-                  let z, o = Ben_or_async.r_tally st ~round:r in
-                  let minority = if z <= o then 0 else 1 in
-                  if v = minority then -1 else 1)
-              | `R _ | `P _ | `D _ -> 0)
-        in
-        let deliver =
-          match view.Async_engine.pending with
-          | [] -> None
-          | ps ->
-              (* Among the lowest-skew destinations pick randomly. *)
-              let best = List.fold_left (fun acc p -> min acc (score p)) max_int ps in
-              let candidates = List.filter (fun p -> score p = best) ps in
-              Some (Ba_prng.Rng.choose rng (Array.of_list candidates)).Async_engine.id
-        in
-        { Async_engine.deliver; corrupt = []; inject = [] }) }
+  (* Score each pending message: strongly prefer delivering R-votes for
+     the receiver's current-round *minority* value, and withhold majority
+     votes, so no node assembles a supermajority. Other messages are
+     neutral. Lower score = deliver sooner; among the minimum-score
+     messages the engine picks uniformly (the [Scored] policy). *)
+  let sc_score ~states ~src:_ ~dst ~msg =
+    match states.(dst) with
+    | None -> 0
+    | Some st -> (
+        match Ben_or_async.classify msg with
+        | `R (r, v)
+          when r = Ben_or_async.round_reached st && not (Ben_or_async.waiting_for_p st)
+          -> (
+            let z, o = Ben_or_async.r_tally st ~round:r in
+            let minority = if z <= o then 0 else 1 in
+            if v = minority then -1 else 1)
+        | `R _ | `P _ | `D _ -> 0)
+  in
+  Async_engine.scheduler ~name:"ben-or-balancer"
+    (Async_engine.Scored { sc_rng = rng; sc_score })
 
 let ben_or_splitter ~rng =
-  { Async_engine.adv_name = "ben-or-splitter";
-    act =
+  Async_engine.opaque ~name:"ben-or-splitter"
       (fun view ->
         let corrupt = first_step_corruptions ~rng view in
         let deliver =
@@ -131,4 +101,4 @@ let ben_or_splitter ~rng =
               in
               [ (src, dst, m) ]
         in
-        { Async_engine.deliver; corrupt; inject }) }
+        { Async_engine.deliver; corrupt; inject })

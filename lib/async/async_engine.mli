@@ -1,4 +1,5 @@
-(** Asynchronous message-passing engine with an adversarial scheduler.
+(** Asynchronous message-passing engine with an adversarial scheduler,
+    realized as an actor runtime over a pending-message slab.
 
     The paper's Section 1.3 contrasts its synchronous result with the
     asynchronous setting, "even harder" under the same full-information
@@ -20,8 +21,17 @@
       typically keep echoing afterwards; we stop measuring), or at
       [max_steps].
 
+    In-flight messages live in per-node mailbox queues backed by one
+    preallocated slab ({!Mailbox}); an adversary's {!policy} declares its
+    scheduling rule so the engine can dispatch to a fast path — batched
+    mailbox-draining activations (optionally sharded across domains) for
+    the order-insensitive schedulers, a slab walk with exact PRNG-draw
+    replay for the randomized ones, and the fully general view-based loop
+    for [Opaque] adversaries. All paths produce byte-identical outcomes;
+    DESIGN.md §15 gives the argument.
+
     Determinism: everything is a function of [(seed, parameters)], as in
-    the synchronous engine. *)
+    the synchronous engine, at any domain count. *)
 
 type ctx = { n : int; t : int; me : int; rng : Ba_prng.Rng.t }
 
@@ -36,7 +46,10 @@ type ('state, 'msg) protocol = {
   name : string;
   init : ctx -> input:int -> 'state * 'msg send list;
   on_message : ctx -> 'state -> src:int -> 'msg -> 'state * 'msg send list;
-  output : 'state -> int option;  (** decided value, once set *)
+  output : 'state -> int option;
+      (** decided value, once set — decisions must be sticky (never revert
+          to [None]); the engine tracks completion incrementally on that
+          contract *)
   msg_bits : 'msg -> int;
 }
 
@@ -65,13 +78,57 @@ type 'msg action = {
           honest [src] *)
 }
 
+(** What the engine may assume about an adversary's behavior. Every
+    constructor except [Opaque] is a {e pure scheduler} promise: the
+    adversary never corrupts and never injects, and its [act] picks
+    deliveries exactly per the declared rule — the engine is then free to
+    skip materializing the view and run the policy directly against the
+    slab (including batching and domain-sharding the order-insensitive
+    ones). Declaring a policy whose [act] disagrees is a caller bug;
+    construct via {!scheduler} (which derives [act] from the policy, so
+    the two cannot drift) or {!opaque}. *)
+type ('state, 'msg) policy =
+  | Opaque
+      (** no promise: the general view/act loop runs every step (adaptive
+          corruption, injections, deliver-by-id all honored) *)
+  | Fifo_pick  (** always deliver the oldest pending message *)
+  | Avoid_srcs of int list
+      (** deliver the oldest message whose sender is not listed; fall back
+          to the oldest overall when only listed senders have mail *)
+  | Uniform_pick of Ba_prng.Rng.t
+      (** one uniform draw over the pending set (in id order) per step *)
+  | Scored of ('state, 'msg) scorer
+      (** deliver a minimum-score pending message, ties broken by one
+          uniform draw over the tied candidates in id order *)
+
+and ('state, 'msg) scorer = {
+  sc_rng : Ba_prng.Rng.t;
+  sc_score : states:'state option array -> src:int -> dst:int -> msg:'msg -> int;
+      (** must be pure (no PRNG draws): it is re-evaluated freely *)
+}
+
 type ('state, 'msg) adversary = {
   adv_name : string;
+  policy : ('state, 'msg) policy;
   act : ('state, 'msg) view -> 'msg action;
 }
 
+(** [scheduler ~name policy] — an adversary whose [act] is derived from
+    [policy], so the declared promise holds by construction. *)
+val scheduler : name:string -> ('state, 'msg) policy -> ('state, 'msg) adversary
+
+(** [opaque ~name act] — an adversary with no policy promise; always runs
+    on the general loop. *)
+val opaque :
+  name:string -> (('state, 'msg) view -> 'msg action) -> ('state, 'msg) adversary
+
+(** [opaque_of adv] — [adv] stripped of its policy promise: same [act],
+    forced through the general loop. Test hook: a policy adversary and its
+    [opaque_of] must produce byte-identical outcomes. *)
+val opaque_of : ('state, 'msg) adversary -> ('state, 'msg) adversary
+
 (** [fifo] — deliver strictly in send order, corrupt nobody: the friendly
-    scheduler. *)
+    scheduler ([Fifo_pick]). *)
 val fifo : ('state, 'msg) adversary
 
 type outcome = {
@@ -107,7 +164,15 @@ type outcome = {
     the exact fault-free engine.
     @param trace unified substrate trace hook ([Ba_sim.Run.trace]): [Tick]
     per scheduler step, [Corrupt] per corruption, [Deliver] per delivered
-    message, [Fault] per injected link fault.
+    message, [Fault] per injected link fault. Tracing forces the serial
+    paths (events are per-step; outcomes are unchanged).
+    @param sharder fans the batched path's per-destination activations out
+    over domains ([Ba_harness.Parallel.delivery_sharder]). Only the
+    order-insensitive schedulers ([Fifo_pick], [Avoid_srcs]) batch;
+    outcomes are byte-identical at any shard count — worker domains only
+    read the immutable delivery plan and write disjoint per-destination
+    result cells, while every id assignment, PRNG draw and metric update
+    happens serially in plan order (DESIGN.md §15).
     @raise Invalid_argument on the same conditions as the synchronous
     engine. *)
 val run :
@@ -115,6 +180,7 @@ val run :
   ?max_delay:int ->
   ?faults:'msg Ba_sim.Faults.plan ->
   ?trace:Ba_sim.Run.trace ->
+  ?sharder:Ba_sim.Engine.sharder ->
   protocol:('state, 'msg) protocol ->
   adversary:('state, 'msg) adversary ->
   n:int ->

@@ -16,7 +16,10 @@ let e17 ?policy ?(domains = 1) ?(quick = false) ~seed () =
      Algorithm 3 at the same (n, t). Async trials run through the unified
      substrate: {!Setups.make_async} produces {!Ba_sim.Run.outcome}s and
      {!Ba_harness.Supervisor.run_trial} supervises them exactly like the
-     synchronous arm's Monte-Carlo loop. *)
+     synchronous arm's Monte-Carlo loop. On the actor-runtime engine
+     (DESIGN.md §15) the splitter is an [Opaque] adversary — corrupting
+     and injecting — so these trials exercise the reference view/act loop
+     on the mailbox slab; payloads are byte-stable across the rebuild. *)
   let ns = if quick then [ 6; 11; 16 ] else [ 6; 11; 16; 21; 26 ] in
   let trials = if quick then 10 else 25 in
   let pol = Option.value policy ~default:Ba_harness.Supervisor.default in
@@ -137,7 +140,10 @@ let e17 ?policy ?(domains = 1) ?(quick = false) ~seed () =
    starved of messages may legitimately never decide, which shows up as
    [incomplete] (deadlock or step-cap) and is reported as degradation. The
    fault-free control arm, however, must be perfect: the model assumes
-   reliable links. *)
+   reliable links. [domains] parallelizes whole trials
+   ({!Ba_harness.Parallel.monte_carlo_view}); within a trial the random
+   scheduler takes the engine's serial slab fast path — one rank draw per
+   step (DESIGN.md §15), so per-trial [?sharder] would be a no-op here. *)
 let e20 ?policy ?(quick = false) ~seed ~domains () =
   let trials = if quick then 6 else 15 in
   let arms =

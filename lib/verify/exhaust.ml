@@ -889,7 +889,7 @@ let replay_async cex =
     ~max_steps:(max 64 ((4 * List.length cex.ac_deliveries) + (20 * n)))
     ~max_delay:1_000_000
     ~protocol
-    ~adversary:{ Ba_async.Async_engine.adv_name = "exhaust-tape"; act }
+    ~adversary:(Ba_async.Async_engine.opaque ~name:"exhaust-tape" act)
     ~n ~t:cex.ac_t
     ~inputs:(Array.make n cex.ac_input)
     ~seed:0L ()

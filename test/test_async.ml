@@ -56,12 +56,11 @@ let test_bounded_delay_forces_delivery () =
 let test_corruption_retracts_messages () =
   (* Corrupt node 0 at step 1: its initial broadcast must never arrive. *)
   let adv =
-    { Async_engine.adv_name = "kill-0";
-      act =
+    Async_engine.opaque ~name:"kill-0"
         (fun view ->
           { Async_engine.deliver = None;
             corrupt = (if view.Async_engine.step = 1 then [ 0 ] else []);
-            inject = [] }) }
+            inject = [] })
   in
   let o =
     Async_engine.run ~max_steps:200 ~protocol:echo ~adversary:adv ~n:4 ~t:1
@@ -73,8 +72,8 @@ let test_corruption_retracts_messages () =
 let test_injection_requires_corruption () =
   (* Injections from honest nodes are dropped. *)
   let adv =
-    { Async_engine.adv_name = "bad-inject";
-      act = (fun _ -> { Async_engine.deliver = None; corrupt = []; inject = [ (1, 2, 99) ] }) }
+    Async_engine.opaque ~name:"bad-inject"
+        (fun _ -> { Async_engine.deliver = None; corrupt = []; inject = [ (1, 2, 99) ] })
   in
   let o =
     Async_engine.run ~max_steps:50 ~protocol:echo ~adversary:adv ~n:4 ~t:1

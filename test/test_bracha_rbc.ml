@@ -50,8 +50,7 @@ let equivocating_broadcaster ~broadcaster =
   (* Corrupt the broadcaster before anything is delivered; inject Init 0 to
      even nodes, Init 1 to odd nodes, once each. *)
   let injected = ref false in
-  { Async_engine.adv_name = "equivocating-broadcaster";
-    act =
+  Async_engine.opaque ~name:"equivocating-broadcaster"
       (fun view ->
         let corrupt =
           if view.Async_engine.step = 1 then [ broadcaster ] else []
@@ -64,7 +63,7 @@ let equivocating_broadcaster ~broadcaster =
           end
           else []
         in
-        { Async_engine.deliver = None; corrupt; inject }) }
+        { Async_engine.deliver = None; corrupt; inject })
 
 let test_equivocation_consistency () =
   (* The broadcaster sends 0 to half, 1 to the other half: honest nodes must
@@ -90,12 +89,11 @@ let test_silent_broadcaster_no_delivery () =
   (* Corrupt the broadcaster immediately and inject nothing: nobody may
      deliver anything. *)
   let kill =
-    { Async_engine.adv_name = "kill-broadcaster";
-      act =
+    Async_engine.opaque ~name:"kill-broadcaster"
         (fun view ->
           { Async_engine.deliver = None;
             corrupt = (if view.Async_engine.step = 1 then [ 0 ] else []);
-            inject = [] }) }
+            inject = [] })
   in
   let o = run ~adversary:kill ~broadcaster:0 ~value:1 ~seed:7L () in
   Alcotest.(check bool) "incomplete" false o.completed;
@@ -105,8 +103,7 @@ let test_forged_init_ignored () =
   (* A Byzantine helper (not the broadcaster) injecting Init must be
      ignored: everyone still delivers the real broadcaster's value. *)
   let helper_forger =
-    { Async_engine.adv_name = "helper-forger";
-      act =
+    Async_engine.opaque ~name:"helper-forger"
         (fun view ->
           let corrupt = if view.Async_engine.step = 1 then [ 9 ] else [] in
           let inject =
@@ -114,7 +111,7 @@ let test_forged_init_ignored () =
               [ (9, view.step mod view.n, Bracha_rbc.Init 0) ]
             else []
           in
-          { Async_engine.deliver = None; corrupt; inject }) }
+          { Async_engine.deliver = None; corrupt; inject })
   in
   let o = run ~adversary:helper_forger ~broadcaster:2 ~value:1 ~seed:9L () in
   Alcotest.(check bool) "completed" true o.completed;
@@ -124,8 +121,7 @@ let test_ready_amplification () =
   (* Byzantine helpers sending t Ready(0) alone cannot cause delivery of 0
      (needs 2t+1), nor even an honest Ready (needs t+1). *)
   let ready_spammer =
-    { Async_engine.adv_name = "ready-spammer";
-      act =
+    Async_engine.opaque ~name:"ready-spammer"
         (fun view ->
           let corrupt = if view.Async_engine.step = 1 then [ 7; 8; 9 ] else [] in
           let inject =
@@ -135,7 +131,7 @@ let test_ready_amplification () =
                 (9, view.step mod view.n, Bracha_rbc.Ready 0) ]
             else []
           in
-          { Async_engine.deliver = None; corrupt; inject }) }
+          { Async_engine.deliver = None; corrupt; inject })
   in
   let o = run ~adversary:ready_spammer ~broadcaster:2 ~value:1 ~seed:11L () in
   Alcotest.(check bool) "completed" true o.completed;

@@ -10,7 +10,10 @@
 #      document still validates.
 #
 # Usage: campaign_smoke.sh BA_SWEEP BA_JSON_CHECK
-# Runs in dune's sandbox cwd; everything is written under ./campaign_smoke.
+# Runs in dune's sandbox cwd; everything is written under ./campaign_smoke
+# (CI uploads that directory as a diagnostic artifact when the gate fails).
+# CI pre-builds both executables via `dune build @ci-prebuild` so the
+# gate's wall-clock timeout covers the runner, not compilation.
 set -eu
 
 SWEEP=$1
