@@ -140,6 +140,105 @@ let check_campaign_meta = function
       if shards <> (trials + shard_size - 1) / shard_size then
         fail "campaign: %d shards inconsistent with %d trials of %d" shards trials shard_size
 
+(* Attack-search reports written by `ba_attack --json` (suite
+   "adaptive_ba_attack"): the searched strategy genome, the catalog it was
+   measured against, the search/holdout margin record and the objective
+   trace. *)
+let check_attack doc path =
+  let num what j =
+    match j with
+    | Some (Ba_harness.Json.Float _) | Some (Ba_harness.Json.Int _) -> ()
+    | _ -> fail "attack report: %s is not a number" what
+  in
+  let str what j =
+    match Option.bind j Ba_harness.Json.to_str with
+    | Some s when s <> "" -> s
+    | Some _ -> fail "attack report: %s is empty" what
+    | None -> fail "attack report: missing string field %s" what
+  in
+  let int what j =
+    match Option.bind j Ba_harness.Json.to_int with
+    | Some n -> n
+    | None -> fail "attack report: missing integer field %s" what
+  in
+  (match Option.bind (Ba_harness.Json.member "schema_version" doc) Ba_harness.Json.to_int with
+  | Some v when v = Ba_harness.Report.schema_version -> ()
+  | Some v -> fail "schema_version %d, expected %d" v Ba_harness.Report.schema_version
+  | None -> fail "missing integer \"schema_version\"");
+  if Int64.of_string_opt (str "\"seed\"" (Ba_harness.Json.member "seed" doc)) = None then
+    fail "attack report: \"seed\" is not a decimal int64";
+  (match str "\"plane\"" (Ba_harness.Json.member "plane" doc) with
+  | "coin" | "skeleton" -> ()
+  | p -> fail "attack report: unknown plane %S" p);
+  ignore (str "\"objective\"" (Ba_harness.Json.member "objective" doc) : string);
+  let n = int "\"n\"" (Ba_harness.Json.member "n" doc) in
+  let t = int "\"t\"" (Ba_harness.Json.member "t" doc) in
+  if n < 2 then fail "attack report: n is %d (must be >= 2)" n;
+  if t < 0 || t >= n then fail "attack report: t=%d outside [0, n=%d)" t n;
+  let evals = int "\"evals\"" (Ba_harness.Json.member "evals" doc) in
+  if evals < 1 then fail "attack report: evals is %d (must be >= 1)" evals;
+  let check_genome what g =
+    List.iter
+      (fun field ->
+        match Ba_harness.Json.member field g with
+        | None -> fail "attack report: %s genome missing field %S" what field
+        | Some (Ba_harness.Json.Obj _) | Some Ba_harness.Json.Null -> ()
+        | Some _ -> fail "attack report: %s genome field %S is not an object or null" what field)
+      [ "timing"; "target"; "tactic"; "silences"; "async" ];
+    List.iter
+      (fun field ->
+        match Ba_harness.Json.member field g with
+        | Some sub ->
+            ignore
+              (str (Printf.sprintf "%s genome %s kind" what field)
+                 (Ba_harness.Json.member "kind" sub)
+                : string)
+        | None -> ())
+      [ "timing"; "target"; "tactic"; "async" ]
+  in
+  (match Ba_harness.Json.member "best" doc with
+  | None -> fail "attack report: missing \"best\" object"
+  | Some b -> (
+      ignore (str "best name" (Ba_harness.Json.member "name" b) : string);
+      num "best score" (Ba_harness.Json.member "score" b);
+      match Ba_harness.Json.member "genome" b with
+      | Some (Ba_harness.Json.Obj _ as g) -> check_genome "best" g
+      | _ -> fail "attack report: \"best\" has no genome object"));
+  (match Option.bind (Ba_harness.Json.member "catalog" doc) Ba_harness.Json.to_list with
+  | None -> fail "attack report: missing \"catalog\" array"
+  | Some [] -> fail "attack report: \"catalog\" is empty"
+  | Some entries ->
+      List.iter
+        (fun e ->
+          ignore (str "catalog name" (Ba_harness.Json.member "name" e) : string);
+          num "catalog score" (Ba_harness.Json.member "score" e))
+        entries);
+  (match Ba_harness.Json.member "margin" doc with
+  | None -> fail "attack report: missing \"margin\" object"
+  | Some m ->
+      ignore (str "margin vs" (Ba_harness.Json.member "vs" m) : string);
+      num "margin search" (Ba_harness.Json.member "search" m);
+      num "margin holdout" (Ba_harness.Json.member "holdout" m));
+  (match Option.bind (Ba_harness.Json.member "trace" doc) Ba_harness.Json.to_list with
+  | None -> fail "attack report: missing \"trace\" array"
+  | Some [] -> fail "attack report: \"trace\" is empty"
+  | Some entries ->
+      ignore
+        (List.fold_left
+           (fun prev e ->
+             let ev = int "trace evals" (Ba_harness.Json.member "evals" e) in
+             if ev < prev then fail "attack report: trace evals %d decrease" ev;
+             if ev > evals then fail "attack report: trace evals %d exceed total %d" ev evals;
+             (match str "trace phase" (Ba_harness.Json.member "phase" e) with
+             | "seed" | "greedy" | "beam" | "anneal" -> ()
+             | p -> fail "attack report: unknown trace phase %S" p);
+             num "trace score" (Ba_harness.Json.member "score" e);
+             ignore (str "trace name" (Ba_harness.Json.member "name" e) : string);
+             ev)
+           1 entries
+          : int));
+  Printf.printf "ba_json_check: %s ok (attack report, %d evaluations)\n" path evals
+
 let () =
   let path = ref None and require_pass = ref false in
   Array.iteri
@@ -172,6 +271,7 @@ let () =
             ck.Ba_harness.Checkpoint.ck_shard.Ba_harness.Campaign.s_lo
             ck.Ba_harness.Checkpoint.ck_shard.Ba_harness.Campaign.s_hi
       | Error msg -> fail "%s" msg)
+  | Some "adaptive_ba_attack" -> check_attack doc path
   | Some _ ->
       (match
          Option.bind (Ba_harness.Json.member "schema_version" doc) Ba_harness.Json.to_int

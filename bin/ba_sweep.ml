@@ -143,14 +143,63 @@ let kill_every_attempt_arg =
            ~doc:"Test hook: with --campaign-kill-shard, kill on every attempt (exercises \
                  retry exhaustion and the shard-failure degradation path).")
 
-let list_registry () =
+let campaign_cell (d : Ba_harness.Registry.descriptor) =
+  match d.campaign with
+  | None -> "-"
+  | Some c ->
+      (* quick/full campaign trial counts, so --workers users can see the
+         fan-out an experiment offers without reading the source. *)
+      Printf.sprintf "campaign %d/%d" (c.Ba_harness.Registry.c_trials ~quick:true)
+        (c.Ba_harness.Registry.c_trials ~quick:false)
+
+let list_registry ~json_path () =
   List.iter
     (fun (d : Ba_harness.Registry.descriptor) ->
-      Format.printf "%-5s %-28s %s@." d.id
+      Format.printf "%-5s %-28s %-20s %s@." d.id
         (String.concat ","
            (List.map Ba_harness.Registry.tag_to_string d.tags))
-        d.title)
-    (Ba_harness.Registry.all registry)
+        (campaign_cell d) d.title)
+    (Ba_harness.Registry.all registry);
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let entry (d : Ba_harness.Registry.descriptor) =
+        Ba_harness.Json.Obj
+          [ ("id", Ba_harness.Json.String d.id);
+            ("title", Ba_harness.Json.String d.title);
+            ("claim", Ba_harness.Json.String d.claim);
+            ( "tags",
+              Ba_harness.Json.List
+                (List.map
+                   (fun t -> Ba_harness.Json.String (Ba_harness.Registry.tag_to_string t))
+                   d.tags) );
+            ( "campaign",
+              match d.campaign with
+              | None -> Ba_harness.Json.Null
+              | Some c ->
+                  Ba_harness.Json.Obj
+                    [ ( "trials_quick",
+                        Ba_harness.Json.Int (c.Ba_harness.Registry.c_trials ~quick:true) );
+                      ( "trials_full",
+                        Ba_harness.Json.Int (c.Ba_harness.Registry.c_trials ~quick:false) );
+                      ( "shard_size_quick",
+                        Ba_harness.Json.Int (c.Ba_harness.Registry.c_shard_size ~quick:true) );
+                      ( "shard_size_full",
+                        Ba_harness.Json.Int (c.Ba_harness.Registry.c_shard_size ~quick:false)
+                      ) ] ) ]
+      in
+      let doc =
+        Ba_harness.Json.Obj
+          [ ("schema_version", Ba_harness.Json.Int Ba_harness.Report.schema_version);
+            ("suite", Ba_harness.Json.String "adaptive_ba_registry");
+            ( "experiments",
+              Ba_harness.Json.List
+                (List.map entry (Ba_harness.Registry.all registry)) ) ]
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Ba_harness.Json.to_string ~pretty:true doc);
+          Out_channel.output_string oc "\n");
+      Format.printf "wrote %s@." path
 
 (* Returns [Error ()] if any requested id or tag is unknown: partial runs
    must not exit 0. *)
@@ -568,7 +617,7 @@ let campaign_dispatch ~ids ~tags ~all ~quick ~domains ~seed ~json_path ~csv_path
 
 let run_sweep ids all list quick domains seed tags json_path csv_path keep_going retries round_cap =
   if list then begin
-    list_registry ();
+    list_registry ~json_path ();
     0
   end
   else if domains < 1 then begin

@@ -1,80 +1,13 @@
-open Ba_core
-
-let flips_of_view ~designated view =
-  (* (node, flip) for every live honest designated flipper this round. *)
-  let acc = ref [] in
-  Array.iteri
-    (fun v m ->
-      if designated v then
-        match m with
-        | Some (Common_coin.Flip f) when f = 1 || f = -1 -> acc := (v, f) :: !acc
-        | Some _ | None -> ())
-    view.Ba_sim.Adversary.honest_msgs;
-  !acc
-
-let count_corrupted_designated ~designated view =
-  let c = ref 0 in
-  Array.iteri
-    (fun v corrupted -> if corrupted && designated v then incr c)
-    view.Ba_sim.Adversary.corrupted;
-  !c
-
-(* Split test: with remaining honest sum [x'] and [i] equivocating designated
-   Byzantine nodes, receivers' sums span [x' - i, x' + i]; the tie rule maps
-   sum >= 0 to bit 1, so a split needs x' + i >= 0 and x' - i < 0. *)
-let splittable ~x' ~i = x' + i >= 0 && x' - i < 0
-
-let split_plan ~flips ~existing ~budget =
-  let x = List.fold_left (fun acc (_, f) -> acc + f) 0 flips in
-  let majority_sign = if x >= 0 then 1 else -1 in
-  let majority = List.filter (fun (_, f) -> f = majority_sign) flips in
-  let available = min budget (List.length majority) in
-  let rec search k =
-    if k > available then None
-    else begin
-      let x' = x - (k * majority_sign) in
-      if splittable ~x' ~i:(existing + k) then Some k else search (k + 1)
-    end
-  in
-  match search 0 with
-  | None -> None
-  | Some k -> Some (List.filteri (fun idx _ -> idx < k) majority |> List.map fst)
+(* Thin wrappers over the strategy IR (Strategy.to_coin hosts the attack
+   logic; these name the catalog points). *)
 
 let splitter ~designated =
-  { Ba_sim.Adversary.adv_name = "coin-splitter";
-    act =
-      (fun view ->
-        let flips = flips_of_view ~designated view in
-        let existing = count_corrupted_designated ~designated view in
-        match split_plan ~flips ~existing ~budget:view.budget_left with
-        | None -> Ba_sim.Adversary.no_op_action
-        | Some victims ->
-            { Ba_sim.Adversary.corrupt = victims;
-              byz_msg =
-                (fun ~src ~dst ->
-                  if designated src then
-                    Some (Common_coin.Flip (if dst mod 2 = 0 then 1 else -1))
-                  else None) }) }
+  Strategy.to_coin ~name:"coin-splitter" Strategy.coin_splitter_point ~designated
 
 let biaser ~designated ~toward ~rng =
   if toward <> 0 && toward <> 1 then invalid_arg "Coin_adv.biaser: toward must be 0/1";
-  let push = if toward = 1 then 1 else -1 in
-  { Ba_sim.Adversary.adv_name = Printf.sprintf "coin-biaser-%d" toward;
-    act =
-      (fun view ->
-        let corrupt =
-          if view.Ba_sim.Adversary.round = 1 then begin
-            let candidates = ref [] in
-            for v = view.n - 1 downto 0 do
-              if designated v && not view.corrupted.(v) then candidates := v :: !candidates
-            done;
-            let arr = Array.of_list !candidates in
-            Ba_prng.Rng.shuffle rng arr;
-            Array.to_list (Array.sub arr 0 (min view.budget_left (Array.length arr)))
-          end
-          else []
-        in
-        { Ba_sim.Adversary.corrupt;
-          byz_msg =
-            (fun ~src ~dst:_ ->
-              if designated src then Some (Common_coin.Flip push) else None) }) }
+  Strategy.to_coin
+    ~name:(Printf.sprintf "coin-biaser-%d" toward)
+    ~rng
+    (Strategy.coin_biaser_point ~toward)
+    ~designated

@@ -1,28 +1,17 @@
+(* Thin wrappers over the strategy IR: each constructor names a catalog
+   point and lowers it with the shared interpreter (Strategy.to_generic),
+   so the legacy behaviour and the IR point cannot drift. *)
+
 let silent = Ba_sim.Adversary.silent
 
-let static_crash ~rng =
-  { Ba_sim.Adversary.adv_name = "static-crash";
-    act =
-      (fun view ->
-        if view.Ba_sim.Adversary.round = 1 then begin
-          let victims =
-            Ba_prng.Rng.sample_without_replacement rng ~k:view.budget_left ~n:view.n
-          in
-          { Ba_sim.Adversary.corrupt = Array.to_list victims;
-            byz_msg = (fun ~src:_ ~dst:_ -> None) }
-        end
-        else Ba_sim.Adversary.no_op_action) }
+let static_crash ~rng = Strategy.to_generic ~name:"static-crash" ~rng Strategy.static_crash_point
 
 let staggered_crash ~rng ~per_round =
   if per_round < 0 then invalid_arg "staggered_crash: per_round < 0";
-  { Ba_sim.Adversary.adv_name = Printf.sprintf "staggered-crash-%d" per_round;
-    act =
-      (fun view ->
-        let live = Array.of_list (Ba_sim.Adversary.live_honest view) in
-        Ba_prng.Rng.shuffle rng live;
-        let k = min per_round (min view.budget_left (Array.length live)) in
-        { Ba_sim.Adversary.corrupt = Array.to_list (Array.sub live 0 k);
-          byz_msg = (fun ~src:_ ~dst:_ -> None) }) }
+  Strategy.to_generic
+    ~name:(Printf.sprintf "staggered-crash-%d" per_round)
+    ~rng
+    (Strategy.staggered_crash_point ~per_round)
 
 let capped ~limit adv =
   if limit < 0 then invalid_arg "Generic.capped: limit < 0";
@@ -41,9 +30,6 @@ let capped ~limit adv =
         { action with corrupt }) }
 
 let crash_at ~round ~victims =
-  { Ba_sim.Adversary.adv_name = Printf.sprintf "crash-at-%d" round;
-    act =
-      (fun view ->
-        if view.Ba_sim.Adversary.round = round then
-          { Ba_sim.Adversary.corrupt = victims; byz_msg = (fun ~src:_ ~dst:_ -> None) }
-        else Ba_sim.Adversary.no_op_action) }
+  Strategy.to_generic
+    ~name:(Printf.sprintf "crash-at-%d" round)
+    (Strategy.crash_at_point ~round ~victims)

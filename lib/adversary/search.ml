@@ -1,0 +1,370 @@
+(* Deterministic attack search over the strategy IR.
+
+   Pure module: no domains, no wall clock, no ambient randomness. The only
+   stochastic phase (simulated annealing) draws its proposal stream from a
+   salted SplitMix64 seeded by the caller, so the whole run is a pure
+   function of (space, seed, budget, objective). Evaluations are memoized
+   on Strategy.encode and counted against a hard cap; when the cap binds
+   every phase stops at the same point on every machine. *)
+
+module S = Strategy
+module Sm = Ba_prng.Splitmix64
+
+type plane = Coin_plane | Skeleton_plane
+
+type space = { sp_n : int; sp_t : int; sp_plane : plane; sp_max_round : int }
+
+type objective = S.genome -> float
+
+type budget = {
+  b_greedy_steps : int;
+  b_beam_width : int;
+  b_beam_depth : int;
+  b_anneal_iters : int;
+  b_max_evals : int;
+}
+
+let smoke_budget =
+  { b_greedy_steps = 2; b_beam_width = 2; b_beam_depth = 1; b_anneal_iters = 8; b_max_evals = 40 }
+
+let default_budget =
+  { b_greedy_steps = 5;
+    b_beam_width = 4;
+    b_beam_depth = 3;
+    b_anneal_iters = 80;
+    b_max_evals = 300 }
+
+type trace_entry = {
+  te_evals : int;
+  te_score : float;
+  te_genome : S.genome;
+  te_phase : string;
+}
+
+type result = {
+  r_best : S.genome;
+  r_score : float;
+  r_evals : int;
+  r_trace : trace_entry list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Seeds                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let seeds space =
+  match space.sp_plane with
+  | Skeleton_plane -> S.catalog ~t:space.sp_t
+  | Coin_plane ->
+      (* The coin plane speaks only Common_coin messages: crash schedules
+         and the two coin tactics. *)
+      [ ("silent", S.silent_point);
+        ("static-crash", S.static_crash_point);
+        ( "staggered-crash",
+          S.staggered_crash_point ~per_round:(max 1 (space.sp_t / 4)) );
+        ("coin-splitter", S.coin_splitter_point);
+        ("coin-biaser-0", S.coin_biaser_point ~toward:0);
+        ("coin-biaser-1", S.coin_biaser_point ~toward:1) ]
+
+(* ------------------------------------------------------------------ *)
+(* Neighbourhood                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let timing_neighbors space t =
+  let stagger_rate = max 1 (space.sp_t / 4) in
+  match t with
+  | S.T_never ->
+      [ S.T_burst 1; S.T_staggered { per_round = stagger_rate; from_round = 1 } ]
+  | S.T_burst r ->
+      List.concat
+        [ (if r > 1 then [ S.T_burst (r - 1) ] else []);
+          (if r + 1 <= space.sp_max_round then [ S.T_burst (r + 1) ] else []);
+          [ S.T_never; S.T_staggered { per_round = stagger_rate; from_round = r } ] ]
+  | S.T_staggered { per_round; from_round } ->
+      List.concat
+        [ (if per_round > 1 then
+             [ S.T_staggered { per_round = per_round - 1; from_round } ]
+           else []);
+          (if per_round + 1 <= max 1 space.sp_t then
+             [ S.T_staggered { per_round = per_round + 1; from_round } ]
+           else []);
+          (if from_round > 1 then
+             [ S.T_staggered { per_round; from_round = from_round - 1 } ]
+           else []);
+          (if from_round + 1 <= space.sp_max_round then
+             [ S.T_staggered { per_round; from_round = from_round + 1 } ]
+           else []);
+          [ S.T_burst from_round ] ]
+  | S.T_random p ->
+      List.concat
+        [ (if p >= 0.1 then [ S.T_random (p -. 0.1) ] else []);
+          (if p <= 0.9 then [ S.T_random (p +. 0.1) ] else []);
+          [ S.T_burst 1 ] ]
+
+let targeting_neighbors space tg =
+  let switches =
+    [ S.Tg_sample; S.Tg_live_shuffle; S.Tg_designated_shuffle; S.Tg_spare 0 ]
+  in
+  let nudges =
+    match tg with
+    | S.Tg_spare v ->
+        List.concat
+          [ (if v > 0 then [ S.Tg_spare (v - 1) ] else []);
+            (if v + 1 < space.sp_n then [ S.Tg_spare (v + 1) ] else []) ]
+    | _ -> []
+  in
+  nudges @ List.filter (fun s -> s <> tg) switches
+
+let tactic_families space =
+  match space.sp_plane with
+  | Coin_plane ->
+      [ S.Crash;
+        S.Coin_split { parity = 0 };
+        S.Coin_push { toward = 0; rushing = false } ]
+  | Skeleton_plane ->
+      [ S.Crash;
+        S.Coin_split { parity = 0 };
+        S.Coin_split_crash;
+        S.Equivocate { ep_w0 = 1; ep_w1 = 1; ep_decided_late = true; ep_flip_mod = 4 };
+        S.Starve_threshold { target = 0 };
+        S.Chaos { drop_prob = 0.3 } ]
+
+let same_family a b =
+  match (a, b) with
+  | S.Crash, S.Crash
+  | S.Coin_split _, S.Coin_split _
+  | S.Coin_split_crash, S.Coin_split_crash
+  | S.Coin_push _, S.Coin_push _
+  | S.Equivocate _, S.Equivocate _
+  | S.Starve_threshold _, S.Starve_threshold _
+  | S.Chaos _, S.Chaos _ ->
+      true
+  | _ -> false
+
+let tactic_neighbors space tc =
+  let nudges =
+    match tc with
+    | S.Crash | S.Coin_split_crash -> []
+    | S.Coin_split { parity } -> [ S.Coin_split { parity = 1 - parity } ]
+    | S.Coin_push { toward; rushing } ->
+        [ S.Coin_push { toward = 1 - toward; rushing };
+          S.Coin_push { toward; rushing = not rushing } ]
+    | S.Equivocate ({ ep_w0; ep_w1; ep_decided_late; ep_flip_mod } as ep) ->
+        List.concat
+          [ (if ep_w0 > 0 && ep_w0 + ep_w1 > 1 then
+               [ S.Equivocate { ep with ep_w0 = ep_w0 - 1 } ]
+             else []);
+            [ S.Equivocate { ep with ep_w0 = ep_w0 + 1 } ];
+            (if ep_w1 > 0 && ep_w0 + ep_w1 > 1 then
+               [ S.Equivocate { ep with ep_w1 = ep_w1 - 1 } ]
+             else []);
+            [ S.Equivocate { ep with ep_w1 = ep_w1 + 1 };
+              S.Equivocate { ep with ep_decided_late = not ep_decided_late } ];
+            (if ep_flip_mod > 2 then
+               [ S.Equivocate { ep with ep_flip_mod = ep_flip_mod - 2 } ]
+             else []);
+            [ S.Equivocate { ep with ep_flip_mod = ep_flip_mod + 2 } ] ]
+    | S.Starve_threshold { target } ->
+        List.concat
+          [ (if target > 0 then [ S.Starve_threshold { target = target - 1 } ] else []);
+            (if target + 1 < space.sp_n then
+               [ S.Starve_threshold { target = target + 1 } ]
+             else []) ]
+    | S.Chaos { drop_prob } ->
+        List.concat
+          [ (if drop_prob >= 0.1 then [ S.Chaos { drop_prob = drop_prob -. 0.1 } ]
+             else []);
+            (if drop_prob <= 0.9 then [ S.Chaos { drop_prob = drop_prob +. 0.1 } ]
+             else []) ]
+  in
+  nudges @ List.filter (fun f -> not (same_family f tc)) (tactic_families space)
+
+let neighbors space (g : S.genome) =
+  let cands =
+    List.concat
+      [ List.map (fun t -> { g with S.g_timing = t }) (timing_neighbors space g.S.g_timing);
+        List.map
+          (fun tg -> { g with S.g_target = tg })
+          (targeting_neighbors space g.S.g_target);
+        List.map
+          (fun tc -> { g with S.g_tactic = tc })
+          (tactic_neighbors space g.S.g_tactic) ]
+  in
+  let self = S.encode g in
+  let seen = Hashtbl.create 16 in
+  Hashtbl.add seen self ();
+  List.filter
+    (fun c ->
+      match S.validate c with
+      | Error _ -> false
+      | Ok () ->
+          let key = S.encode c in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+    cands
+
+(* ------------------------------------------------------------------ *)
+(* Memoized evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type eval_state = {
+  memo : (string, float) Hashtbl.t;
+  mutable evals : int;
+  mutable scored : (S.genome * float) list;  (* newest first *)
+  mutable best : S.genome option;
+  mutable best_score : float;
+  mutable trace : trace_entry list;  (* newest first *)
+  cap : int;
+  obj : objective;
+}
+
+(* [None] means the eval cap is exhausted: the caller's phase must stop. *)
+let eval st ~phase g =
+  let key = S.encode g in
+  match Hashtbl.find_opt st.memo key with
+  | Some sc -> Some sc
+  | None ->
+      if st.evals >= st.cap then None
+      else begin
+        let sc = st.obj g in
+        st.evals <- st.evals + 1;
+        Hashtbl.add st.memo key sc;
+        st.scored <- (g, sc) :: st.scored;
+        if st.best = None || sc > st.best_score then begin
+          st.best <- Some g;
+          st.best_score <- sc;
+          st.trace <-
+            { te_evals = st.evals; te_score = sc; te_genome = g; te_phase = phase }
+            :: st.trace
+        end;
+        Some sc
+      end
+
+(* Deterministic ranking: score descending, canonical encoding ascending
+   as the tie-break (float ties must not fall back on list order alone,
+   which differs between phases). *)
+let rank cands =
+  List.sort
+    (fun (g1, s1) (g2, s2) ->
+      match compare s2 s1 with 0 -> compare (S.encode g1) (S.encode g2) | c -> c)
+    cands
+
+(* ------------------------------------------------------------------ *)
+(* Phases                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy hill-climb with one-step lookahead: score the whole
+   neighbourhood, move to the best strict improvement, repeat. *)
+let greedy_from st space ~steps g0 s0 =
+  let rec go step g s =
+    if step >= steps then ()
+    else
+      let ns = neighbors space g in
+      let scored =
+        List.filter_map (fun n -> Option.map (fun sc -> (n, sc)) (eval st ~phase:"greedy" n)) ns
+      in
+      if List.length scored < List.length ns then () (* cap bound: stop *)
+      else
+        match rank scored with
+        | (best_n, best_s) :: _ when best_s > s -> go (step + 1) best_n best_s
+        | _ -> ()
+  in
+  go 0 g0 s0
+
+let beam_phase st space ~width ~depth =
+  if width <= 0 || depth <= 0 then ()
+  else
+    let take k l =
+      let rec go k = function
+        | x :: tl when k > 0 -> x :: go (k - 1) tl
+        | _ -> []
+      in
+      go k l
+    in
+    let frontier = ref (take width (rank st.scored)) in
+    (try
+       for _ = 1 to depth do
+         let expansions =
+           List.concat_map
+             (fun (g, _) ->
+               List.filter_map
+                 (fun n -> Option.map (fun sc -> (n, sc)) (eval st ~phase:"beam" n))
+                 (neighbors space g))
+             !frontier
+         in
+         if st.evals >= st.cap then raise Exit;
+         frontier := take width (rank (expansions @ !frontier))
+       done
+     with Exit -> ())
+
+let u01 x = Int64.to_float (Int64.shift_right_logical x 11) /. 9007199254740992.0
+
+let anneal_salt = 0x517CC1B727220A95L
+
+let anneal_phase st space ~seed ~iters =
+  match st.best with
+  | None -> ()
+  | Some g0 ->
+      let gen = Sm.create (Sm.mix (Int64.add seed anneal_salt)) in
+      let temp0 = 0.25 *. Float.max 1.0 (Float.abs st.best_score) in
+      let cur = ref g0 and cur_s = ref st.best_score in
+      (try
+         for k = 0 to iters - 1 do
+           let ns = Array.of_list (neighbors space !cur) in
+           if Array.length ns = 0 then raise Exit;
+           let idx =
+             Int64.to_int (Int64.rem (Int64.shift_right_logical (Sm.next gen) 1)
+                             (Int64.of_int (Array.length ns)))
+           in
+           let cand = ns.(idx) in
+           let u = u01 (Sm.next gen) in
+           match eval st ~phase:"anneal" cand with
+           | None -> raise Exit
+           | Some sc ->
+               let temp =
+                 Float.max 1e-9
+                   (temp0 *. (1.0 -. (float_of_int k /. float_of_int (max 1 iters))))
+               in
+               if sc >= !cur_s || u < Float.exp ((sc -. !cur_s) /. temp) then begin
+                 cur := cand;
+                 cur_s := sc
+               end
+         done
+       with Exit -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run space ~seed ~budget obj =
+  let st =
+    { memo = Hashtbl.create 64;
+      evals = 0;
+      scored = [];
+      best = None;
+      best_score = Float.neg_infinity;
+      trace = [];
+      cap = max 1 budget.b_max_evals;
+      obj }
+  in
+  let seed_points = seeds space in
+  List.iter (fun (_, g) -> ignore (eval st ~phase:"seed" g)) seed_points;
+  (* Climb from the strongest seeds first, so a binding eval cap spends
+     its budget where improvement is most likely. *)
+  if budget.b_greedy_steps > 0 then
+    List.iter
+      (fun (g, s) -> greedy_from st space ~steps:budget.b_greedy_steps g s)
+      (rank st.scored);
+  beam_phase st space ~width:budget.b_beam_width ~depth:budget.b_beam_depth;
+  if budget.b_anneal_iters > 0 then
+    anneal_phase st space ~seed ~iters:budget.b_anneal_iters;
+  match st.best with
+  | None -> invalid_arg "Search.run: empty seed population"
+  | Some best ->
+      { r_best = best;
+        r_score = st.best_score;
+        r_evals = st.evals;
+        r_trace = List.rev st.trace }

@@ -1,328 +1,29 @@
-open Ba_core
-
-(* The phase's assigned value b_i: the val of any honest node whose decided
-   flag is set (unique among honest nodes by Lemma 3). The views handed to
-   the adversary reflect state after the round-1 recv, so during the coin
-   round decided flags are exactly the line-14 assignments. *)
-let assigned_value view =
-  let b = ref None in
-  Array.iter
-    (fun nv ->
-      match nv with
-      | Some { Ba_sim.Protocol.nv_decided = true; nv_val; _ } when !b = None -> b := Some nv_val
-      | Some _ | None -> ())
-    view.Ba_sim.Adversary.views;
-  !b
-
-let committee_flips ~designated ~phase view =
-  let acc = ref [] in
-  Array.iteri
-    (fun v m ->
-      if designated ~phase v then
-        match m with
-        | Some { Skeleton.m_flip = Some f; _ } when f = 1 || f = -1 -> acc := (v, f) :: !acc
-        | Some _ | None -> ())
-    view.Ba_sim.Adversary.honest_msgs;
-  !acc
-
-let corrupted_in_committee ~designated ~phase view =
-  let c = ref 0 in
-  Array.iteri
-    (fun v corrupted -> if corrupted && designated ~phase v then incr c)
-    view.Ba_sim.Adversary.corrupted;
-  !c
-
-let splittable ~x' ~i = x' + i >= 0 && x' - i < 0
-
-(* Cheapest set of majority-side committee flippers to corrupt so the
-   receivers' reachable sums straddle zero; None if unaffordable. *)
-let split_plan ~flips ~existing ~budget =
-  let x = List.fold_left (fun acc (_, f) -> acc + f) 0 flips in
-  let majority_sign = if x >= 0 then 1 else -1 in
-  let majority = List.filter (fun (_, f) -> f = majority_sign) flips in
-  let available = min budget (List.length majority) in
-  let rec search k =
-    if k > available then None
-    else begin
-      let x' = x - (k * majority_sign) in
-      if splittable ~x' ~i:(existing + k) then Some k else search (k + 1)
-    end
-  in
-  match search 0 with
-  | None -> None
-  | Some k -> Some (List.filteri (fun idx _ -> idx < k) majority |> List.map fst)
-
-let split_action ~config ~designated ~phase ~victims =
-  { Ba_sim.Adversary.corrupt = victims;
-    byz_msg =
-      (fun ~src ~dst ->
-        if designated ~phase src then
-          Some
-            { Skeleton.m_phase = phase;
-              m_sub = Skeleton.coin_sub config;
-              m_val = 0;
-              m_decided = false;
-              m_flip = Some (if dst mod 2 = 0 then 1 else -1) }
-        else None) }
-
-let all_live_decided view =
-  Array.for_all
-    (fun nv ->
-      match nv with
-      | Some { Ba_sim.Protocol.nv_decided; _ } -> nv_decided
-      | None -> true)
-    view.Ba_sim.Adversary.views
+(* Thin wrappers over the strategy IR: each legacy constructor is a named
+   catalog point lowered by the shared interpreter (Strategy.to_skeleton),
+   which hosts the one copy of each attack's logic. *)
 
 let committee_killer ~config ~designated =
-  { Ba_sim.Adversary.adv_name = "committee-killer";
-    act =
-      (fun view ->
-        let phase, sub = Skeleton.phase_of_round config ~round:view.Ba_sim.Adversary.round in
-        if sub <> Skeleton.coin_sub config then Ba_sim.Adversary.no_op_action
-        else if all_live_decided view then
-          (* Every honest node resolves round 2 via case 1/2; the coin is
-             dead weight — save the budget. *)
-          Ba_sim.Adversary.no_op_action
-        else begin
-          let flips = committee_flips ~designated ~phase view in
-          let existing = corrupted_in_committee ~designated ~phase view in
-          let x = List.fold_left (fun acc (_, f) -> acc + f) 0 flips in
-          let b_i = assigned_value view in
-          let natural_split = splittable ~x':x ~i:existing in
-          let natural_value = if x >= 0 then 1 else 0 in
-          let must_act =
-            (* A coin that comes up common and opposite to b_i keeps the
-               honest nodes split for free; common-and-equal (or common with
-               no b_i) would make the phase good. *)
-            match b_i with
-            | Some b -> (not natural_split) && natural_value = b
-            | None -> not natural_split
-          in
-          if natural_split then
-            split_action ~config ~designated ~phase ~victims:[]
-          else if must_act then begin
-            match split_plan ~flips ~existing ~budget:view.budget_left with
-            | Some victims -> split_action ~config ~designated ~phase ~victims
-            | None -> Ba_sim.Adversary.no_op_action
-          end
-          else Ba_sim.Adversary.no_op_action
-        end) }
-
-(* Crash-fault variant: deletions only. Crashing k majority-side flippers
-   mid-round lets each receiver see any subset of the k suppressed flips,
-   so receiver sums span [X - k, X] (for X >= 0; mirrored otherwise): a
-   split needs k > X >= 0, i.e. k = X + 1 crashes (and X < 0 costs
-   |X| ... 0 >= X + k needs k = |X|, but the tie rule maps sum 0 to bit 1,
-   so k = |X| already flips some receivers to >= 0 while full delivery
-   keeps others < 0). *)
-let crash_split_plan ~flips ~budget =
-  let x = List.fold_left (fun acc (_, f) -> acc + f) 0 flips in
-  let majority_sign = if x >= 0 then 1 else -1 in
-  let majority = List.filter (fun (_, f) -> f = majority_sign) flips in
-  let k_needed = if x >= 0 then x + 1 else -x in
-  if k_needed <= min budget (List.length majority) then
-    Some (List.filteri (fun idx _ -> idx < k_needed) majority |> List.map fst)
-  else None
+  Strategy.to_skeleton ~name:"committee-killer" Strategy.committee_killer_point ~config
+    ~designated
 
 let crash_committee_killer ~config ~designated =
-  { Ba_sim.Adversary.adv_name = "crash-committee-killer";
-    act =
-      (fun view ->
-        let phase, sub = Skeleton.phase_of_round config ~round:view.Ba_sim.Adversary.round in
-        if sub <> Skeleton.coin_sub config then Ba_sim.Adversary.no_op_action
-        else if all_live_decided view then Ba_sim.Adversary.no_op_action
-        else begin
-          let flips = committee_flips ~designated ~phase view in
-          let x = List.fold_left (fun acc (_, f) -> acc + f) 0 flips in
-          let b_i = assigned_value view in
-          let natural_value = if x >= 0 then 1 else 0 in
-          let must_act = match b_i with Some b -> natural_value = b | None -> true in
-          if not must_act then Ba_sim.Adversary.no_op_action
-          else begin
-            match crash_split_plan ~flips ~budget:view.budget_left with
-            | None -> Ba_sim.Adversary.no_op_action
-            | Some victims ->
-                (* Record each victim's suppressed broadcast so it can be
-                   replayed to the chosen half of the receivers. *)
-                let last_words = Hashtbl.create 8 in
-                List.iter
-                  (fun v ->
-                    match view.honest_msgs.(v) with
-                    | Some m -> Hashtbl.add last_words v m
-                    | None -> ())
-                  victims;
-                { Ba_sim.Adversary.corrupt = victims;
-                  byz_msg =
-                    (fun ~src ~dst ->
-                      (* Even receivers get the dying flips (sum stays X),
-                         odd receivers lose them (sum X - k). *)
-                      if dst mod 2 = 0 then Hashtbl.find_opt last_words src else None) }
-          end
-        end) }
+  Strategy.to_skeleton ~name:"crash-committee-killer" Strategy.crash_committee_killer_point
+    ~config ~designated
 
 let equivocator ~rng ~config =
-  { Ba_sim.Adversary.adv_name = "equivocator";
-    act =
-      (fun view ->
-        let corrupt =
-          if view.Ba_sim.Adversary.round = 1 then
-            Array.to_list
-              (Ba_prng.Rng.sample_without_replacement rng ~k:view.budget_left ~n:view.n)
-          else []
-        in
-        let phase, sub = Skeleton.phase_of_round config ~round:view.round in
-        { Ba_sim.Adversary.corrupt;
-          byz_msg =
-            (fun ~src:_ ~dst ->
-              Some
-                { Skeleton.m_phase = phase;
-                  m_sub = sub;
-                  m_val = dst mod 2;
-                  m_decided = sub <> Skeleton.R1;
-                  m_flip =
-                    (if sub = Skeleton.coin_sub config then
-                       Some (if dst mod 4 < 2 then 1 else -1)
-                     else None) }) }) }
+  Strategy.to_skeleton ~name:"equivocator" ~rng Strategy.equivocator_point ~config
+    ~designated:(fun ~phase:_ _ -> false)
 
 let lone_finisher ~rng ~config ~target =
-  (* Two-stage attack on the early-termination mechanism. Round 1: corrupt
-     the whole budget, pick the honest majority value [b], and boost exactly
-     [n - 2t] honest nodes (always including [target]) over the [n - t]
-     round-1 threshold so they alone decide. Round 2: those [n - 2t] real
-     decided-votes plus [t] fakes reach [n - t] — but the fakes go to
-     [target] only, so [target] finishes while everyone else sits at
-     [n - 2t >= t + 1] (case 2). A literal "broadcast once more" would now
-     strand the others below the finish threshold forever; the extra-phase
-     realization must still converge. *)
-  { Ba_sim.Adversary.adv_name = Printf.sprintf "lone-finisher-%d" target;
-    act =
-      (fun view ->
-        let n = view.Ba_sim.Adversary.n and t = view.Ba_sim.Adversary.t in
-        let phase, sub = Skeleton.phase_of_round config ~round:view.round in
-        let corrupt =
-          if view.round = 1 then begin
-            let candidates =
-              Array.of_list
-                (List.filter (fun v -> v <> target) (Ba_sim.Adversary.live_honest view))
-            in
-            Ba_prng.Rng.shuffle rng candidates;
-            Array.to_list (Array.sub candidates 0 (min view.budget_left (Array.length candidates)))
-          end
-          else []
-        in
-        match sub with
-        | Skeleton.R1 ->
-            (* Honest round-1 vote counts, excluding nodes corrupted right
-               now (their broadcasts are suppressed). *)
-            let hc = [| 0; 0 |] in
-            Array.iteri
-              (fun v m ->
-                if not (List.mem v corrupt) then
-                  match m with
-                  | Some { Skeleton.m_sub = Skeleton.R1; m_val; _ } when m_val = 0 || m_val = 1 ->
-                      hc.(m_val) <- hc.(m_val) + 1
-                  | Some _ | None -> ())
-              view.honest_msgs;
-            let b = if hc.(1) >= hc.(0) then 1 else 0 in
-            if hc.(b) >= n - t || hc.(b) < n - (2 * t) then
-              { Ba_sim.Adversary.corrupt; byz_msg = (fun ~src:_ ~dst:_ -> None) }
-            else begin
-              (* Boost the first n-2t live honest nodes (target first). *)
-              let boosted = Hashtbl.create 16 in
-              Hashtbl.add boosted target ();
-              let quota = ref ((n - (2 * t)) - 1) in
-              Array.iteri
-                (fun v _ ->
-                  if
-                    !quota > 0 && v <> target
-                    && (not view.corrupted.(v))
-                    && (not (List.mem v corrupt))
-                    && not view.halted.(v)
-                  then begin
-                    Hashtbl.add boosted v ();
-                    decr quota
-                  end)
-                view.honest_msgs;
-              { Ba_sim.Adversary.corrupt;
-                byz_msg =
-                  (fun ~src:_ ~dst ->
-                    if Hashtbl.mem boosted dst then
-                      Some
-                        { Skeleton.m_phase = phase;
-                          m_sub = Skeleton.R1;
-                          m_val = b;
-                          m_decided = false;
-                          m_flip = None }
-                    else None) }
-            end
-        | Skeleton.R2 -> (
-            match assigned_value view with
-            | None -> { Ba_sim.Adversary.corrupt; byz_msg = (fun ~src:_ ~dst:_ -> None) }
-            | Some b_i ->
-                let honest_decided = ref 0 in
-                Array.iter
-                  (fun m ->
-                    match m with
-                    | Some { Skeleton.m_sub = Skeleton.R2; m_decided = true; m_val; _ }
-                      when m_val = b_i ->
-                        incr honest_decided
-                    | Some _ | None -> ())
-                  view.honest_msgs;
-                let byz_count =
-                  Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 view.corrupted
-                in
-                if
-                  !honest_decided >= n - t
-                  || !honest_decided + byz_count < n - t
-                then { Ba_sim.Adversary.corrupt; byz_msg = (fun ~src:_ ~dst:_ -> None) }
-                else
-                  { Ba_sim.Adversary.corrupt;
-                    byz_msg =
-                      (fun ~src:_ ~dst ->
-                        if dst = target then
-                          Some
-                            { Skeleton.m_phase = phase;
-                              m_sub = Skeleton.R2;
-                              m_val = b_i;
-                              m_decided = true;
-                              m_flip = None }
-                        else None) })
-        | Skeleton.RC -> { Ba_sim.Adversary.corrupt; byz_msg = (fun ~src:_ ~dst:_ -> None) }) }
+  Strategy.to_skeleton
+    ~name:(Printf.sprintf "lone-finisher-%d" target)
+    ~rng
+    (Strategy.lone_finisher_point ~target)
+    ~config
+    ~designated:(fun ~phase:_ _ -> false)
 
 let random_noise ~rng ~config ~corrupt_prob =
-  { Ba_sim.Adversary.adv_name = "random-noise";
-    act =
-      (fun view ->
-        let corrupt =
-          if
-            view.Ba_sim.Adversary.budget_left > 0
-            && Ba_prng.Rng.bernoulli rng corrupt_prob
-          then begin
-            match Ba_sim.Adversary.live_honest view with
-            | [] -> []
-            | live -> [ Ba_prng.Rng.choose rng (Array.of_list live) ]
-          end
-          else []
-        in
-        let phase, _sub = Skeleton.phase_of_round config ~round:view.round in
-        { Ba_sim.Adversary.corrupt;
-          byz_msg =
-            (fun ~src ~dst ->
-              (* Per-(src,dst) deterministic-ish chaos: draw fresh randomness. *)
-              ignore src;
-              ignore dst;
-              if Ba_prng.Rng.bernoulli rng 0.3 then None
-              else
-                Some
-                  { Skeleton.m_phase = max 1 (phase + Ba_prng.Rng.int_in_range rng ~lo:(-1) ~hi:1);
-                    m_sub =
-                      (match Ba_prng.Rng.int rng 3 with
-                      | 0 -> Skeleton.R1
-                      | 1 -> Skeleton.R2
-                      | _ -> Skeleton.RC);
-                    m_val = Ba_prng.Rng.int rng 4 - 1;
-                    m_decided = Ba_prng.Rng.bool rng;
-                    m_flip =
-                      (if Ba_prng.Rng.bool rng then
-                         Some (Ba_prng.Rng.int_in_range rng ~lo:(-2) ~hi:2)
-                       else None) }) }) }
+  Strategy.to_skeleton ~name:"random-noise" ~rng
+    (Strategy.random_noise_point ~corrupt_prob)
+    ~config
+    ~designated:(fun ~phase:_ _ -> false)

@@ -1,5 +1,32 @@
 (** Adversarial schedulers and Byzantine strategies for the asynchronous
-    engine. *)
+    engine.
+
+    Every scheduling bias here is a point of the adversary-strategy IR
+    ({!Ba_adversary.Strategy.async_bias}, DESIGN.md §16); the legacy
+    constructors are thin wrappers over {!of_strategy} /
+    {!of_strategy_ben_or} applied to the named catalog points, so the IR
+    point and the historical behaviour cannot drift. *)
+
+(** [of_strategy genome] — lower a genome's async scheduling bias to an
+    adversary: [Ab_fifo] (oldest first), [Ab_uniform] (uniform pending
+    pick, needs [~rng]) or [Ab_avoid] (starve listed senders).
+    @raise Invalid_argument for the Ben-Or-specific biases (use
+    {!of_strategy_ben_or}) or when a randomized bias lacks [~rng]. *)
+val of_strategy :
+  ?name:string ->
+  ?rng:Ba_prng.Rng.t ->
+  Ba_adversary.Strategy.genome ->
+  ('s, 'm) Async_engine.adversary
+
+(** [of_strategy_ben_or genome] — the full lowering against
+    {!Ben_or_async}: additionally [Ab_balance] (minority-feeding scored
+    scheduler) and [Ab_split] (step-1 corruption plus contradictory
+    current-round vote injection, value [(dst + parity) mod 2]). *)
+val of_strategy_ben_or :
+  ?name:string ->
+  ?rng:Ba_prng.Rng.t ->
+  Ba_adversary.Strategy.genome ->
+  (Ben_or_async.state, Ben_or_async.msg) Async_engine.adversary
 
 (** [random_scheduler ~rng] — delivers a uniformly random pending message
     each step; corrupts nobody. The "fair but unhelpful" network. *)

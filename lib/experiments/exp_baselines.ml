@@ -152,6 +152,80 @@ let e7 ?policy ?(domains = 1) ?(quick = false) ~seed () =
     ()
 
 (* ------------------------------------------------------------------ *)
+(* E7 campaign form (DESIGN.md §14): the aggregate-agreement sweep as a
+   sharded Monte-Carlo. The global trial index picks the protocol x
+   adversary pair round-robin (trial mod 5), so any [lo, hi) sharding
+   covers every pair and merges back to the byte-identical single-pass
+   counts. *)
+
+let e7_pairs =
+  [ (Setups.Las_vegas { alpha = 2.0 }, Setups.Committee_killer);
+    (Setups.Las_vegas { alpha = 2.0 }, Setups.Equivocator);
+    (Setups.Las_vegas { alpha = 2.0 }, Setups.Random_noise 0.4);
+    (Setups.Chor_coan_lv, Setups.Committee_killer);
+    (Setups.Rabin, Setups.Static_crash) ]
+
+let e7_c_size ~quick = if quick then (40, 13) else (64, 21)
+
+let e7_c_trials ~quick = if quick then 40 else 1000
+
+let e7_c_shard_size ~quick = if quick then 10 else 100
+
+let e7_c_run ~policy ~domains ~quick ~seed ~lo ~hi =
+  let n, t = e7_c_size ~quick in
+  let setups =
+    Array.of_list
+      (List.map (fun (proto, adv) -> Setups.make ~protocol:proto ~adversary:adv ~n ~t) e7_pairs)
+  in
+  let inputs = Setups.inputs Setups.Split ~n ~t in
+  (* No rounds_per_phase: the round-robin mixes protocols with different
+     phase shapes, and the campaign's claim is about failure counts. *)
+  Ba_harness.Experiment.monte_carlo ~policy ~fail_fast:false ~range:(lo, hi)
+    ~trials:(e7_c_trials ~quick)
+    ~seed:(seed_for ~seed "e7-campaign")
+    ~run:(fun ~seed ~trial ->
+      let setup = setups.(trial mod Array.length setups) in
+      setup.Setups.exec ~domains ~record:true ~inputs ~seed ())
+    ()
+
+let e7_c_report ~quick ~seed:_ ~trials (stats : Ba_harness.Experiment.stats) =
+  let n, t = e7_c_size ~quick in
+  let af = stats.agreement_failures and vf = stats.validity_failures in
+  let pair_names =
+    List.map
+      (fun (proto, adv) -> Setups.protocol_name proto ^ " x " ^ Setups.adversary_name adv)
+      e7_pairs
+  in
+  Report.make ~id:"E7"
+    ~title:"Agreement aggregate: zero disagreement across all Monte-Carlo runs (campaign)"
+    ~claim:"Agreement (whp)"
+    ~metrics:
+      [ ("total_runs", float_of_int trials); ("n", float_of_int n); ("t", float_of_int t);
+        ("agreement_failures", float_of_int af); ("validity_failures", float_of_int vf) ]
+    ~trials ~failures:stats.failures
+    ~verdict:(if af = 0 && vf = 0 then Report.Pass else Report.Fail)
+    ~summary:
+      (Printf.sprintf
+         "Paper: agreement always holds (whp). Campaign re-measurement, %d trials round-robin \
+          across %d protocol x adversary pairs at n=%d, t=%d with fail-fast off: %d agreement \
+          and %d validity failures."
+         trials (List.length e7_pairs) n t af vf)
+    ~body:
+      (Ba_harness.Table.render
+         ~title:(Printf.sprintf "campaign aggregate, n=%d, t=%d, split inputs" n t)
+         ~headers:[ "pairs (round-robin by trial index)"; "trials"; "agreement failures";
+                    "validity failures" ]
+         [ [ String.concat "; " pair_names; string_of_int trials; string_of_int af;
+             string_of_int vf ] ])
+    ()
+
+let e7_campaign =
+  { Ba_harness.Registry.c_trials = e7_c_trials;
+    c_shard_size = e7_c_shard_size;
+    c_run = e7_c_run;
+    c_report = e7_c_report }
+
+(* ------------------------------------------------------------------ *)
 (* E10 — baseline ladder                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -394,7 +468,8 @@ let experiments =
       title = "agreement aggregate (fail-fast off)";
       claim = "Agreement (whp)";
       tags = [ Ba_harness.Registry.Robustness ];
-      run = (fun ~policy ~domains ~quick ~seed -> e7 ~policy ~domains ~quick ~seed ()); campaign = None };
+      run = (fun ~policy ~domains ~quick ~seed -> e7 ~policy ~domains ~quick ~seed ());
+      campaign = Some e7_campaign };
     { Ba_harness.Registry.id = "E10";
       title = "baseline ladder";
       claim = "Baseline positioning";

@@ -137,20 +137,16 @@ let e18 ?policy ?(domains = 1) ?(quick = false) ~seed () =
 (* E19 — crash-recovery gauntlet (Lemma 4 termination window)          *)
 (* ------------------------------------------------------------------ *)
 
-(* Rotating send-omission waves: wave j silences g consecutive nodes for
-   rounds [1 + j*w, 1 + (j+1)*w). A silenced node keeps receiving and
-   stepping (it stays round-synchronized) and resumes sending afterwards —
-   the crash-recovery schedule of DESIGN.md 9. At most g nodes are silent
+(* Rotating send-omission waves: the fault-plan placement is a strategy-IR
+   silence shape (DESIGN.md §16) lowered by Strategy.to_silences — wave j
+   silences g consecutive nodes for rounds [1 + j*w, 1 + (j+1)*w), the
+   crash-recovery schedule of DESIGN.md §9. At most g nodes are silent
    in any round, so g is charged against the adversary's budget. *)
 let e19_waves ~t ~wave_len ~waves =
   let g = max 1 (t / 4) in
   ( g,
-    List.concat_map
-      (fun j ->
-        let lo = 1 + (j * wave_len) in
-        List.init g (fun i ->
-            { Ba_sim.Faults.s_node = (j * g) + i; s_from = lo; s_until = lo + wave_len }))
-      (List.init waves Fun.id) )
+    Ba_adversary.Strategy.to_silences
+      { Ba_adversary.Strategy.sw_group = g; sw_len = wave_len; sw_waves = waves; sw_start = 1 } )
 
 let e19 ?policy ?(domains = 1) ?(quick = false) ~seed () =
   let n = if quick then 40 else 64 in

@@ -32,6 +32,7 @@ let e19_crash_recovery ?quick ~seed () = Exp_robustness.e19 ?quick ~seed ()
 let e20_async_faults ?quick ~seed () = Exp_async.e20 ?quick ~seed ~domains:1 ()
 let e21_sparse_regimes ?quick ~seed () = Exp_sparse.e21 ?quick ~seed ()
 let e22_sparse_scaling ?quick ~seed () = Exp_sparse.e22 ?quick ~seed ()
+let e23_attack_search ?quick ~seed () = Exp_attack.e23 ?quick ~seed ()
 
 let registry =
   let num (d : Ba_harness.Registry.descriptor) =
@@ -46,7 +47,7 @@ let registry =
        (fun a b -> compare (num a) (num b))
        (Exp_coin.experiments @ Exp_scaling.experiments @ Exp_complexity.experiments
       @ Exp_baselines.experiments @ Exp_ablations.experiments @ Exp_async.experiments
-      @ Exp_robustness.experiments @ Exp_sparse.experiments))
+      @ Exp_robustness.experiments @ Exp_sparse.experiments @ Exp_attack.experiments))
 
 let all ?(policy = Ba_harness.Supervisor.default) ?(quick = false) ~seed () =
   List.map

@@ -1,4 +1,4 @@
-(** The paper's claims as runnable experiments (E1–E22 in DESIGN.md §5).
+(** The paper's claims as runnable experiments (E1–E23 in DESIGN.md §5).
 
     This is a thin compatibility facade: the experiments themselves live in
     the per-claim modules ({!Exp_coin}, {!Exp_scaling}, {!Exp_complexity},
@@ -115,7 +115,13 @@ val e21_sparse_regimes : ?quick:bool -> seed:int64 -> unit -> report
     [⌈√n⌉]; the fitted log–log exponent should land near 1.5. *)
 val e22_sparse_scaling : ?quick:bool -> seed:int64 -> unit -> report
 
-(** The full E1–E22 registry, in numeric id order. The single source of
+(** E23 — deterministic attack search over the strategy IR vs the fixed
+    adversary catalog: per (n,t) cell, the searched strategy's objective
+    (coin bias or rounds-to-decide) against the best cataloged attack,
+    with a held-out robustness margin. *)
+val e23_attack_search : ?quick:bool -> seed:int64 -> unit -> report
+
+(** The full E1–E23 registry, in numeric id order. The single source of
     truth for every driver ([ba_sweep], [bench]) and for the DESIGN.md §5
     coverage test. *)
 val registry : Ba_harness.Registry.t

@@ -20,6 +20,7 @@ type adversary_kind =
   | Equivocator
   | Lone_finisher of int
   | Random_noise of float
+  | Ir of Ba_adversary.Strategy.genome
 
 type input_pattern = Unanimous of int | Split | Near_threshold
 
@@ -46,6 +47,7 @@ let adversary_name = function
   | Equivocator -> "equivocator"
   | Lone_finisher v -> Printf.sprintf "lone-finisher-%d" v
   | Random_noise _ -> "random-noise"
+  | Ir g -> Ba_adversary.Strategy.name g
 
 let inputs pattern ~n ~t =
   match pattern with
@@ -170,6 +172,13 @@ let generic_adversary kind ~seed : ('s, 'm) Ba_sim.Adversary.t option =
   | Static_crash -> Some (Ba_adversary.Generic.static_crash ~rng:(adversary_rng seed))
   | Staggered_crash k ->
       Some (Ba_adversary.Generic.staggered_crash ~rng:(adversary_rng seed) ~per_round:k)
+  | Ir g -> (
+      (* Only crash genomes are message-agnostic; everything else forges
+         skeleton messages and must go through [skeleton_adversary]. *)
+      match g.Ba_adversary.Strategy.g_tactic with
+      | Ba_adversary.Strategy.Crash ->
+          Some (Ba_adversary.Strategy.to_generic ~rng:(adversary_rng seed) g)
+      | _ -> None)
   | Committee_killer | Crash_committee_killer | Equivocator | Lone_finisher _ | Random_noise _ ->
       None
 
@@ -188,6 +197,7 @@ let skeleton_adversary kind ~config ~designated ~seed :
       | Random_noise p ->
           Ba_adversary.Skeleton_adv.random_noise ~rng:(adversary_rng seed) ~config
             ~corrupt_prob:p
+      | Ir g -> Ba_adversary.Strategy.to_skeleton ~rng:(adversary_rng seed) g ~config ~designated
       | Silent | Static_crash | Staggered_crash _ -> assert false)
 
 let skeleton_run ~faults ~cap ~protocol ~config ~designated ~adversary ~n ~t ~round_bound =

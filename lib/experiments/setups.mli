@@ -36,6 +36,13 @@ type adversary_kind =
   | Equivocator
   | Lone_finisher of int  (** target node *)
   | Random_noise of float  (** per-round corruption probability *)
+  | Ir of Ba_adversary.Strategy.genome
+      (** any strategy-IR point (DESIGN.md §16): crash genomes lower
+          message-agnostically (so they reach every protocol, including the
+          sparse plane), all other tactics lower against skeleton-message
+          protocols via {!Ba_adversary.Strategy.to_skeleton} with the
+          protocol's real designated-flipper set. Not CLI-parseable — built
+          programmatically ([ba_attack], E23). *)
 
 type input_pattern = Unanimous of int | Split | Near_threshold
     (** [Near_threshold]: the honest majority sits between [n-2t] and [n-t]

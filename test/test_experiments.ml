@@ -42,7 +42,7 @@ let test_design_md_coverage () =
       (false, []) lines
   in
   let design_ids = List.rev design_ids in
-  Alcotest.(check int) "22 experiment rows in DESIGN.md section 5" 22
+  Alcotest.(check int) "23 experiment rows in DESIGN.md section 5" 23
     (List.length design_ids);
   Alcotest.(check int) "DESIGN.md ids are distinct" (List.length design_ids)
     (List.length (List.sort_uniq compare design_ids));

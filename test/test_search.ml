@@ -1,0 +1,123 @@
+(* Attack search (DESIGN.md §16): the optimizer is a pure function of
+   (space, seed, budget, objective) — identical runs give identical
+   results, the eval cap is a hard ceiling, and the mutation neighbourhood
+   is validated, duplicate-free and self-excluding on both planes. *)
+
+module Strategy = Ba_adversary.Strategy
+module Search = Ba_adversary.Search
+
+let coin_space = { Search.sp_n = 16; sp_t = 2; sp_plane = Search.Coin_plane; sp_max_round = 8 }
+
+let skel_space = { Search.sp_n = 16; sp_t = 5; sp_plane = Search.Skeleton_plane; sp_max_round = 8 }
+
+(* A cheap deterministic objective with enough structure to move the
+   search: a hash-scatter of the canonical encoding. *)
+let synthetic_objective g =
+  let bits = Ba_prng.Splitmix64.mix (Int64.of_int (Hashtbl.hash (Strategy.encode g))) in
+  Int64.to_float (Int64.shift_right_logical bits 40) /. 16777216.0
+
+let small_budget =
+  { Search.b_greedy_steps = 2; b_beam_width = 2; b_beam_depth = 1; b_anneal_iters = 8;
+    b_max_evals = 60 }
+
+let fingerprint r =
+  ( Strategy.encode r.Search.r_best,
+    r.Search.r_score,
+    r.Search.r_evals,
+    List.map
+      (fun e -> (e.Search.te_evals, e.Search.te_phase, Strategy.encode e.Search.te_genome))
+      r.Search.r_trace )
+
+let test_deterministic () =
+  List.iter
+    (fun space ->
+      let run () = Search.run space ~seed:42L ~budget:small_budget synthetic_objective in
+      Alcotest.(check bool) "same seed, same result" true (fingerprint (run ()) = fingerprint (run ())))
+    [ coin_space; skel_space ]
+
+let test_result_shape () =
+  let r = Search.run coin_space ~seed:7L ~budget:small_budget synthetic_objective in
+  Alcotest.(check bool) "some evaluations happened" true (r.Search.r_evals > 0);
+  Alcotest.(check bool) "trace non-empty" true (r.Search.r_trace <> []);
+  (* trace improvements are monotone in both evals and score, phases are
+     from the documented set, and the last entry is the incumbent *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.Search.te_evals <= b.Search.te_evals && a.Search.te_score <= b.Search.te_score
+        && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "trace monotone" true (monotone r.Search.r_trace);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "known phase" true
+        (List.mem e.Search.te_phase [ "seed"; "greedy"; "beam"; "anneal" ]);
+      Alcotest.(check bool) "evals within total" true
+        (e.Search.te_evals >= 1 && e.Search.te_evals <= r.Search.r_evals))
+    r.Search.r_trace;
+  let last = List.nth r.Search.r_trace (List.length r.Search.r_trace - 1) in
+  Alcotest.(check bool) "last trace entry is the incumbent" true
+    (Strategy.encode last.Search.te_genome = Strategy.encode r.Search.r_best
+    && last.Search.te_score = r.Search.r_score);
+  (* the winner at least matches every catalog seed *)
+  List.iter
+    (fun (_, g) ->
+      Alcotest.(check bool) "best >= seed score" true
+        (r.Search.r_score >= synthetic_objective g))
+    (Search.seeds coin_space)
+
+let test_eval_cap () =
+  List.iter
+    (fun cap ->
+      let budget = { small_budget with Search.b_max_evals = cap } in
+      let r = Search.run coin_space ~seed:9L ~budget synthetic_objective in
+      Alcotest.(check bool)
+        (Printf.sprintf "cap %d respected" cap)
+        true (r.Search.r_evals <= cap))
+    [ 6; 10; 25 ]
+
+let tactic_legal plane g =
+  match (plane, g.Strategy.g_tactic) with
+  | Search.Skeleton_plane, _ -> true
+  | Search.Coin_plane, (Strategy.Crash | Coin_split _ | Coin_push _) -> true
+  | Search.Coin_plane, _ -> false
+
+let test_seeds_and_neighbors () =
+  List.iter
+    (fun space ->
+      let seeds = Search.seeds space in
+      Alcotest.(check bool) "seed population non-empty" true (seeds <> []);
+      List.iter
+        (fun (nm, g) ->
+          (match Strategy.validate g with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "seed %s invalid: %s" nm msg);
+          Alcotest.(check bool) (nm ^ " plane-legal") true (tactic_legal space.Search.sp_plane g);
+          let nbrs = Search.neighbors space g in
+          Alcotest.(check bool) (nm ^ " has neighbours") true (nbrs <> []);
+          let keys = List.map Strategy.encode nbrs in
+          Alcotest.(check int) (nm ^ " neighbours duplicate-free") (List.length keys)
+            (List.length (List.sort_uniq compare keys));
+          Alcotest.(check bool) (nm ^ " excludes itself") false
+            (List.mem (Strategy.encode g) keys);
+          List.iter
+            (fun n ->
+              (match Strategy.validate n with
+              | Ok () -> ()
+              | Error msg -> Alcotest.failf "neighbour of %s invalid: %s" nm msg);
+              Alcotest.(check bool) "neighbour plane-legal" true
+                (tactic_legal space.Search.sp_plane n))
+            nbrs)
+        seeds)
+    [ coin_space; skel_space ]
+
+let () =
+  Alcotest.run "search"
+    [ ( "determinism",
+        [ Alcotest.test_case "pure function of (space, seed, budget, objective)" `Quick
+            test_deterministic;
+          Alcotest.test_case "result and trace invariants" `Quick test_result_shape;
+          Alcotest.test_case "eval cap is a hard ceiling" `Quick test_eval_cap ] );
+      ( "space",
+        [ Alcotest.test_case "seeds and neighbours well-formed" `Quick test_seeds_and_neighbors ]
+      ) ]
